@@ -1,0 +1,46 @@
+"""Bench: raw simulator throughput (the classic pytest-benchmark use).
+
+Times the vectorised execution engine on the paper-scale workload — a
+900-host mix over 100 bulk-synchronous iterations — and the policy layer
+on a full characterization.  These are the two hot paths of the grid.
+"""
+
+import numpy as np
+
+from repro.core.registry import create_policy
+from repro.sim.execution import SimulationOptions, simulate_mix
+
+
+def test_simulate_900_host_mix(benchmark, paper_grid):
+    prepared = paper_grid.prepare_mix("RandomLarge")
+    mix = prepared.scheduled.mix
+    caps = np.full(mix.total_nodes, 200.0)
+    eff = prepared.scheduled.efficiencies
+    options = SimulationOptions(seed=1)
+
+    result = benchmark(
+        simulate_mix, mix, caps, eff, paper_grid.model, options
+    )
+    assert result.iteration_times_s.shape == (100, 9)
+
+
+def test_mixed_adaptive_allocation_900_hosts(benchmark, paper_grid):
+    prepared = paper_grid.prepare_mix("RandomLarge")
+    char = prepared.characterization
+    policy = create_policy("MixedAdaptive")
+    budget = prepared.budgets.ideal_w
+
+    allocation = benchmark(policy.allocate, char, budget)
+    assert allocation.within_budget()
+
+
+def test_full_characterization_900_hosts(benchmark, paper_grid):
+    from repro.characterization.mix_characterization import characterize_mix
+
+    prepared = paper_grid.prepare_mix("HighPower")
+    scheduled = prepared.scheduled
+
+    char = benchmark(
+        characterize_mix, scheduled.mix, scheduled.efficiencies, paper_grid.model
+    )
+    assert char.host_count == 900

@@ -1,0 +1,60 @@
+"""Bench: regenerate Fig. 7 — mean power as a percentage of the budget.
+
+One bar per (policy, mix, budget level): how much of the system budget
+each policy's execution actually drew.  Checks the paper's annotations:
+Precharacterized exceeds the budget except at max (why it is "omitted
+from further plots"), marker (a) — job-aware policies draw less under
+relaxed limits — and marker (b) — JobAdaptive under-utilises the ideal
+budget where system-aware policies fill it.
+"""
+
+import pytest
+
+from repro.analysis.render import render_table
+from repro.core.registry import POLICY_NAMES
+from repro.experiments.figures import fig7_power_utilization
+from repro.workload.mixes import MIX_NAMES
+
+
+def test_fig7_power_utilization(benchmark, paper_results, emit):
+    util = benchmark(fig7_power_utilization, paper_results)
+
+    rows = []
+    for mix in MIX_NAMES:
+        for level in ("min", "ideal", "max"):
+            rows.append(
+                [mix, level]
+                + [f"{util[mix][level][p]:.0%}" for p in POLICY_NAMES]
+            )
+    emit(
+        "fig7_power_utilization",
+        render_table(
+            ["mix", "budget"] + list(POLICY_NAMES),
+            rows,
+            title="Fig. 7 — mean power used (percent of system budget)",
+        ),
+    )
+
+    for mix in MIX_NAMES:
+        # Precharacterized ignores the budget: over 100 % except at max.
+        assert util[mix]["min"]["Precharacterized"] > 1.0, mix
+        assert util[mix]["max"]["Precharacterized"] <= 1.0, mix
+        # Marker (a): at max, application-aware policies draw no more
+        # than the baseline.
+        assert (
+            util[mix]["max"]["MixedAdaptive"]
+            <= util[mix]["max"]["StaticCaps"] + 1e-9
+        ), mix
+        # System-aware policies never exceed the budget.
+        for level in ("min", "ideal", "max"):
+            for policy in ("StaticCaps", "MinimizeWaste", "JobAdaptive",
+                           "MixedAdaptive"):
+                assert util[mix][level][policy] <= 1.0 + 1e-6, (mix, level, policy)
+
+    # Marker (b): JobAdaptive under-utilises the ideal budget somewhere
+    # that MixedAdaptive fills.
+    assert any(
+        util[mix]["ideal"]["JobAdaptive"]
+        < util[mix]["ideal"]["MixedAdaptive"] - 1e-3
+        for mix in MIX_NAMES
+    )

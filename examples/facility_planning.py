@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Facility power planning — from the Fig. 1 motivation to budget choices.
+
+The paper opens with a year of Quartz telemetry: a 1.35 MW-rated system
+that averages 0.83 MW.  This example regenerates that trace, quantifies
+the stranded capacity, and then shows what the three Table III budget
+levels mean for a facility deciding how aggressively to over-provision:
+more nodes under tighter caps versus fewer nodes running unconstrained.
+
+Run with::
+
+    python examples/facility_planning.py
+"""
+
+import numpy as np
+
+from repro.analysis.render import render_table
+from repro.experiments.grid import ExperimentConfig, ExperimentGrid
+from repro.experiments.metrics import savings_vs_baseline
+from repro.workload.facility import FacilityTraceConfig, generate_facility_trace
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Fig. 1: how much procured power actually gets used?
+    # ------------------------------------------------------------------
+    trace = generate_facility_trace(FacilityTraceConfig())
+    stats = trace.statistics()
+    print(render_table(
+        ["quantity", "value"],
+        [
+            ["Power rating", f"{stats['rating_mw']:.2f} MW"],
+            ["Mean draw", f"{stats['mean_mw']:.2f} MW"],
+            ["Peak draw", f"{stats['peak_mw']:.2f} MW"],
+            ["Mean utilisation", f"{stats['mean_utilization']:.0%}"],
+            ["Stranded capacity", f"{stats['stranded_power_mw']:.2f} MW"],
+        ],
+        title="Fig. 1 — a year of facility power (synthetic Quartz trace)",
+    ))
+    stranded_nodes = stats["stranded_power_mw"] * 1e6 / 240.0
+    print(f"\nThe stranded {stats['stranded_power_mw']:.2f} MW would power "
+          f"~{stranded_nodes:.0f} additional 240 W nodes — the "
+          "over-provisioning opportunity the paper opens with.\n")
+
+    # ------------------------------------------------------------------
+    # What over-provisioning costs under each budget level.
+    # ------------------------------------------------------------------
+    grid = ExperimentGrid(ExperimentConfig.small(nodes_per_job=10, iterations=40))
+    prepared = grid.prepare_mix("RandomLarge")
+    hosts = prepared.characterization.host_count
+
+    rows = []
+    for level in ("min", "ideal", "max"):
+        budget = prepared.budgets.by_level()[level]
+        static = grid.run_cell("RandomLarge", level, "StaticCaps").run.result
+        mixed = grid.run_cell("RandomLarge", level, "MixedAdaptive").run.result
+        s = savings_vs_baseline(mixed, static)
+        extra_nodes = (prepared.budgets.max_w - budget) / (budget / hosts)
+        rows.append([
+            level,
+            f"{budget / hosts:.0f} W",
+            f"{extra_nodes:.0f}",
+            f"{static.mean_elapsed_s:.2f} s",
+            f"{100 * s.time_savings.mean:+.1f}%",
+            f"{100 * s.energy_savings.mean:+.1f}%",
+        ])
+    print(render_table(
+        ["budget", "per node", "extra nodes affordable*", "StaticCaps time",
+         "MixedAdaptive time", "MixedAdaptive energy"],
+        rows,
+        title="Over-provisioning trade-off on the RandomLarge mix",
+    ))
+    print("\n* nodes the saved budget (vs the max level) could power at "
+          "this level's per-node allocation.")
+    print(
+        "\nThe tighter the budget, the more an integrated policy matters: "
+        "at min,\nMixedAdaptive buys back part of the throttling penalty; "
+        "at max it converts\nthe surplus into energy savings instead."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Beyond the paper: execution-time re-planning and multi-phase workloads.
+
+The paper emulates RM/runtime coordination with *pre*-characterization and
+names the execution-time protocol as future work (§VIII).  This example
+runs the two extensions this reproduction implements:
+
+1. **Online re-planning** — the resource manager re-derives the
+   characterization from live telemetry every epoch and re-runs the
+   policy; no offline characterization runs at all.
+2. **Multi-phase workloads** — an application alternating memory-bound
+   and compute-bound phases, re-planned at each phase boundary versus a
+   frozen phase-0 allocation.
+
+Run with::
+
+    python examples/online_replanning.py
+"""
+
+import numpy as np
+
+from repro.analysis.render import render_table
+from repro.core.registry import create_policy
+from repro.hardware.cluster import Cluster
+from repro.manager.online import OnlinePowerManager
+from repro.manager.scheduler import Scheduler
+from repro.workload.job import Job, WorkloadMix
+from repro.workload.kernel import KernelConfig
+from repro.workload.phases import (
+    PhasedWorkload,
+    WorkloadPhase,
+    simulate_phased_job,
+)
+
+
+def online_demo() -> None:
+    print("Extension 1 — online re-planning (no pre-characterization)\n")
+    cluster = Cluster(node_count=40, seed=3)
+    mix = WorkloadMix(
+        name="online",
+        jobs=(
+            Job(name="hungry", config=KernelConfig(intensity=32.0),
+                node_count=10, iterations=100),
+            Job(
+                name="waster",
+                config=KernelConfig(intensity=8.0, waiting_fraction=0.75,
+                                    imbalance=3),
+                node_count=10,
+                iterations=100,
+            ),
+        ),
+    )
+    scheduled = Scheduler(cluster).allocate(mix)
+    manager = OnlinePowerManager(iterations_per_epoch=10)
+    budget = 20 * 200.0
+    run = manager.run(scheduled, create_policy("MixedAdaptive"),
+                      budget_w=budget, epochs=5)
+
+    rows = []
+    for epoch in run.epochs:
+        hungry = float(np.mean(epoch.caps_w[:10]))
+        waster = float(np.mean(epoch.caps_w[10:]))
+        rows.append([
+            epoch.index,
+            f"{hungry:.0f} W",
+            f"{waster:.0f} W",
+            f"{epoch.result.job_elapsed_s[0]:.2f} s",
+            f"{epoch.mean_power_w / budget:.0%}",
+        ])
+    print(render_table(
+        ["epoch", "hungry-job cap", "waster-job cap", "hungry elapsed",
+         "budget used"],
+        rows,
+        title=f"MixedAdaptive re-planned every 10 iterations "
+              f"(budget {budget / 1e3:.1f} kW)",
+    ))
+    print(f"\nCaps converged: {run.caps_converged(tolerance_w=1.0)} — epoch 0 "
+          "runs uniform, epoch 1 already shifts the waster's slack to the "
+          "hungry job.\n")
+
+
+def phased_demo() -> None:
+    print("Extension 2 — multi-phase workload with boundary re-planning\n")
+    workload = PhasedWorkload(
+        name="solver",
+        phases=(
+            WorkloadPhase(
+                "assembly",
+                KernelConfig(intensity=32.0, waiting_fraction=0.75, imbalance=3),
+                iterations=40,
+            ),
+            WorkloadPhase("smoother", KernelConfig(intensity=0.5), iterations=40),
+            WorkloadPhase("kernel", KernelConfig(intensity=32.0), iterations=40),
+        ),
+        node_count=12,
+    )
+    eff = np.ones(12)
+    policy = create_policy("MixedAdaptive")
+    budget = 12 * 180.0
+
+    replanned = simulate_phased_job(workload, eff, policy, budget,
+                                    replan_each_phase=True)
+    frozen = simulate_phased_job(workload, eff, policy, budget,
+                                 replan_each_phase=False)
+
+    rows = []
+    for (name, r_row), f_row in zip(
+        [(p.name, r) for p, r in zip(workload.phases, replanned.phase_summary())],
+        frozen.phase_summary(),
+    ):
+        rows.append([
+            name,
+            f"{r_row['elapsed_s']:.2f} s",
+            f"{f_row['elapsed_s']:.2f} s",
+            f"{r_row['energy_j'] / 1e3:.0f} kJ",
+            f"{f_row['energy_j'] / 1e3:.0f} kJ",
+        ])
+    print(render_table(
+        ["phase", "replanned time", "frozen time", "replanned energy",
+         "frozen energy"],
+        rows,
+        title="Per-phase outcomes: boundary re-planning vs frozen phase-0 caps",
+    ))
+    gain = 1 - replanned.total_elapsed_s / frozen.total_elapsed_s
+    last_r = replanned.phase_summary()[-1]["elapsed_s"]
+    last_f = frozen.phase_summary()[-1]["elapsed_s"]
+    phase_gain = 1 - last_r / last_f
+    print(f"\nEnd-to-end: re-planning saves {100 * gain:.1f}% wall time "
+          f"({replanned.total_elapsed_s:.2f} s vs {frozen.total_elapsed_s:.2f} s);"
+          f"\non the final balanced phase alone it saves {100 * phase_gain:.1f}% "
+          "— the frozen plan keeps starving\nnodes it classified as 'waiting' "
+          "during assembly, which the execution-time protocol\nthe paper "
+          "calls for avoids.")
+
+
+def main() -> None:
+    online_demo()
+    phased_demo()
+
+
+if __name__ == "__main__":
+    main()

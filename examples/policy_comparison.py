@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Policy deep-dive: watch the five policies allocate one constrained mix.
+
+The paper's argument in one scenario: the WastefulPower mix (heavy
+barrier polling next to power-hungry balanced jobs) at its ideal budget.
+For each policy this script shows
+
+* the per-job power allocation it computes,
+* the measured per-job elapsed time and energy,
+* and the budget utilisation — making visible *why* MixedAdaptive's
+  combination of system awareness and application awareness wins.
+
+Run with::
+
+    python examples/policy_comparison.py [--mix WastefulPower] [--budget ideal]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.render import render_table
+from repro.core.registry import POLICY_NAMES, create_policy
+from repro.experiments.grid import ExperimentConfig, ExperimentGrid
+from repro.experiments.metrics import savings_vs_baseline
+from repro.workload.mixes import MIX_NAMES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mix", default="WastefulPower", choices=MIX_NAMES)
+    parser.add_argument("--budget", default="ideal",
+                        choices=("min", "ideal", "max"))
+    args = parser.parse_args()
+
+    grid = ExperimentGrid(ExperimentConfig.small(nodes_per_job=10, iterations=50))
+    prepared = grid.prepare_mix(args.mix)
+    char = prepared.characterization
+    budget = prepared.budgets.by_level()[args.budget]
+    hosts = char.host_count
+    print(f"Mix {args.mix}: {char.job_count} jobs on {hosts} nodes; "
+          f"{args.budget} budget = {budget / 1e3:.1f} kW "
+          f"({budget / hosts:.0f} W/node)\n")
+
+    # Show what each policy *knows* and what it decides.
+    job_names = [j.name.split("-", 2)[-1] for j in prepared.scheduled.mix.jobs]
+    observed = [
+        float(np.mean(char.monitor_power_w[char.job_slice(j)]))
+        for j in range(char.job_count)
+    ]
+    needed = [
+        float(np.mean(char.needed_power_w[char.job_slice(j)]))
+        for j in range(char.job_count)
+    ]
+
+    runs = {}
+    for name in POLICY_NAMES:
+        cell = grid.run_cell(args.mix, args.budget, name)
+        runs[name] = cell.run
+
+    rows = []
+    for j, job in enumerate(job_names):
+        row = [job, f"{observed[j]:.0f}", f"{needed[j]:.0f}"]
+        for name in POLICY_NAMES:
+            caps = runs[name].allocation.caps_w[char.job_slice(j)]
+            row.append(f"{float(np.mean(caps)):.0f}")
+        rows.append(row)
+    print(render_table(
+        ["job", "observed W", "needed W"] + [n[:9] for n in POLICY_NAMES],
+        rows,
+        title="Per-job mean node power: characterization vs each policy's caps",
+    ))
+
+    base = runs["StaticCaps"].result
+    rows = []
+    for name in POLICY_NAMES:
+        result = runs[name].result
+        if name == "StaticCaps":
+            time_s = energy_s = "baseline"
+        else:
+            s = savings_vs_baseline(result, base)
+            time_s = f"{100 * s.time_savings.mean:+.1f}%"
+            energy_s = f"{100 * s.energy_savings.mean:+.1f}%"
+        rows.append([
+            name,
+            f"{result.mean_elapsed_s:.2f} s",
+            f"{result.total_energy_j / 1e6:.2f} MJ",
+            f"{result.budget_utilization():.0%}",
+            time_s,
+            energy_s,
+        ])
+    print("\n" + render_table(
+        ["policy", "mean elapsed", "energy", "budget used", "time vs base",
+         "energy vs base"],
+        rows,
+        title="Measured outcomes (paper Figs. 7-8 for this cell)",
+    ))
+
+    print(
+        "\nReading the table: Precharacterized ignores the budget (util > "
+        "100%);\nStaticCaps wastes power on pollers; MinimizeWaste cannot "
+        "see that waste\n(pollers draw real watts); JobAdaptive recovers it "
+        "but only within each job;\nMixedAdaptive moves it across jobs to "
+        "whoever's critical path can use it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The evaluation environment is offline and has setuptools but not ``wheel``,
+so PEP 517/660 builds fail; this shim lets ``pip install -e .`` use the
+legacy ``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Analysis utilities: statistics, ASCII rendering, CSV export.
+
+Everything the benchmark harness needs to turn simulation results into the
+rows and series the paper reports: 95 % confidence intervals over the 100
+measured iterations (:mod:`.stats`), terminal-friendly renderings of heat
+maps / bar grids / tables (:mod:`.render`), and CSV export for downstream
+plotting (:mod:`.export`).
+"""
+
+from repro.analysis.stats import mean_ci95, bootstrap_ci, summarize
+from repro.analysis.render import (
+    render_heatmap,
+    render_bar_grid,
+    render_table,
+    render_series,
+)
+from repro.analysis.export import rows_to_csv, write_csv
+
+__all__ = [
+    "mean_ci95",
+    "bootstrap_ci",
+    "summarize",
+    "render_heatmap",
+    "render_bar_grid",
+    "render_table",
+    "render_series",
+    "rows_to_csv",
+    "write_csv",
+]

@@ -1,0 +1,48 @@
+"""CSV export of experiment results.
+
+Plain ``csv`` from the standard library: results are small (hundreds of
+rows), and downstream users plot with their own tools.  Rows are
+dictionaries; the header is the union of keys in first-seen order so
+heterogeneous result sets export without pre-declaring a schema.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Sequence, Union
+
+__all__ = ["rows_to_csv", "write_csv"]
+
+
+def _fieldnames(rows: Sequence[Mapping[str, object]]) -> List[str]:
+    names: List[str] = []
+    seen = set()
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                seen.add(key)
+                names.append(key)
+    return names
+
+
+def rows_to_csv(rows: Iterable[Mapping[str, object]]) -> str:
+    """Serialise dict-rows to a CSV string (header from first-seen keys)."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_fieldnames(rows), restval="")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_csv(rows: Iterable[Mapping[str, object]], path: Union[str, Path]) -> Path:
+    """Write dict-rows to ``path``; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(rows_to_csv(rows), encoding="utf-8")
+    return path

@@ -1,0 +1,329 @@
+"""Dependency-free SVG chart rendering for the paper's figures.
+
+The evaluation environment has no plotting stack, so this module writes
+the three chart shapes the paper's figures need as plain SVG documents:
+
+* :func:`line_chart` — Fig. 1 (facility trace) and sweep curves;
+* :func:`grouped_bar_chart` — Figs. 7/8 (per-policy bars over mixes);
+* :func:`heatmap_chart` — Figs. 4/5 (intensity x waiting grids).
+
+The generators emit deterministic, self-contained SVG (inline styling, no
+scripts), so outputs diff cleanly across runs and open in any browser.
+Layout is intentionally simple: one plot area, left/bottom axes, tick
+labels, a legend when there are multiple series.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["line_chart", "grouped_bar_chart", "heatmap_chart", "write_svg"]
+
+#: Default categorical palette (colour-blind-safe Okabe-Ito subset).
+PALETTE = ("#0072B2", "#E69F00", "#009E73", "#CC79A7", "#56B4E9", "#D55E00")
+
+_WIDTH = 720
+_HEIGHT = 420
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 70, 20, 44, 56
+
+
+def _esc(text: str) -> str:
+    return (
+        str(text)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _nice_ticks(lo: float, hi: float, count: int = 5) -> List[float]:
+    """Round tick positions covering [lo, hi] (1/2/5 ladder)."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw = span / max(count - 1, 1)
+    magnitude = 10 ** math.floor(math.log10(raw))
+    for step in (1, 2, 5, 10):
+        if raw <= step * magnitude:
+            step *= magnitude
+            break
+    start = math.floor(lo / step) * step
+    ticks = []
+    tick = start
+    while tick <= hi + 1e-12:
+        if tick >= lo - 1e-12:
+            ticks.append(round(tick, 10))
+        tick += step
+    return ticks or [lo, hi]
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 10:
+        return f"{value:.0f}"
+    return f"{value:.2g}"
+
+
+@dataclass
+class _Frame:
+    """Plot-area coordinate mapper."""
+
+    x_lo: float
+    x_hi: float
+    y_lo: float
+    y_hi: float
+
+    def x(self, value: float) -> float:
+        span = self.x_hi - self.x_lo or 1.0
+        return _MARGIN_L + (value - self.x_lo) / span * (
+            _WIDTH - _MARGIN_L - _MARGIN_R
+        )
+
+    def y(self, value: float) -> float:
+        span = self.y_hi - self.y_lo or 1.0
+        return _HEIGHT - _MARGIN_B - (value - self.y_lo) / span * (
+            _HEIGHT - _MARGIN_T - _MARGIN_B
+        )
+
+
+def _document(body: List[str], title: str) -> str:
+    head = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}" '
+        'font-family="Helvetica, Arial, sans-serif" font-size="12">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+        f'<text x="{_WIDTH / 2:.1f}" y="20" text-anchor="middle" '
+        f'font-size="15" font-weight="bold">{_esc(title)}</text>',
+    ]
+    return "\n".join(head + body + ["</svg>"]) + "\n"
+
+
+def _axes(frame: _Frame, x_label: str, y_label: str,
+          x_ticks: Sequence[Tuple[float, str]],
+          y_ticks: Sequence[Tuple[float, str]]) -> List[str]:
+    parts: List[str] = []
+    x0, x1 = _MARGIN_L, _WIDTH - _MARGIN_R
+    y0, y1 = _HEIGHT - _MARGIN_B, _MARGIN_T
+    parts.append(
+        f'<line x1="{x0}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="#333"/>'
+    )
+    parts.append(
+        f'<line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" stroke="#333"/>'
+    )
+    for value, label in x_ticks:
+        px = frame.x(value)
+        parts.append(
+            f'<line x1="{px:.1f}" y1="{y0}" x2="{px:.1f}" y2="{y0 + 5}" '
+            'stroke="#333"/>'
+        )
+        parts.append(
+            f'<text x="{px:.1f}" y="{y0 + 18}" text-anchor="middle">'
+            f"{_esc(label)}</text>"
+        )
+    for value, label in y_ticks:
+        py = frame.y(value)
+        parts.append(
+            f'<line x1="{x0 - 5}" y1="{py:.1f}" x2="{x0}" y2="{py:.1f}" '
+            'stroke="#333"/>'
+        )
+        parts.append(
+            f'<line x1="{x0}" y1="{py:.1f}" x2="{x1}" y2="{py:.1f}" '
+            'stroke="#eee"/>'
+        )
+        parts.append(
+            f'<text x="{x0 - 8}" y="{py + 4:.1f}" text-anchor="end">'
+            f"{_esc(label)}</text>"
+        )
+    parts.append(
+        f'<text x="{(x0 + x1) / 2:.1f}" y="{_HEIGHT - 12}" '
+        f'text-anchor="middle">{_esc(x_label)}</text>'
+    )
+    parts.append(
+        f'<text x="16" y="{(y0 + y1) / 2:.1f}" text-anchor="middle" '
+        f'transform="rotate(-90 16 {(y0 + y1) / 2:.1f})">{_esc(y_label)}</text>'
+    )
+    return parts
+
+
+def _legend(names: Sequence[str]) -> List[str]:
+    parts: List[str] = []
+    x = _MARGIN_L + 8
+    y = _MARGIN_T + 6
+    for i, name in enumerate(names):
+        colour = PALETTE[i % len(PALETTE)]
+        parts.append(
+            f'<rect x="{x}" y="{y + 18 * i}" width="12" height="12" '
+            f'fill="{colour}"/>'
+        )
+        parts.append(
+            f'<text x="{x + 17}" y="{y + 18 * i + 10}">{_esc(name)}</text>'
+        )
+    return parts
+
+
+def line_chart(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    title: str,
+    x_label: str = "",
+    y_label: str = "",
+    h_lines: Optional[Mapping[str, float]] = None,
+) -> str:
+    """A multi-series line chart; ``h_lines`` adds dashed reference lines
+    (e.g. Fig. 1's power rating)."""
+    x = np.asarray(x, dtype=float)
+    if x.size < 2:
+        raise ValueError("a line chart needs at least two x values")
+    all_y = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    if h_lines:
+        all_y = np.concatenate([all_y, np.array(list(h_lines.values()))])
+    frame = _Frame(float(x.min()), float(x.max()),
+                   min(0.0, float(all_y.min())), float(all_y.max()) * 1.05)
+    body: List[str] = []
+    body += _axes(
+        frame, x_label, y_label,
+        [(t, _fmt(t)) for t in _nice_ticks(frame.x_lo, frame.x_hi)],
+        [(t, _fmt(t)) for t in _nice_ticks(frame.y_lo, frame.y_hi)],
+    )
+    for i, (name, values) in enumerate(series.items()):
+        values = np.asarray(values, dtype=float)
+        if values.shape != x.shape:
+            raise ValueError(f"series {name!r} length mismatch")
+        pts = " ".join(
+            f"{frame.x(xv):.1f},{frame.y(yv):.1f}" for xv, yv in zip(x, values)
+        )
+        body.append(
+            f'<polyline points="{pts}" fill="none" '
+            f'stroke="{PALETTE[i % len(PALETTE)]}" stroke-width="1.5"/>'
+        )
+    if h_lines:
+        for name, value in h_lines.items():
+            py = frame.y(value)
+            body.append(
+                f'<line x1="{_MARGIN_L}" y1="{py:.1f}" '
+                f'x2="{_WIDTH - _MARGIN_R}" y2="{py:.1f}" stroke="#444" '
+                'stroke-dasharray="6 4"/>'
+            )
+            body.append(
+                f'<text x="{_WIDTH - _MARGIN_R - 4}" y="{py - 5:.1f}" '
+                f'text-anchor="end" fill="#444">{_esc(name)}</text>'
+            )
+    body += _legend(list(series))
+    return _document(body, title)
+
+
+def grouped_bar_chart(
+    groups: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    title: str,
+    y_label: str = "",
+) -> str:
+    """Grouped vertical bars (the Fig. 7/8 shape)."""
+    if not groups:
+        raise ValueError("need at least one group")
+    n_groups = len(groups)
+    names = list(series)
+    n_series = len(names)
+    values = np.array([np.asarray(series[name], dtype=float) for name in names])
+    if values.shape != (n_series, n_groups):
+        raise ValueError("every series must have one value per group")
+    lo = min(0.0, float(values.min()) * 1.1)
+    hi = max(0.0, float(values.max()) * 1.1) or 1.0
+    frame = _Frame(0.0, float(n_groups), lo, hi)
+    body: List[str] = []
+    body += _axes(
+        frame, "", y_label,
+        [(i + 0.5, g) for i, g in enumerate(groups)],
+        [(t, _fmt(t)) for t in _nice_ticks(lo, hi)],
+    )
+    slot = 1.0 / (n_series + 1)
+    zero_y = frame.y(0.0)
+    for s, name in enumerate(names):
+        for g in range(n_groups):
+            v = values[s, g]
+            px = frame.x(g + slot * (s + 0.5) + slot / 2)
+            py = frame.y(v)
+            top, height = (py, zero_y - py) if v >= 0 else (zero_y, py - zero_y)
+            width = slot * (frame.x(1) - frame.x(0)) * 0.9
+            body.append(
+                f'<rect x="{px - width / 2:.1f}" y="{top:.1f}" '
+                f'width="{width:.1f}" height="{max(height, 0.5):.1f}" '
+                f'fill="{PALETTE[s % len(PALETTE)]}"/>'
+            )
+    body.append(
+        f'<line x1="{_MARGIN_L}" y1="{zero_y:.1f}" '
+        f'x2="{_WIDTH - _MARGIN_R}" y2="{zero_y:.1f}" stroke="#333"/>'
+    )
+    body += _legend(names)
+    return _document(body, title)
+
+
+def heatmap_chart(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    values: np.ndarray,
+    title: str,
+    unit: str = "",
+) -> str:
+    """A labelled heat map (the Fig. 4/5 shape), blue-to-red scale."""
+    values = np.asarray(values, dtype=float)
+    if values.shape != (len(row_labels), len(col_labels)):
+        raise ValueError("values shape must match labels")
+    lo, hi = float(values.min()), float(values.max())
+    span = (hi - lo) or 1.0
+    x0, y0 = _MARGIN_L, _MARGIN_T + 10
+    cell_w = (_WIDTH - _MARGIN_L - _MARGIN_R) / len(col_labels)
+    cell_h = (_HEIGHT - y0 - _MARGIN_B) / len(row_labels)
+    body: List[str] = []
+    for r, row in enumerate(row_labels):
+        for c, col in enumerate(col_labels):
+            v = values[r, c]
+            t = (v - lo) / span
+            red = int(40 + 215 * t)
+            blue = int(255 - 215 * t)
+            body.append(
+                f'<rect x="{x0 + c * cell_w:.1f}" y="{y0 + r * cell_h:.1f}" '
+                f'width="{cell_w:.1f}" height="{cell_h:.1f}" '
+                f'fill="rgb({red},90,{blue})" stroke="white"/>'
+            )
+            body.append(
+                f'<text x="{x0 + (c + 0.5) * cell_w:.1f}" '
+                f'y="{y0 + (r + 0.5) * cell_h + 4:.1f}" text-anchor="middle" '
+                f'fill="white">{_fmt(v)}</text>'
+            )
+    for r, row in enumerate(row_labels):
+        body.append(
+            f'<text x="{x0 - 8}" y="{y0 + (r + 0.5) * cell_h + 4:.1f}" '
+            f'text-anchor="end">{_esc(row)}</text>'
+        )
+    for c, col in enumerate(col_labels):
+        body.append(
+            f'<text x="{x0 + (c + 0.5) * cell_w:.1f}" '
+            f'y="{_HEIGHT - _MARGIN_B + 16}" text-anchor="middle" '
+            f'font-size="10">{_esc(col)}</text>'
+        )
+    if unit:
+        body.append(
+            f'<text x="{_WIDTH - _MARGIN_R}" y="{_MARGIN_T - 6}" '
+            f'text-anchor="end" fill="#555">{_esc(unit)}</text>'
+        )
+    return _document(body, title)
+
+
+def write_svg(svg: str, path: Union[str, Path]) -> Path:
+    """Write an SVG document to ``path``; returns the path written."""
+    if not svg.lstrip().startswith("<svg"):
+        raise ValueError("not an SVG document")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(svg, encoding="utf-8")
+    return path

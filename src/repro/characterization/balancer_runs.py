@@ -1,0 +1,140 @@
+"""Power-balancer characterization: the paper's Fig. 5 heat map.
+
+"We obtain Metric-(b) by observing the actual power consumed by each
+workload when subjected to an average power budget equal to the total TDP
+of each node ... using the GEOPM power balancer agent" (§IV-B).  Under the
+balancer, hosts off the critical path are throttled down to the power that
+just preserves the job's iteration time, so the measured mean power is the
+workload's *needed* power.
+
+Two paths are provided:
+
+* :func:`needed_caps_for_job` / :func:`balancer_heatmap` — the analytic
+  steady state (shared physics with
+  :func:`~repro.characterization.mix_characterization.characterize_mix`);
+* :func:`balancer_power_for_config` — the authentic feedback loop through
+  :class:`~repro.runtime.power_balancer.PowerBalancerAgent`, used by the
+  test suite to validate the analytic path and by users who want to watch
+  the balancer converge.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hardware.cluster import Cluster
+from repro.runtime.controller import Controller
+from repro.runtime.power_balancer import BalancerOptions, PowerBalancerAgent
+from repro.sim.engine import ExecutionModel
+from repro.workload.job import Job, WorkloadMix
+from repro.workload.kernel import (
+    WAITING_IMBALANCE_GRID,
+    KernelConfig,
+    Precision,
+    VectorWidth,
+)
+from repro.characterization.monitor_runs import DEFAULT_HEATMAP_INTENSITIES, HeatmapGrid
+
+__all__ = [
+    "needed_caps_for_job",
+    "balancer_power_for_config",
+    "balancer_heatmap",
+]
+
+
+def needed_caps_for_job(
+    job: Job,
+    efficiencies: np.ndarray,
+    model: Optional[ExecutionModel] = None,
+) -> np.ndarray:
+    """Analytic balancer steady state: per-host needed power for one job.
+
+    Wraps the mix-level characterization for the single-job case and
+    returns the per-host needed power (W), already bounded by the floor
+    consumption and the unconstrained draw.
+    """
+    from repro.characterization.mix_characterization import characterize_mix
+
+    mix = WorkloadMix(name=job.name, jobs=(job,))
+    char = characterize_mix(mix, efficiencies, model)
+    return char.needed_power_w.copy()
+
+
+def balancer_power_for_config(
+    config: KernelConfig,
+    cluster: Cluster,
+    node_ids: Sequence[int],
+    model: Optional[ExecutionModel] = None,
+    options: BalancerOptions = BalancerOptions(),
+    max_epochs: int = 300,
+) -> Tuple[float, np.ndarray]:
+    """Run the real balancer feedback loop for one configuration.
+
+    The job budget is TDP x hosts (the paper's Fig. 5 operating point).
+    Returns ``(mean node power at steady state, per-host steady powers)``.
+    """
+    ids = np.asarray(node_ids, dtype=int)
+    model = model if model is not None else ExecutionModel()
+    job = Job(name=f"balance-{config.label()}", config=config,
+              node_count=int(ids.size), iterations=max_epochs)
+    budget = model.power_model.tdp_w * ids.size
+    agent = PowerBalancerAgent(job_budget_w=budget, options=options)
+    controller = Controller(
+        job=job,
+        efficiencies=cluster.efficiencies[ids],
+        agent=agent,
+        model=model,
+    )
+    controller.run(max_epochs=max_epochs)
+    steady = controller.steady_state_sample()
+    return float(np.mean(steady.host_power_w)), np.asarray(steady.host_power_w)
+
+
+def balancer_heatmap(
+    cluster: Cluster,
+    node_ids: Sequence[int],
+    vector: VectorWidth = VectorWidth.YMM,
+    intensities: Sequence[float] = DEFAULT_HEATMAP_INTENSITIES,
+    columns: Sequence[Tuple[float, int]] = WAITING_IMBALANCE_GRID,
+    model: Optional[ExecutionModel] = None,
+    precision: Precision = Precision.DOUBLE,
+) -> HeatmapGrid:
+    """The full Fig. 5 grid via the analytic steady state.
+
+    Cell value = mean node power when the configuration runs under the
+    power balancer with a TDP-level budget: critical-path hosts draw their
+    unconstrained power, waiting hosts draw the minimum that preserves the
+    iteration time (plus barrier polling at the reduced limit).
+    """
+    from repro.characterization.mix_characterization import characterize_mix
+    from repro.sim.execution import SimulationOptions, simulate_mix
+
+    model = model if model is not None else ExecutionModel()
+    ids = np.asarray(node_ids, dtype=int)
+    eff = cluster.efficiencies[ids]
+    values = np.empty((len(intensities), len(columns)))
+    quiet = SimulationOptions(noise_std=0.0)
+    for r, intensity in enumerate(intensities):
+        for c, (waiting, imbalance) in enumerate(columns):
+            config = KernelConfig(
+                intensity=intensity,
+                vector=vector,
+                precision=precision,
+                waiting_fraction=waiting,
+                imbalance=imbalance,
+            )
+            job = Job(name="cell", config=config, node_count=int(ids.size), iterations=1)
+            mix = WorkloadMix(name="cell", jobs=(job,))
+            char = characterize_mix(mix, eff, model)
+            # Measured power under the balancer's converged caps: run the
+            # deterministic execution with needed caps applied.
+            result = simulate_mix(mix, char.needed_cap_w, eff, model, quiet)
+            values[r, c] = float(np.mean(result.host_mean_power_w))
+    return HeatmapGrid(
+        title=f"Needed CPU power per node ({vector.value}, power balancer agent)",
+        intensities=tuple(intensities),
+        columns=tuple(columns),
+        values=values,
+    )

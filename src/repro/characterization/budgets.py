@@ -1,0 +1,97 @@
+"""System power budget derivation — the paper's Table III.
+
+Three budgets per workload mix, representing degrees of over-provisioning
+(§V-C):
+
+``min``
+    Aggressively over-provisioned: "the workload in the mix [that] has the
+    least power consumed by a single node under the performance-aware
+    characterization", provisioned for every node.  Below this cap every
+    policy degenerates to ``StaticCaps``.
+``ideal``
+    "Summing the power used by each node for all workloads in the mix, as
+    determined by the performance-aware characterization" — exactly enough
+    to meet every host's needed power, so cross-job sharing is maximally
+    valuable.
+``max``
+    Conservatively over-provisioned: "which workload in the mix has the
+    most power consumed by a single node under the uncapped
+    characterization", provisioned for every node.  Above this cap every
+    policy can allocate at least ``Precharacterized`` levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.characterization.mix_characterization import MixCharacterization
+
+__all__ = ["PowerBudgets", "derive_budgets"]
+
+#: Budget level names in the paper's presentation order.
+BUDGET_LEVELS = ("min", "ideal", "max")
+
+
+@dataclass(frozen=True)
+class PowerBudgets:
+    """The three Table III budgets for one mix, in watts."""
+
+    mix_name: str
+    min_w: float
+    ideal_w: float
+    max_w: float
+    total_tdp_w: float
+
+    def __post_init__(self) -> None:
+        if not self.min_w <= self.ideal_w <= self.max_w:
+            raise ValueError(
+                f"budgets must be ordered min <= ideal <= max, got "
+                f"{self.min_w} / {self.ideal_w} / {self.max_w}"
+            )
+
+    def by_level(self) -> Dict[str, float]:
+        """Budgets keyed by level name."""
+        return {"min": self.min_w, "ideal": self.ideal_w, "max": self.max_w}
+
+    def as_kilowatts(self) -> Dict[str, float]:
+        """Table III row: budgets plus the TDP footnote value, in kW."""
+        return {
+            "min": self.min_w / 1e3,
+            "ideal": self.ideal_w / 1e3,
+            "max": self.max_w / 1e3,
+            "tdp": self.total_tdp_w / 1e3,
+        }
+
+
+def derive_budgets(char: MixCharacterization) -> PowerBudgets:
+    """Compute the Table III budgets from a mix characterization.
+
+    ``min`` provisions every node with "the least power consumed by a
+    single node under the performance-aware characterization" — the
+    smallest per-host needed power in the mix.  ``ideal`` is the exact sum
+    of needed powers; ``max`` provisions every node with the single most
+    power-hungry node's observed draw.  The ordering
+    ``min <= ideal <= max`` holds by construction: the mean of needed
+    powers is at least their minimum, and needed power never exceeds
+    observed power.
+    """
+    n = char.host_count
+    min_w = float(np.min(char.needed_power_w)) * n
+    # Per-job maximum of per-node observed power, then the most over jobs.
+    max_w = float(np.max(char.job_max_monitor_power_w())) * n
+    ideal_w = float(np.sum(char.needed_power_w))
+    # With identical hosts the three rules agree mathematically but can
+    # disagree by one ulp (sum vs min*n round differently); re-impose the
+    # exact ordering.
+    ideal_w = max(ideal_w, min_w)
+    max_w = max(max_w, ideal_w)
+    return PowerBudgets(
+        mix_name=char.mix_name,
+        min_w=min_w,
+        ideal_w=ideal_w,
+        max_w=max_w,
+        total_tdp_w=char.tdp_w * n,
+    )

@@ -1,0 +1,121 @@
+"""Hardware-variation survey and k-means node selection (paper Fig. 6).
+
+"We first monitored the achieved frequency of each node in the cluster
+while running our most power-hungry workload configurations under a low
+power limit.  We used k-means clustering over the achieved frequencies to
+partition the nodes into three groups" (§V-A2).  The paper then uses the
+918 medium-frequency nodes of 2 000 surveyed so results reflect central-
+tendency hardware.
+
+The 1-D k-means here is a small exact-update Lloyd's iteration —
+deterministic given the initial centroids (placed at the min / median /
+max of the data), which keeps the node selection reproducible without
+depending on scipy's RNG behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.hardware.cluster import Cluster
+from repro.sim.engine import ExecutionModel
+
+__all__ = ["kmeans_1d", "FrequencySurvey", "survey_and_cluster"]
+
+
+def kmeans_1d(
+    values: np.ndarray,
+    k: int = 3,
+    max_iters: int = 200,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Lloyd's algorithm on 1-D data with quantile-spread initial centroids.
+
+    Returns ``(labels, centroids)`` with centroids sorted ascending and
+    labels numbered accordingly (0 = lowest-centroid cluster).  Raises if
+    the data cannot support ``k`` distinct clusters.
+    """
+    x = np.asarray(values, dtype=float).ravel()
+    if x.size < k:
+        raise ValueError(f"need at least {k} samples for k={k}")
+    if np.unique(x).size < k:
+        raise ValueError(f"data has fewer than {k} distinct values")
+    quantiles = np.linspace(0.0, 1.0, k)
+    centroids = np.quantile(x, quantiles)
+    for _ in range(max_iters):
+        labels = np.argmin(np.abs(x[:, None] - centroids[None, :]), axis=1)
+        new_centroids = centroids.copy()
+        for j in range(k):
+            members = x[labels == j]
+            if members.size:
+                new_centroids[j] = members.mean()
+        if np.allclose(new_centroids, centroids, rtol=0, atol=1e-12):
+            break
+        centroids = new_centroids
+    order = np.argsort(centroids)
+    remap = np.empty(k, dtype=int)
+    remap[order] = np.arange(k)
+    return remap[labels], centroids[order]
+
+
+@dataclass(frozen=True)
+class FrequencySurvey:
+    """Outcome of the Fig. 6 survey on one cluster.
+
+    ``labels`` numbers clusters by ascending centroid frequency:
+    0 = low, 1 = medium, 2 = high (for the default k=3).
+    """
+
+    frequencies_ghz: np.ndarray
+    labels: np.ndarray
+    centroids_ghz: np.ndarray
+    cap_w: float
+    kappa: float
+
+    def cluster_sizes(self) -> Dict[str, int]:
+        """Cluster populations, keyed low/medium/high for k=3."""
+        names = self._names()
+        return {
+            names[j]: int(np.sum(self.labels == j))
+            for j in range(self.centroids_ghz.size)
+        }
+
+    def cluster_node_ids(self, name: str) -> np.ndarray:
+        """Node ids belonging to the named cluster."""
+        names = self._names()
+        try:
+            j = names.index(name)
+        except ValueError:
+            raise KeyError(f"unknown cluster {name!r}; have {names}") from None
+        return np.flatnonzero(self.labels == j)
+
+    def _names(self):
+        k = self.centroids_ghz.size
+        if k == 3:
+            return ["low", "medium", "high"]
+        return [f"cluster{j}" for j in range(k)]
+
+
+def survey_and_cluster(
+    cluster: Cluster,
+    cap_w: float = 140.0,
+    kappa: float = 1.0,
+    k: int = 3,
+    model: Optional[ExecutionModel] = None,
+) -> FrequencySurvey:
+    """Run the Fig. 6 survey: frequencies under a low cap, then k-means.
+
+    Defaults follow the paper: 70 W per socket (140 W per node) with the
+    most power-hungry configuration (activity factor 1).
+    """
+    freqs = cluster.survey_frequencies(cap_w, kappa)
+    labels, centroids = kmeans_1d(freqs, k=k)
+    return FrequencySurvey(
+        frequencies_ghz=freqs,
+        labels=labels,
+        centroids_ghz=centroids,
+        cap_w=float(cap_w),
+        kappa=float(kappa),
+    )

@@ -1,0 +1,143 @@
+"""Monitor-agent characterization: the paper's Fig. 4 heat map.
+
+"We obtain Metric-(a) by executing each workload with the GEOPM monitor
+agent across 100 test nodes" (§IV-B).  Each heat-map cell is the mean node
+power of one kernel configuration (intensity row x waiting/imbalance
+column) running unconstrained on the ymm variant.
+
+:func:`monitor_power_for_config` runs one such characterization through
+the runtime controller (the authentic path); :func:`monitor_heatmap`
+produces the full grid using the fast analytic steady state, which the
+test suite verifies agrees with the controller path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hardware.cluster import Cluster
+from repro.runtime.controller import Controller
+from repro.runtime.monitor import MonitorAgent
+from repro.sim.engine import ExecutionModel
+from repro.workload.job import Job, WorkloadMix
+from repro.workload.kernel import (
+    INTENSITY_GRID,
+    WAITING_IMBALANCE_GRID,
+    KernelConfig,
+    Precision,
+    VectorWidth,
+)
+
+__all__ = ["HeatmapGrid", "monitor_power_for_config", "monitor_heatmap"]
+
+#: Default heat-map axes (paper Figs. 4/5: eight intensities, seven columns).
+DEFAULT_HEATMAP_INTENSITIES: Tuple[float, ...] = tuple(
+    i for i in INTENSITY_GRID if i > 0.0
+)
+
+
+@dataclass(frozen=True)
+class HeatmapGrid:
+    """A characterization heat map (intensity rows x waiting/imbalance cols)."""
+
+    title: str
+    intensities: Tuple[float, ...]
+    columns: Tuple[Tuple[float, int], ...]
+    values: np.ndarray  # shape (len(intensities), len(columns))
+
+    def __post_init__(self) -> None:
+        expected = (len(self.intensities), len(self.columns))
+        if self.values.shape != expected:
+            raise ValueError(f"values must have shape {expected}, got {self.values.shape}")
+
+    def column_labels(self) -> Tuple[str, ...]:
+        """Labels matching the paper's figure columns."""
+        return tuple(
+            KernelConfig.grid_column_label(w, m) for (w, m) in self.columns
+        )
+
+    def cell(self, intensity: float, waiting: float, imbalance: int) -> float:
+        """One cell by its paper coordinates."""
+        try:
+            r = self.intensities.index(intensity)
+            c = self.columns.index((waiting, imbalance))
+        except ValueError:
+            raise KeyError(
+                f"no cell intensity={intensity} waiting={waiting} imbalance={imbalance}"
+            ) from None
+        return float(self.values[r, c])
+
+
+def monitor_power_for_config(
+    config: KernelConfig,
+    cluster: Cluster,
+    node_ids: Sequence[int],
+    model: Optional[ExecutionModel] = None,
+    epochs: int = 5,
+) -> float:
+    """Mean node power of one configuration, via a monitor-agent run.
+
+    Runs the runtime controller with the monitor agent (no limit changes)
+    over ``epochs`` iterations on the given test nodes and averages the
+    per-host mean powers from the resulting GEOPM-style report — exactly
+    the paper's measurement procedure.
+    """
+    ids = np.asarray(node_ids, dtype=int)
+    job = Job(name=f"characterize-{config.label()}", config=config,
+              node_count=int(ids.size), iterations=epochs)
+    controller = Controller(
+        job=job,
+        efficiencies=cluster.efficiencies[ids],
+        agent=MonitorAgent(),
+        model=model,
+    )
+    report = controller.run(max_epochs=epochs, min_epochs=epochs)
+    return float(np.mean(report.mean_power_w()))
+
+
+def monitor_heatmap(
+    cluster: Cluster,
+    node_ids: Sequence[int],
+    vector: VectorWidth = VectorWidth.YMM,
+    intensities: Sequence[float] = DEFAULT_HEATMAP_INTENSITIES,
+    columns: Sequence[Tuple[float, int]] = WAITING_IMBALANCE_GRID,
+    model: Optional[ExecutionModel] = None,
+    precision: Precision = Precision.DOUBLE,
+) -> HeatmapGrid:
+    """The full Fig. 4 grid via the analytic steady state (fast path).
+
+    Cell value = mean over the test nodes of each node's time-averaged
+    power in an unconstrained run.  Uses the characterization math from
+    :func:`repro.characterization.mix_characterization.characterize_mix`
+    on single-job mixes, so the fast path and the controller path share
+    one physics implementation.
+    """
+    from repro.characterization.mix_characterization import characterize_mix
+    from repro.workload.job import WorkloadMix
+
+    model = model if model is not None else ExecutionModel()
+    ids = np.asarray(node_ids, dtype=int)
+    eff = cluster.efficiencies[ids]
+    values = np.empty((len(intensities), len(columns)))
+    for r, intensity in enumerate(intensities):
+        for c, (waiting, imbalance) in enumerate(columns):
+            config = KernelConfig(
+                intensity=intensity,
+                vector=vector,
+                precision=precision,
+                waiting_fraction=waiting,
+                imbalance=imbalance,
+            )
+            job = Job(name="cell", config=config, node_count=int(ids.size))
+            mix = WorkloadMix(name="cell", jobs=(job,))
+            char = characterize_mix(mix, eff, model)
+            values[r, c] = float(np.mean(char.monitor_power_w))
+    return HeatmapGrid(
+        title=f"Uncapped CPU power per node ({vector.value}, monitor agent)",
+        intensities=tuple(intensities),
+        columns=tuple(columns),
+        values=values,
+    )

@@ -1,0 +1,220 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Five subcommands covering the workflows a site operator runs:
+
+``survey``
+    The Fig. 6 hardware-variation survey: cluster sizes and bands.
+``characterize``
+    Characterize one mix (Figs. 4-5 data) and optionally save the JSON
+    artefact for later planning.
+``budgets``
+    Table III for one or all mixes, from a fresh or saved
+    characterization.
+``grid``
+    The full policy x mix x budget evaluation (Figs. 7-8), with CSV
+    export.
+``facility``
+    The Fig. 1 facility-trace statistics.
+
+Every command accepts ``--scale`` (nodes per job; 100 = paper scale) so
+the same invocations work on a laptop and at full size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.render import render_table
+from repro.experiments.grid import ExperimentConfig, ExperimentGrid
+from repro.experiments.metrics import savings_grid
+from repro.experiments.takeaways import check_takeaways
+from repro.workload.mixes import MIX_NAMES
+
+__all__ = ["main", "build_parser"]
+
+
+def _make_config(args: argparse.Namespace) -> ExperimentConfig:
+    if args.scale >= 100:
+        return ExperimentConfig(nodes_per_job=args.scale,
+                                survey_nodes=max(2000, 25 * args.scale))
+    return ExperimentConfig.small(nodes_per_job=args.scale)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Unified power-management stack reproduction "
+                    "(Wilson et al., IPDPS-W 2021)",
+    )
+    parser.add_argument("--scale", type=int, default=10, metavar="NODES",
+                        help="nodes per job (100 = paper scale; default 10)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("survey", help="Fig. 6 hardware-variation survey")
+
+    p_char = sub.add_parser("characterize",
+                            help="characterize a mix (Figs. 4-5 data)")
+    p_char.add_argument("mix", choices=MIX_NAMES)
+    p_char.add_argument("--save", metavar="PATH",
+                        help="write the characterization JSON here")
+
+    p_budget = sub.add_parser("budgets", help="Table III budgets")
+    p_budget.add_argument("mix", nargs="?", choices=MIX_NAMES,
+                          help="one mix (default: all)")
+
+    p_grid = sub.add_parser("grid", help="full evaluation grid (Figs. 7-8)")
+    p_grid.add_argument("--mix", action="append", choices=MIX_NAMES,
+                        dest="mixes", help="restrict to a mix (repeatable)")
+    p_grid.add_argument("--csv", metavar="PATH",
+                        help="export the cell summaries as CSV")
+    p_grid.add_argument("--check", action="store_true",
+                        help="also run the takeaway checks")
+
+    sub.add_parser("facility", help="Fig. 1 facility-trace statistics")
+
+    p_report = sub.add_parser(
+        "report", help="full reproduction report (all tables + checks)"
+    )
+    p_report.add_argument("-o", "--output", metavar="PATH",
+                          help="write Markdown here (default: stdout)")
+
+    p_figs = sub.add_parser("figures", help="render the figures as SVG files")
+    p_figs.add_argument("-o", "--output", metavar="DIR", default="figures",
+                        help="output directory (default: ./figures)")
+    return parser
+
+
+def _cmd_survey(grid: ExperimentGrid) -> int:
+    survey = grid.survey
+    rows = []
+    for name in ("low", "medium", "high"):
+        freqs = survey.frequencies_ghz[survey.cluster_node_ids(name)]
+        rows.append([name, freqs.size, f"{freqs.mean():.2f}",
+                     f"{freqs.min():.2f}-{freqs.max():.2f}"])
+    print(render_table(["cluster", "nodes", "mean GHz", "range GHz"], rows,
+                       title=f"Variation survey ({grid.config.survey_nodes} "
+                             f"nodes @ {grid.config.survey_cap_w:.0f} W caps)"))
+    return 0
+
+
+def _cmd_characterize(grid: ExperimentGrid, mix: str, save: Optional[str]) -> int:
+    prepared = grid.prepare_mix(mix)
+    char = prepared.characterization
+    rows = []
+    for j in range(char.job_count):
+        block = char.job_slice(j)
+        rows.append([
+            prepared.scheduled.mix.jobs[j].name.split("-", 2)[-1],
+            f"{float(np.mean(char.monitor_power_w[block])):.0f}",
+            f"{float(np.mean(char.needed_power_w[block])):.0f}",
+            f"{float(np.mean(char.waste_w()[block])):.0f}",
+        ])
+    print(render_table(
+        ["job", "observed W/node", "needed W/node", "waste W/node"], rows,
+        title=f"Characterization of {mix} ({char.host_count} hosts)",
+    ))
+    if save:
+        from repro.io.serialize import save_characterization
+
+        path = save_characterization(char, save)
+        print(f"\nSaved characterization to {path}")
+    return 0
+
+
+def _cmd_budgets(grid: ExperimentGrid, mix: Optional[str]) -> int:
+    from repro.experiments.tables import table3_budgets
+
+    rows = [
+        [r["mix"], r["min_kw"], r["ideal_kw"], r["max_kw"], r["total_tdp_kw"]]
+        for r in table3_budgets(grid)
+        if mix is None or r["mix"] == mix
+    ]
+    print(render_table(["mix", "min kW", "ideal kW", "max kW", "TDP kW"], rows,
+                       title="Power budgets (Table III)"))
+    return 0
+
+
+def _cmd_grid(grid: ExperimentGrid, mixes: Optional[List[str]],
+              csv: Optional[str], check: bool) -> int:
+    results = grid.run_all(mixes=mixes)
+    savings = savings_grid(results)
+    rows = []
+    for (mix, level, policy) in sorted(savings):
+        s = savings[(mix, level, policy)]
+        rows.append([
+            mix, level, policy,
+            f"{100 * s.time_savings.mean:+.1f}%",
+            f"{100 * s.energy_savings.mean:+.1f}%",
+        ])
+    print(render_table(
+        ["mix", "budget", "policy", "time savings", "energy savings"], rows,
+        title="Savings vs StaticCaps (Fig. 8)",
+    ))
+    if csv:
+        from repro.io.serialize import save_grid_results
+
+        path = save_grid_results(results, csv)
+        print(f"\nWrote cell summaries to {path}")
+    if check:
+        if mixes is not None and set(mixes) != set(MIX_NAMES):
+            print("\n(takeaway checks need the full mix set; skipping)")
+        else:
+            report = check_takeaways(results)
+            print()
+            for name, ok in report.checks.items():
+                print(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+            if not report.all_hold():
+                return 1
+    return 0
+
+
+def _cmd_facility() -> int:
+    from repro.workload.facility import generate_facility_trace
+
+    stats = generate_facility_trace().statistics()
+    rows = [[k, f"{v:.3f}"] for k, v in stats.items()]
+    print(render_table(["statistic", "value"], rows,
+                       title="Facility trace statistics (Fig. 1)"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "facility":
+        return _cmd_facility()
+    grid = ExperimentGrid(_make_config(args))
+    if args.command == "survey":
+        return _cmd_survey(grid)
+    if args.command == "characterize":
+        return _cmd_characterize(grid, args.mix, args.save)
+    if args.command == "budgets":
+        return _cmd_budgets(grid, args.mix)
+    if args.command == "grid":
+        return _cmd_grid(grid, args.mixes, args.csv, args.check)
+    if args.command == "report":
+        from repro.experiments.report import build_report, write_report
+
+        if args.output:
+            path = write_report(grid, args.output)
+            print(f"Wrote report to {path}")
+        else:
+            print(build_report(grid))
+        return 0
+    if args.command == "figures":
+        from repro.experiments.svg_figures import render_all_figures
+
+        written = render_all_figures(grid, args.output)
+        for name in sorted(written):
+            print(f"{name}: {written[name]}")
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

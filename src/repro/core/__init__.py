@@ -1,0 +1,51 @@
+"""The paper's contribution: system-wide power management policies.
+
+Five policies with increasing visibility (paper §III):
+
+=====================  =====================  ==============================
+Policy                 System-power aware     Application-performance aware
+=====================  =====================  ==============================
+``Precharacterized``   no                     no (static per-job cap)
+``StaticCaps``         yes (uniform)          no
+``MinimizeWaste``      yes                    no (observed power only)
+``JobAdaptive``        no (per-job silo)      yes
+``MixedAdaptive``      yes                    yes — the proposed policy
+=====================  =====================  ==============================
+
+Every policy is a pure function from (mix characterization, system budget)
+to per-host node power caps — see :class:`~repro.core.policy.Policy` — so
+they are deterministic, unit-testable, and directly comparable.  Shared
+water-filling/redistribution arithmetic lives in :mod:`repro.core.allocation`.
+"""
+
+from repro.core.allocation import (
+    PowerAllocation,
+    distribute_uniform,
+    distribute_weighted,
+    fit_to_budget,
+)
+from repro.core.policy import Policy
+from repro.core.static_caps import StaticCapsPolicy
+from repro.core.precharacterized import PrecharacterizedPolicy
+from repro.core.minimize_waste import MinimizeWastePolicy
+from repro.core.job_adaptive import JobAdaptivePolicy
+from repro.core.mixed_adaptive import MixedAdaptivePolicy
+from repro.core.frequency_capped import FrequencyCappedPolicy
+from repro.core.registry import POLICY_NAMES, create_policy, default_policies
+
+__all__ = [
+    "PowerAllocation",
+    "distribute_uniform",
+    "distribute_weighted",
+    "fit_to_budget",
+    "Policy",
+    "StaticCapsPolicy",
+    "PrecharacterizedPolicy",
+    "MinimizeWastePolicy",
+    "JobAdaptivePolicy",
+    "MixedAdaptivePolicy",
+    "FrequencyCappedPolicy",
+    "POLICY_NAMES",
+    "create_policy",
+    "default_policies",
+]

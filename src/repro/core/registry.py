@@ -1,0 +1,48 @@
+"""Policy registry: name-based construction and the canonical ordering.
+
+The canonical order matches the paper's legends (Figs. 7-8):
+Precharacterized, StaticCaps, MinimizeWaste, JobAdaptive, MixedAdaptive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Type
+
+from repro.core.policy import Policy
+from repro.core.precharacterized import PrecharacterizedPolicy
+from repro.core.static_caps import StaticCapsPolicy
+from repro.core.minimize_waste import MinimizeWastePolicy
+from repro.core.job_adaptive import JobAdaptivePolicy
+from repro.core.mixed_adaptive import MixedAdaptivePolicy
+
+__all__ = ["POLICY_NAMES", "POLICY_CLASSES", "create_policy", "default_policies"]
+
+#: Paper legend order.
+POLICY_NAMES: Tuple[str, ...] = (
+    "Precharacterized",
+    "StaticCaps",
+    "MinimizeWaste",
+    "JobAdaptive",
+    "MixedAdaptive",
+)
+
+POLICY_CLASSES: Dict[str, Type[Policy]] = {
+    PrecharacterizedPolicy.name: PrecharacterizedPolicy,
+    StaticCapsPolicy.name: StaticCapsPolicy,
+    MinimizeWastePolicy.name: MinimizeWastePolicy,
+    JobAdaptivePolicy.name: JobAdaptivePolicy,
+    MixedAdaptivePolicy.name: MixedAdaptivePolicy,
+}
+
+
+def create_policy(name: str) -> Policy:
+    """Instantiate one policy by its paper name."""
+    try:
+        return POLICY_CLASSES[name]()
+    except KeyError:
+        raise KeyError(f"unknown policy {name!r}; expected one of {POLICY_NAMES}") from None
+
+
+def default_policies() -> List[Policy]:
+    """All five policies in the paper's legend order."""
+    return [create_policy(name) for name in POLICY_NAMES]

@@ -1,0 +1,97 @@
+"""Experiment harness: the paper's full evaluation grid and its artefacts.
+
+* :mod:`repro.experiments.grid` — builds the test environment (survey ->
+  medium partition -> scheduler), characterizes every mix, derives Table
+  III budgets, and runs the policy x mix x budget grid of Figs. 7-8.
+* :mod:`repro.experiments.metrics` — savings-vs-StaticCaps metrics with
+  95 % CIs (the four Fig. 8 rows).
+* :mod:`repro.experiments.figures` — data builders for every figure
+  (Figs. 1-8).
+* :mod:`repro.experiments.tables` — data builders for Tables I-III.
+* :mod:`repro.experiments.takeaways` — machine-checked versions of the
+  paper's four takeaways and lettered markers.
+* :mod:`repro.experiments.ablations` — design-choice ablations beyond the
+  paper (harvest fraction, step-4 weighting, characterization noise).
+"""
+
+from repro.experiments.grid import (
+    ExperimentConfig,
+    ExperimentGrid,
+    GridResults,
+    PreparedMix,
+    CellResult,
+)
+from repro.experiments.metrics import PolicySavings, savings_vs_baseline, BUDGET_LEVELS
+from repro.experiments.figures import (
+    fig1_facility_data,
+    fig2_phase_timeline,
+    fig3_roofline_data,
+    fig4_monitor_heatmap,
+    fig5_balancer_heatmap,
+    fig6_survey_data,
+    fig7_power_utilization,
+    fig8_savings_grid,
+)
+from repro.experiments.tables import table1_system_properties, table2_mixes, table3_budgets
+from repro.experiments.takeaways import check_takeaways, TakeawayReport
+from repro.experiments.sensitivity import (
+    BudgetSweepPoint,
+    budget_sweep,
+    variation_sensitivity,
+)
+from repro.experiments.facility_integration import (
+    SessionSegment,
+    SessionTrace,
+    simulate_session,
+)
+from repro.experiments.report import build_report, write_report
+from repro.experiments.robustness import (
+    TournamentResult,
+    TournamentRound,
+    policy_tournament,
+)
+from repro.experiments.provisioning import (
+    ProvisioningCurve,
+    ProvisioningPoint,
+    overprovisioning_curve,
+)
+from repro.experiments.svg_figures import render_all_figures
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentGrid",
+    "GridResults",
+    "PreparedMix",
+    "CellResult",
+    "PolicySavings",
+    "savings_vs_baseline",
+    "BUDGET_LEVELS",
+    "fig1_facility_data",
+    "fig2_phase_timeline",
+    "fig3_roofline_data",
+    "fig4_monitor_heatmap",
+    "fig5_balancer_heatmap",
+    "fig6_survey_data",
+    "fig7_power_utilization",
+    "fig8_savings_grid",
+    "table1_system_properties",
+    "table2_mixes",
+    "table3_budgets",
+    "check_takeaways",
+    "TakeawayReport",
+    "BudgetSweepPoint",
+    "budget_sweep",
+    "variation_sensitivity",
+    "SessionSegment",
+    "SessionTrace",
+    "simulate_session",
+    "build_report",
+    "write_report",
+    "TournamentResult",
+    "TournamentRound",
+    "policy_tournament",
+    "ProvisioningCurve",
+    "ProvisioningPoint",
+    "overprovisioning_curve",
+    "render_all_figures",
+]

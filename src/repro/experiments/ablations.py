@@ -1,0 +1,225 @@
+"""Design-choice ablations beyond the paper's headline grid.
+
+Three studies that probe the design decisions DESIGN.md calls out:
+
+* :func:`harvest_fraction_sweep` — how much of MixedAdaptive's benefit
+  depends on the balancer's aggressiveness (the paper's balancer is
+  conservative; an idealised one harvests all slack).
+* :func:`step4_weighting_ablation` — MixedAdaptive with step 4's weighted
+  surplus distribution replaced by a uniform spread, isolating the value
+  of the "distance from the minimum settable power" weighting.
+* :func:`characterization_noise_sweep` — robustness of the policies to
+  error in the pre-characterization data (the paper's §VIII notes the
+  pre-characterization emulates an execution-time feedback loop; noisy
+  characterization approximates an imperfect one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.characterization.budgets import derive_budgets
+from repro.characterization.mix_characterization import (
+    MixCharacterization,
+    characterize_mix,
+)
+from repro.core.allocation import PowerAllocation, distribute_uniform
+from repro.core.mixed_adaptive import MixedAdaptivePolicy
+from repro.core.registry import create_policy
+from repro.experiments.grid import ExperimentConfig, ExperimentGrid
+from repro.experiments.metrics import savings_vs_baseline
+from repro.manager.power_manager import PowerManager
+from repro.sim.execution import SimulationOptions
+
+__all__ = [
+    "AblationPoint",
+    "harvest_fraction_sweep",
+    "MixedAdaptiveUniformSurplus",
+    "step4_weighting_ablation",
+    "characterization_noise_sweep",
+]
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    """One ablation sample: a parameter value and the savings it yields."""
+
+    parameter: str
+    value: float
+    mix_name: str
+    budget_level: str
+    time_savings_pct: float
+    energy_savings_pct: float
+
+
+def _run_policy_pair(
+    grid: ExperimentGrid,
+    mix_name: str,
+    budget_level: str,
+    char: MixCharacterization,
+    policy_name: str = "MixedAdaptive",
+) -> Tuple[float, float]:
+    """(time, energy) savings of a policy vs StaticCaps for one cell,
+    using ``char`` as the characterization both policies see."""
+    prepared = grid.prepare_mix(mix_name)
+    budgets = derive_budgets(char)
+    budget = budgets.by_level()[budget_level]
+    manager = PowerManager(grid.model)
+    options = SimulationOptions(noise_std=grid.config.noise_std, seed=17)
+    base = manager.launch(
+        prepared.scheduled, create_policy("StaticCaps"), budget,
+        characterization=char, options=options,
+    )
+    policy = (
+        MixedAdaptiveUniformSurplus()
+        if policy_name == "MixedAdaptiveUniformSurplus"
+        else create_policy(policy_name)
+    )
+    run = manager.launch(
+        prepared.scheduled, policy, budget,
+        characterization=char, options=options,
+    )
+    s = savings_vs_baseline(run.result, base.result)
+    return 100.0 * s.time_savings.mean, 100.0 * s.energy_savings.mean
+
+
+def harvest_fraction_sweep(
+    grid: ExperimentGrid,
+    mix_name: str = "WastefulPower",
+    budget_level: str = "max",
+    fractions: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
+) -> List[AblationPoint]:
+    """Sweep the balancer harvest fraction and record MixedAdaptive savings.
+
+    A more aggressive balancer (larger fraction) exposes more recoverable
+    waste, so energy savings should grow monotonically with the fraction —
+    the sweep quantifies how much of the paper's 11 % headline depends on
+    balancer tuning.
+    """
+    prepared = grid.prepare_mix(mix_name)
+    points: List[AblationPoint] = []
+    for fraction in fractions:
+        char = characterize_mix(
+            prepared.scheduled.mix,
+            prepared.scheduled.efficiencies,
+            grid.model,
+            harvest_fraction=fraction,
+        )
+        t, e = _run_policy_pair(grid, mix_name, budget_level, char)
+        points.append(
+            AblationPoint(
+                parameter="harvest_fraction",
+                value=float(fraction),
+                mix_name=mix_name,
+                budget_level=budget_level,
+                time_savings_pct=t,
+                energy_savings_pct=e,
+            )
+        )
+    return points
+
+
+class MixedAdaptiveUniformSurplus(MixedAdaptivePolicy):
+    """MixedAdaptive with step 4's weighting removed (uniform surplus).
+
+    Isolates the contribution of the paper's "distance from the host's
+    minimum settable power limit" weighting: with a uniform spread,
+    surplus power lands equally on hosts that cannot use it and hosts that
+    can.
+    """
+
+    name = "MixedAdaptiveUniformSurplus"
+
+    def _allocate(self, char: MixCharacterization, budget_w: float) -> PowerAllocation:
+        base = super()._allocate(char, budget_w)
+        # Recompute steps 1-3, then spread the remaining pool uniformly.
+        floor = char.min_cap_w
+        needed = np.maximum(char.needed_cap_w, floor)
+        uniform = self.uniform_share(char, budget_w)
+        alloc = np.minimum(np.full(char.host_count, uniform), needed)
+        pool = budget_w - float(np.sum(alloc))
+        alloc, pool = distribute_uniform(pool, alloc, needed)
+        bounds = np.full(char.host_count, char.tdp_w)
+        alloc, leftover = distribute_uniform(pool, alloc, bounds)
+        return PowerAllocation(
+            policy_name=self.name,
+            mix_name=char.mix_name,
+            budget_w=budget_w,
+            caps_w=alloc,
+            unallocated_w=leftover,
+            notes=dict(base.notes),
+        )
+
+
+def step4_weighting_ablation(
+    grid: ExperimentGrid,
+    mix_name: str = "WastefulPower",
+    levels: Sequence[str] = ("min", "ideal", "max"),
+) -> Dict[str, Dict[str, Tuple[float, float]]]:
+    """Weighted vs uniform step-4 surplus distribution, per budget level.
+
+    Returns ``{level: {variant: (time %, energy %)}}``.
+    """
+    prepared = grid.prepare_mix(mix_name)
+    char = prepared.characterization
+    out: Dict[str, Dict[str, Tuple[float, float]]] = {}
+    for level in levels:
+        out[level] = {
+            "weighted": _run_policy_pair(grid, mix_name, level, char, "MixedAdaptive"),
+            "uniform": _run_policy_pair(
+                grid, mix_name, level, char, "MixedAdaptiveUniformSurplus"
+            ),
+        }
+    return out
+
+
+def characterization_noise_sweep(
+    grid: ExperimentGrid,
+    mix_name: str = "RandomLarge",
+    budget_level: str = "ideal",
+    noise_levels: Sequence[float] = (0.0, 0.02, 0.05, 0.10),
+    seed: int = 5,
+) -> List[AblationPoint]:
+    """Perturb the characterization data and measure savings degradation.
+
+    Multiplicative lognormal noise on both the monitor and needed powers
+    models stale or under-sampled characterization runs.  The budgets are
+    re-derived from the *noisy* data (as a real site would), so the study
+    captures end-to-end sensitivity.
+    """
+    prepared = grid.prepare_mix(mix_name)
+    clean = prepared.characterization
+    rng = np.random.default_rng(seed)
+    points: List[AblationPoint] = []
+    for noise in noise_levels:
+        if noise == 0.0:
+            char = clean
+        else:
+            factor_m = rng.lognormal(0.0, noise, size=clean.host_count)
+            factor_n = rng.lognormal(0.0, noise, size=clean.host_count)
+            monitor = clean.monitor_power_w * factor_m
+            needed = np.minimum(clean.needed_power_w * factor_n, monitor)
+            char = MixCharacterization(
+                mix_name=clean.mix_name,
+                job_boundaries=clean.job_boundaries,
+                monitor_power_w=monitor,
+                needed_power_w=needed,
+                needed_cap_w=np.clip(needed, clean.min_cap_w, clean.tdp_w),
+                min_cap_w=clean.min_cap_w,
+                tdp_w=clean.tdp_w,
+            )
+        t, e = _run_policy_pair(grid, mix_name, budget_level, char)
+        points.append(
+            AblationPoint(
+                parameter="characterization_noise",
+                value=float(noise),
+                mix_name=mix_name,
+                budget_level=budget_level,
+                time_savings_pct=t,
+                energy_savings_pct=e,
+            )
+        )
+    return points

@@ -1,0 +1,279 @@
+"""The evaluation grid: policy x mix x budget, as in the paper's §V-§VI.
+
+:class:`ExperimentGrid` reproduces the paper's experimental procedure end
+to end:
+
+1. instantiate a cluster and run the Fig. 6 variation survey;
+2. carve out the medium-frequency partition (the paper's 918 nodes);
+3. build the six Table II mixes and schedule them onto the partition;
+4. pre-characterize each mix (monitor + balancer runs);
+5. derive the three Table III budgets per mix;
+6. run every (policy, budget) cell through the resource manager.
+
+The ``scale`` parameter shrinks nodes-per-job (and the survey) for tests
+and laptop runs; all derived quantities (budgets, savings) are per-node
+normalised, so shapes are scale-stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.characterization.budgets import PowerBudgets, derive_budgets
+from repro.characterization.clustering import FrequencySurvey, survey_and_cluster
+from repro.characterization.mix_characterization import (
+    DEFAULT_HARVEST_FRACTION,
+    MixCharacterization,
+    characterize_mix,
+)
+from repro.core.policy import Policy
+from repro.core.registry import POLICY_NAMES, create_policy
+from repro.hardware.cluster import Cluster
+from repro.manager.power_manager import ManagedRun, PowerManager
+from repro.manager.scheduler import ScheduledMix, Scheduler
+from repro.sim.engine import ExecutionModel
+from repro.sim.execution import SimulationOptions
+from repro.workload.mixes import MIX_NAMES, MixBuilder
+
+__all__ = [
+    "ExperimentConfig",
+    "PreparedMix",
+    "CellResult",
+    "GridResults",
+    "ExperimentGrid",
+]
+
+#: Budget level names in presentation order.
+BUDGET_LEVELS: Tuple[str, ...] = ("min", "ideal", "max")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs of the full evaluation (paper defaults).
+
+    ``survey_nodes`` / ``nodes_per_job`` / ``jobs_per_mix`` / ``iterations``
+    default to the paper's 2 000 / 100 / 9 / 100.  Tests pass smaller
+    values; every public artefact normalises per node so the shapes match.
+    """
+
+    survey_nodes: int = 2000
+    nodes_per_job: int = 100
+    jobs_per_mix: int = 9
+    iterations: int = 100
+    survey_cap_w: float = 140.0
+    cluster_seed: int = 2021
+    schedule_seed: int = 11
+    noise_std: float = 0.008
+    run_seed: int = 7
+    harvest_fraction: float = DEFAULT_HARVEST_FRACTION
+    mixes: Tuple[str, ...] = MIX_NAMES
+    policies: Tuple[str, ...] = POLICY_NAMES
+
+    def __post_init__(self) -> None:
+        needed = self.nodes_per_job * self.jobs_per_mix
+        if self.survey_nodes < needed * 2:
+            raise ValueError(
+                f"survey of {self.survey_nodes} nodes cannot yield a medium "
+                f"partition of {needed} nodes (rule of thumb: survey >= 2x)"
+            )
+
+    @classmethod
+    def small(cls, nodes_per_job: int = 10, iterations: int = 30) -> "ExperimentConfig":
+        """A laptop/test-scale configuration with the same structure."""
+        # The medium cluster holds ~46 % of the survey population, so a
+        # 25x survey comfortably covers the 9-job partition.
+        return cls(
+            survey_nodes=max(25 * nodes_per_job, 250),
+            nodes_per_job=nodes_per_job,
+            iterations=iterations,
+        )
+
+
+@dataclass(frozen=True)
+class PreparedMix:
+    """A mix scheduled, characterized, and budgeted — ready to run."""
+
+    scheduled: ScheduledMix
+    characterization: MixCharacterization
+    budgets: PowerBudgets
+
+    @property
+    def name(self) -> str:
+        """Mix name."""
+        return self.scheduled.mix.name
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One grid cell: a policy run at one budget level on one mix."""
+
+    mix_name: str
+    budget_level: str
+    policy_name: str
+    run: ManagedRun
+
+    def row(self) -> Dict[str, object]:
+        """Flat export row (CSV-friendly)."""
+        summary = self.run.result.summary()
+        return {
+            "mix": self.mix_name,
+            "budget_level": self.budget_level,
+            "policy": self.policy_name,
+            **summary,
+            "allocated_w": self.run.allocation.total_allocated_w,
+            "unallocated_w": self.run.allocation.unallocated_w,
+        }
+
+
+@dataclass
+class GridResults:
+    """All grid cells plus the prepared inputs that produced them."""
+
+    config: ExperimentConfig
+    survey: FrequencySurvey
+    prepared: Dict[str, PreparedMix]
+    cells: Dict[Tuple[str, str, str], CellResult] = field(default_factory=dict)
+
+    def cell(self, mix: str, level: str, policy: str) -> CellResult:
+        """Look up one cell by (mix, budget level, policy)."""
+        try:
+            return self.cells[(mix, level, policy)]
+        except KeyError:
+            raise KeyError(
+                f"no cell ({mix!r}, {level!r}, {policy!r}); ran "
+                f"{sorted(set(k[0] for k in self.cells))} x "
+                f"{sorted(set(k[1] for k in self.cells))} x "
+                f"{sorted(set(k[2] for k in self.cells))}"
+            ) from None
+
+    def rows(self) -> List[Dict[str, object]]:
+        """All cells as flat export rows, in deterministic order."""
+        ordered = sorted(self.cells)
+        return [self.cells[key].row() for key in ordered]
+
+
+class ExperimentGrid:
+    """Builds the environment and runs the evaluation grid."""
+
+    def __init__(self, config: ExperimentConfig = ExperimentConfig(),
+                 model: Optional[ExecutionModel] = None) -> None:
+        self.config = config
+        self.model = model if model is not None else ExecutionModel()
+        self._survey: Optional[FrequencySurvey] = None
+        self._partition: Optional[Cluster] = None
+        self._prepared: Dict[str, PreparedMix] = {}
+
+    # ------------------------------------------------------------------
+    # environment
+    # ------------------------------------------------------------------
+    @property
+    def survey(self) -> FrequencySurvey:
+        """The Fig. 6 survey over the full cluster population (cached)."""
+        if self._survey is None:
+            population = Cluster(
+                node_count=self.config.survey_nodes, seed=self.config.cluster_seed
+            )
+            self._survey = survey_and_cluster(
+                population, cap_w=self.config.survey_cap_w, model=self.model
+            )
+            self._population = population
+        return self._survey
+
+    @property
+    def partition(self) -> Cluster:
+        """The medium-frequency partition used for all experiments."""
+        if self._partition is None:
+            survey = self.survey
+            medium_ids = survey.cluster_node_ids("medium")
+            needed = self.config.nodes_per_job * self.config.jobs_per_mix
+            if medium_ids.size < needed:
+                raise RuntimeError(
+                    f"medium cluster has {medium_ids.size} nodes; "
+                    f"{needed} required"
+                )
+            self._partition = self._population.subset(medium_ids)
+        return self._partition
+
+    # ------------------------------------------------------------------
+    # preparation
+    # ------------------------------------------------------------------
+    def prepare_mix(self, mix_name: str) -> PreparedMix:
+        """Schedule, characterize, and budget one mix (cached)."""
+        if mix_name not in self._prepared:
+            builder = MixBuilder(
+                nodes_per_job=self.config.nodes_per_job,
+                jobs_per_mix=self.config.jobs_per_mix,
+                iterations=self.config.iterations,
+            )
+            mix = builder.build(mix_name)
+            scheduler = Scheduler(self.partition, shuffle_seed=self.config.schedule_seed)
+            scheduled = scheduler.allocate(mix)
+            char = characterize_mix(
+                mix,
+                scheduled.efficiencies,
+                self.model,
+                harvest_fraction=self.config.harvest_fraction,
+            )
+            budgets = derive_budgets(char)
+            self._prepared[mix_name] = PreparedMix(
+                scheduled=scheduled, characterization=char, budgets=budgets
+            )
+        return self._prepared[mix_name]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run_cell(self, mix_name: str, budget_level: str, policy_name: str) -> CellResult:
+        """Run one (mix, budget, policy) cell."""
+        if budget_level not in BUDGET_LEVELS:
+            raise ValueError(f"budget_level must be one of {BUDGET_LEVELS}")
+        prepared = self.prepare_mix(mix_name)
+        budget_w = prepared.budgets.by_level()[budget_level]
+        policy = create_policy(policy_name)
+        manager = PowerManager(self.model)
+        # One seed per cell, derived via a stable digest (Python's hash()
+        # is salted per process), so noise differs across cells but every
+        # rerun of the grid is bit-identical.
+        import zlib
+
+        cell_tag = f"{self.config.run_seed}/{mix_name}/{budget_level}/{policy_name}"
+        seed = zlib.crc32(cell_tag.encode("utf-8"))
+        options = SimulationOptions(noise_std=self.config.noise_std, seed=seed)
+        run = manager.launch(
+            prepared.scheduled,
+            policy,
+            budget_w,
+            characterization=prepared.characterization,
+            options=options,
+        )
+        return CellResult(
+            mix_name=mix_name,
+            budget_level=budget_level,
+            policy_name=policy_name,
+            run=run,
+        )
+
+    def run_all(
+        self,
+        mixes: Optional[Sequence[str]] = None,
+        levels: Sequence[str] = BUDGET_LEVELS,
+        policies: Optional[Sequence[str]] = None,
+    ) -> GridResults:
+        """Run the full grid (or a sub-grid) and collect results."""
+        mixes = list(mixes if mixes is not None else self.config.mixes)
+        policies = list(policies if policies is not None else self.config.policies)
+        results = GridResults(
+            config=self.config,
+            survey=self.survey,
+            prepared={name: self.prepare_mix(name) for name in mixes},
+        )
+        for mix_name in mixes:
+            for level in levels:
+                for policy_name in policies:
+                    results.cells[(mix_name, level, policy_name)] = self.run_cell(
+                        mix_name, level, policy_name
+                    )
+        return results

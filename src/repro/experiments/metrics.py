@@ -1,0 +1,148 @@
+"""Savings metrics relative to the StaticCaps baseline (Fig. 8 rows).
+
+"All metrics are reported as a percent improvement from the StaticCaps
+policy" (paper §VI-B), with 95 % confidence intervals over the 100
+measured iterations.  Four metrics:
+
+* **time savings** — reduction in mean job elapsed time;
+* **energy savings** — reduction in total CPU energy;
+* **EDP savings** — reduction in energy-delay product;
+* **FLOPS/W increase** — gain in retired FLOPs per watt.
+
+Confidence intervals are computed on per-iteration ratios: iteration ``i``
+of the policy run is matched with iteration ``i`` of the baseline run and
+the savings of each pair forms the sample set.  Iteration counts always
+match (same mix), so the pairing is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.analysis.stats import ConfidenceInterval, mean_ci95
+from repro.experiments.grid import BUDGET_LEVELS, CellResult, GridResults
+from repro.sim.results import MixRunResult
+
+__all__ = ["BUDGET_LEVELS", "PolicySavings", "savings_vs_baseline", "savings_grid"]
+
+#: Fig. 8 metric row names in presentation order.
+METRIC_NAMES: Tuple[str, ...] = (
+    "time_savings",
+    "energy_savings",
+    "edp_savings",
+    "flops_per_watt_increase",
+)
+
+
+@dataclass(frozen=True)
+class PolicySavings:
+    """One policy's Fig. 8 metrics against the baseline, with CIs."""
+
+    mix_name: str
+    budget_level: str
+    policy_name: str
+    time_savings: ConfidenceInterval
+    energy_savings: ConfidenceInterval
+    edp_savings: ConfidenceInterval
+    flops_per_watt_increase: ConfidenceInterval
+
+    def by_metric(self) -> Dict[str, ConfidenceInterval]:
+        """Metrics keyed by Fig. 8 row name."""
+        return {
+            "time_savings": self.time_savings,
+            "energy_savings": self.energy_savings,
+            "edp_savings": self.edp_savings,
+            "flops_per_watt_increase": self.flops_per_watt_increase,
+        }
+
+    def row(self) -> Dict[str, object]:
+        """Flat export row (percent units)."""
+        out: Dict[str, object] = {
+            "mix": self.mix_name,
+            "budget_level": self.budget_level,
+            "policy": self.policy_name,
+        }
+        for name, ci in self.by_metric().items():
+            out[f"{name}_pct"] = 100.0 * ci.mean
+            out[f"{name}_ci95_pct"] = 100.0 * ci.half_width
+        return out
+
+
+def _iteration_mean_times(result: MixRunResult) -> np.ndarray:
+    """Per-iteration mean-over-jobs elapsed time."""
+    return result.iteration_times_s.mean(axis=1)
+
+
+def savings_vs_baseline(policy: MixRunResult, baseline: MixRunResult) -> PolicySavings:
+    """Compute the four Fig. 8 metrics of ``policy`` against ``baseline``.
+
+    Both runs must come from the same mix (same jobs, same iteration
+    count); the baseline is normally the StaticCaps run at the same
+    budget.
+    """
+    if policy.job_names != baseline.job_names:
+        raise ValueError(
+            "policy and baseline runs are from different mixes: "
+            f"{policy.job_names} vs {baseline.job_names}"
+        )
+    if policy.iteration_times_s.shape != baseline.iteration_times_s.shape:
+        raise ValueError("policy and baseline iteration grids differ in shape")
+
+    t_pol = _iteration_mean_times(policy)
+    t_base = _iteration_mean_times(baseline)
+    e_pol = policy.iteration_energy_j
+    e_base = baseline.iteration_energy_j
+
+    time_savings = 1.0 - t_pol / t_base
+    energy_savings = 1.0 - e_pol / e_base
+    edp_savings = 1.0 - (e_pol * t_pol) / (e_base * t_base)
+    # FLOPs per iteration are identical across policies (work is fixed),
+    # so the FLOPS/W ratio per iteration reduces to the energy ratio per
+    # unit of work scaled by each run's FLOP count.
+    fpw_pol = policy.gflop_per_iteration / e_pol
+    fpw_base = baseline.gflop_per_iteration / e_base
+    flops_per_watt = fpw_pol / fpw_base - 1.0
+
+    return PolicySavings(
+        mix_name=policy.mix_name,
+        budget_level="",
+        policy_name=policy.policy_name,
+        time_savings=mean_ci95(time_savings),
+        energy_savings=mean_ci95(energy_savings),
+        edp_savings=mean_ci95(edp_savings),
+        flops_per_watt_increase=mean_ci95(flops_per_watt),
+    )
+
+
+def savings_grid(
+    results: GridResults,
+    baseline_policy: str = "StaticCaps",
+    policies: Tuple[str, ...] = ("MinimizeWaste", "JobAdaptive", "MixedAdaptive"),
+) -> Dict[Tuple[str, str, str], PolicySavings]:
+    """Fig. 8's full grid: savings per (mix, budget level, dynamic policy).
+
+    ``Precharacterized`` is omitted by default, as in the paper ("it is
+    unable to operate within the budgeted power in most cases").
+    """
+    out: Dict[Tuple[str, str, str], PolicySavings] = {}
+    mixes = sorted({key[0] for key in results.cells})
+    levels = [lvl for lvl in BUDGET_LEVELS if any(k[1] == lvl for k in results.cells)]
+    for mix in mixes:
+        for level in levels:
+            base = results.cell(mix, level, baseline_policy).run.result
+            for policy_name in policies:
+                cell = results.cell(mix, level, policy_name)
+                savings = savings_vs_baseline(cell.run.result, base)
+                out[(mix, level, policy_name)] = PolicySavings(
+                    mix_name=mix,
+                    budget_level=level,
+                    policy_name=policy_name,
+                    time_savings=savings.time_savings,
+                    energy_savings=savings.energy_savings,
+                    edp_savings=savings.edp_savings,
+                    flops_per_watt_increase=savings.flops_per_watt_increase,
+                )
+    return out

@@ -1,0 +1,145 @@
+"""Robustness study: policy rankings over randomised workload mixes.
+
+The paper evaluates six hand-constructed mixes.  A site's real schedule
+is a random draw from the workload population, so a natural question is
+how often each policy wins across *many* random mixes — whether the
+paper's conclusions are a property of its mix construction or of the
+policies.  :func:`policy_tournament` runs R random nine-job mixes
+(seeded shuffles of the full configuration catalog), scores the dynamic
+policies against StaticCaps at each mix's ideal budget, and tallies wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.characterization.budgets import derive_budgets
+from repro.characterization.mix_characterization import characterize_mix
+from repro.core.registry import create_policy
+from repro.experiments.metrics import savings_vs_baseline
+from repro.hardware.cluster import Cluster
+from repro.manager.power_manager import PowerManager
+from repro.manager.scheduler import Scheduler
+from repro.sim.engine import ExecutionModel
+from repro.sim.execution import SimulationOptions
+from repro.workload.mixes import MixBuilder
+
+__all__ = ["TournamentRound", "TournamentResult", "policy_tournament"]
+
+_POLICIES: Tuple[str, ...] = ("MinimizeWaste", "JobAdaptive", "MixedAdaptive")
+
+
+@dataclass(frozen=True)
+class TournamentRound:
+    """One random mix's outcomes (percent savings vs StaticCaps)."""
+
+    seed: int
+    budget_level: str
+    time_savings_pct: Dict[str, float]
+    energy_savings_pct: Dict[str, float]
+
+    def winner(self, metric: str = "time") -> str:
+        """The policy with the largest savings this round."""
+        table = (
+            self.time_savings_pct if metric == "time" else self.energy_savings_pct
+        )
+        return max(table, key=table.__getitem__)
+
+
+@dataclass(frozen=True)
+class TournamentResult:
+    """Aggregated tournament outcome."""
+
+    rounds: Tuple[TournamentRound, ...]
+
+    def win_counts(self, metric: str = "time") -> Dict[str, int]:
+        """Rounds won per policy (ties go to the listed order's first)."""
+        counts = {name: 0 for name in _POLICIES}
+        for rnd in self.rounds:
+            counts[rnd.winner(metric)] += 1
+        return counts
+
+    def mean_savings_pct(self, metric: str = "time") -> Dict[str, float]:
+        """Mean savings per policy across rounds."""
+        out = {}
+        for name in _POLICIES:
+            values = [
+                (rnd.time_savings_pct if metric == "time"
+                 else rnd.energy_savings_pct)[name]
+                for rnd in self.rounds
+            ]
+            out[name] = float(np.mean(values))
+        return out
+
+    def never_strictly_loses(self, policy: str, metric: str = "time",
+                             tolerance_pct: float = 0.5) -> bool:
+        """Whether ``policy`` is within tolerance of the round winner in
+        every round — the 'no-regret' property the paper claims for
+        MixedAdaptive."""
+        for rnd in self.rounds:
+            table = (
+                rnd.time_savings_pct if metric == "time"
+                else rnd.energy_savings_pct
+            )
+            best = max(table.values())
+            if table[policy] < best - tolerance_pct:
+                return False
+        return True
+
+
+def policy_tournament(
+    rounds: int = 10,
+    nodes_per_job: int = 10,
+    iterations: int = 30,
+    budget_level: str = "ideal",
+    cluster: Optional[Cluster] = None,
+    model: Optional[ExecutionModel] = None,
+    base_seed: int = 1000,
+) -> TournamentResult:
+    """Run the tournament over ``rounds`` random nine-job mixes."""
+    if rounds < 1:
+        raise ValueError("rounds must be positive")
+    model = model if model is not None else ExecutionModel()
+    if cluster is None:
+        cluster = Cluster(
+            node_count=max(2 * 9 * nodes_per_job, 120), variation=None, seed=3
+        )
+    manager = PowerManager(model)
+    results: List[TournamentRound] = []
+
+    for r in range(rounds):
+        seed = base_seed + r
+        builder = MixBuilder(
+            nodes_per_job=nodes_per_job, iterations=iterations, random_seed=seed
+        )
+        mix = builder.build("RandomLarge")
+        scheduled = Scheduler(cluster, shuffle_seed=seed).allocate(mix)
+        char = characterize_mix(mix, scheduled.efficiencies, model)
+        budget = derive_budgets(char).by_level()[budget_level]
+        options = SimulationOptions(noise_std=0.004, seed=seed)
+        base = manager.launch(
+            scheduled, create_policy("StaticCaps"), budget,
+            characterization=char, options=options,
+        ).result
+        time_table: Dict[str, float] = {}
+        energy_table: Dict[str, float] = {}
+        for name in _POLICIES:
+            run = manager.launch(
+                scheduled, create_policy(name), budget,
+                characterization=char, options=options,
+            ).result
+            savings = savings_vs_baseline(run, base)
+            time_table[name] = 100.0 * savings.time_savings.mean
+            energy_table[name] = 100.0 * savings.energy_savings.mean
+        results.append(
+            TournamentRound(
+                seed=seed,
+                budget_level=budget_level,
+                time_savings_pct=time_table,
+                energy_savings_pct=energy_table,
+            )
+        )
+    return TournamentResult(rounds=tuple(results))

@@ -1,0 +1,158 @@
+"""Budget-sweep and variation-sensitivity studies.
+
+Two analyses that extend the paper's three-point budget grid:
+
+* :func:`budget_sweep` — a continuous version of Figs. 7-8: run a mix at
+  many budgets between the settable floor and TDP and record utilisation
+  and savings at each.  The paper asserts that "power caps less than min
+  result in all policies producing the same configuration as StaticCaps"
+  and that savings taper above max; the sweep shows the whole curve,
+  including the crossover region the three-point grid samples.
+* :func:`variation_sensitivity` — the paper controls for hardware
+  variation by selecting the medium-frequency cluster; this study runs
+  the same mix on the low / medium / high partitions (and an idealised
+  variation-free one) to quantify what that control is worth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.characterization.mix_characterization import characterize_mix
+from repro.core.registry import create_policy
+from repro.experiments.grid import ExperimentGrid
+from repro.experiments.metrics import savings_vs_baseline
+from repro.hardware.cluster import Cluster
+from repro.manager.power_manager import PowerManager
+from repro.manager.scheduler import Scheduler
+from repro.sim.execution import SimulationOptions
+from repro.workload.mixes import MixBuilder
+
+__all__ = ["BudgetSweepPoint", "budget_sweep", "variation_sensitivity"]
+
+
+@dataclass(frozen=True)
+class BudgetSweepPoint:
+    """One budget level's outcomes for one policy."""
+
+    budget_w: float
+    budget_per_node_w: float
+    policy_name: str
+    utilization: float
+    mean_elapsed_s: float
+    time_savings_pct: float
+    energy_savings_pct: float
+
+
+def budget_sweep(
+    grid: ExperimentGrid,
+    mix_name: str = "WastefulPower",
+    policies: Sequence[str] = ("StaticCaps", "MinimizeWaste", "JobAdaptive",
+                               "MixedAdaptive"),
+    points: int = 9,
+) -> List[BudgetSweepPoint]:
+    """Sweep budgets from just above the floor to TDP for one mix.
+
+    Budgets are evenly spaced between ``1.05 x floor`` and TDP per node.
+    Savings at each point are against StaticCaps *at the same budget*
+    (the paper's normalisation).
+    """
+    if points < 2:
+        raise ValueError("a sweep needs at least two points")
+    prepared = grid.prepare_mix(mix_name)
+    char = prepared.characterization
+    hosts = char.host_count
+    manager = PowerManager(grid.model)
+    per_node_levels = np.linspace(1.05 * char.min_cap_w, char.tdp_w, points)
+
+    out: List[BudgetSweepPoint] = []
+    for per_node in per_node_levels:
+        budget = float(per_node) * hosts
+        options = SimulationOptions(noise_std=grid.config.noise_std, seed=23)
+        base = manager.launch(
+            prepared.scheduled, create_policy("StaticCaps"), budget,
+            characterization=char, options=options,
+        ).result
+        for name in policies:
+            if name == "StaticCaps":
+                result = base
+                time_pct = energy_pct = 0.0
+            else:
+                result = manager.launch(
+                    prepared.scheduled, create_policy(name), budget,
+                    characterization=char, options=options,
+                ).result
+                s = savings_vs_baseline(result, base)
+                time_pct = 100.0 * s.time_savings.mean
+                energy_pct = 100.0 * s.energy_savings.mean
+            out.append(
+                BudgetSweepPoint(
+                    budget_w=budget,
+                    budget_per_node_w=float(per_node),
+                    policy_name=name,
+                    utilization=result.budget_utilization(),
+                    mean_elapsed_s=result.mean_elapsed_s,
+                    time_savings_pct=time_pct,
+                    energy_savings_pct=energy_pct,
+                )
+            )
+    return out
+
+
+def variation_sensitivity(
+    mix_name: str = "RandomLarge",
+    nodes_per_job: int = 10,
+    survey_nodes: int = 1200,
+    budget_per_node_w: float = 180.0,
+    seed: int = 2021,
+) -> Dict[str, Dict[str, float]]:
+    """Run one mix on each variation partition and compare outcomes.
+
+    Returns ``{partition: {metric: value}}`` for the low / medium / high
+    k-means partitions plus an idealised variation-free cluster, all under
+    the same per-node budget and the MixedAdaptive policy.  Quantifies the
+    effect the paper's §V-A2 node-selection step controls away — and the
+    spread a site that skipped it would fold into its results.
+    """
+    from repro.characterization.clustering import survey_and_cluster
+
+    population = Cluster(node_count=survey_nodes, seed=seed)
+    survey = survey_and_cluster(population, cap_w=140.0, kappa=1.0)
+    builder = MixBuilder(nodes_per_job=nodes_per_job, iterations=30)
+    mix = builder.build(mix_name)
+    needed = mix.total_nodes
+
+    partitions: Dict[str, Cluster] = {}
+    for name in ("low", "medium", "high"):
+        ids = survey.cluster_node_ids(name)
+        if ids.size < needed:
+            raise ValueError(
+                f"partition {name!r} has {ids.size} nodes; {needed} required "
+                f"(increase survey_nodes)"
+            )
+        partitions[name] = population.subset(ids)
+    partitions["novariation"] = Cluster(
+        node_count=needed, variation=None, seed=seed
+    )
+
+    policy = create_policy("MixedAdaptive")
+    manager = PowerManager()
+    out: Dict[str, Dict[str, float]] = {}
+    for name, partition in partitions.items():
+        scheduled = Scheduler(partition).allocate(mix)
+        char = characterize_mix(mix, scheduled.efficiencies, manager.model)
+        budget = budget_per_node_w * needed
+        run = manager.launch(
+            scheduled, policy, budget, characterization=char,
+            options=SimulationOptions(noise_std=0.0),
+        )
+        out[name] = {
+            "mean_elapsed_s": run.result.mean_elapsed_s,
+            "total_energy_j": run.result.total_energy_j,
+            "mean_power_w": run.result.mean_system_power_w,
+            "mean_efficiency": float(np.mean(scheduled.efficiencies)),
+        }
+    return out

@@ -1,0 +1,64 @@
+"""Data builders for the paper's Tables I-III."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.grid import ExperimentGrid
+from repro.hardware.cpu import QUARTZ_CPU, CpuSpec
+
+__all__ = ["table1_system_properties", "table2_mixes", "table3_budgets"]
+
+
+def table1_system_properties(spec: CpuSpec = QUARTZ_CPU) -> Dict[str, str]:
+    """Table I: Quartz system properties."""
+    return {
+        "CPU": f"{spec.model}, dual-socket",
+        "Cores Per Node": str(spec.cores * 2),
+        "Thermal Design Power": f"{spec.tdp_w:.0f} W per CPU socket",
+        "Minimum RAPL Limit": f"{spec.min_rapl_w:.0f} W per CPU socket",
+        "Base Frequency": f"{spec.base_freq_ghz:.1f} GHz",
+    }
+
+
+def table2_mixes(grid: ExperimentGrid) -> List[Dict[str, object]]:
+    """Table II: the workload composition of every mix.
+
+    One row per job: mix, job name, kernel knobs, and node count — the
+    machine-readable equivalent of the paper's check-mark table.
+    """
+    rows: List[Dict[str, object]] = []
+    for mix_name in grid.config.mixes:
+        prepared = grid.prepare_mix(mix_name)
+        for job in prepared.scheduled.mix.jobs:
+            cfg = job.config
+            rows.append(
+                {
+                    "mix": mix_name,
+                    "job": job.name,
+                    "intensity_flop_per_byte": cfg.intensity,
+                    "vector": cfg.vector.value,
+                    "waiting_pct": int(cfg.waiting_fraction * 100),
+                    "imbalance": cfg.imbalance,
+                    "nodes": job.node_count,
+                }
+            )
+    return rows
+
+
+def table3_budgets(grid: ExperimentGrid) -> List[Dict[str, object]]:
+    """Table III: min/ideal/max budgets per mix, in kW, plus the TDP note."""
+    rows: List[Dict[str, object]] = []
+    for mix_name in grid.config.mixes:
+        prepared = grid.prepare_mix(mix_name)
+        kw = prepared.budgets.as_kilowatts()
+        rows.append(
+            {
+                "mix": mix_name,
+                "min_kw": round(kw["min"], 1),
+                "ideal_kw": round(kw["ideal"], 1),
+                "max_kw": round(kw["max"], 1),
+                "total_tdp_kw": round(kw["tdp"], 1),
+            }
+        )
+    return rows

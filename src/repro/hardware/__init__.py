@@ -1,0 +1,49 @@
+"""Hardware substrate: CPU, RAPL/MSR emulation, nodes, cluster, roofline.
+
+This subpackage simulates the pieces of the LLNL Quartz platform the paper's
+power-management stack interacts with (Table I of the paper):
+
+* :mod:`repro.hardware.cpu` — per-socket frequency/power model for the
+  dual-socket Intel Xeon E5-2695 nodes (120 W TDP, 68 W RAPL floor,
+  2.1 GHz base frequency).
+* :mod:`repro.hardware.roofline` — roofline throughput model (Williams et
+  al.) with the ceilings reported in the paper's Fig. 3 plus node-level
+  ceilings used by the simulator.
+* :mod:`repro.hardware.msr` / :mod:`repro.hardware.rapl` — a model-specific
+  register file and the RAPL power-limit/energy-counter interface layered on
+  it, mirroring how GEOPM drives msr-safe on the real machine.
+* :mod:`repro.hardware.variation` — manufacturing variation model producing
+  the low/medium/high frequency clusters of the paper's Fig. 6.
+* :mod:`repro.hardware.node` / :mod:`repro.hardware.cluster` — node and
+  cluster containers used by the resource manager.
+"""
+
+from repro.hardware.cpu import CpuSpec, SocketPowerModel, QUARTZ_CPU
+from repro.hardware.roofline import (
+    RooflineModel,
+    ADVISOR_SINGLE_CORE_ROOFLINE,
+    NODE_LEVEL_ROOFLINE,
+)
+from repro.hardware.msr import MsrFile, MsrAccessError
+from repro.hardware.rapl import RaplDomain, RaplPackage
+from repro.hardware.variation import VariationModel, QUARTZ_VARIATION
+from repro.hardware.node import Node, NodePowerModel
+from repro.hardware.cluster import Cluster
+
+__all__ = [
+    "CpuSpec",
+    "SocketPowerModel",
+    "QUARTZ_CPU",
+    "RooflineModel",
+    "ADVISOR_SINGLE_CORE_ROOFLINE",
+    "NODE_LEVEL_ROOFLINE",
+    "MsrFile",
+    "MsrAccessError",
+    "RaplDomain",
+    "RaplPackage",
+    "VariationModel",
+    "QUARTZ_VARIATION",
+    "Node",
+    "NodePowerModel",
+    "Cluster",
+]

@@ -1,0 +1,111 @@
+"""Model-specific register (MSR) file emulation.
+
+On the real Quartz system, GEOPM reads and writes power-management MSRs
+through the msr-safe kernel module (paper §V-A1, ref. [13]), which exposes
+an allowlist-filtered register file per CPU.  This module emulates that
+interface: a 64-bit register file with an allowlist, so the RAPL layer in
+:mod:`repro.hardware.rapl` performs the same encode/mask/shift work GEOPM
+performs on hardware, and tests can assert that policies never touch
+registers outside the allowlist.
+
+Register addresses follow the Intel SDM for server parts:
+
+=========================  ==========  =====================================
+Register                   Address     Role
+=========================  ==========  =====================================
+MSR_RAPL_POWER_UNIT        ``0x606``   power/energy/time unit exponents
+MSR_PKG_POWER_LIMIT        ``0x610``   PL1/PL2 package power limits
+MSR_PKG_ENERGY_STATUS      ``0x611``   32-bit wrapping energy accumulator
+MSR_PKG_POWER_INFO         ``0x614``   TDP / min / max package power
+IA32_PERF_STATUS           ``0x198``   current operating frequency ratio
+=========================  ==========  =====================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable
+
+__all__ = [
+    "MSR_RAPL_POWER_UNIT",
+    "MSR_PKG_POWER_LIMIT",
+    "MSR_PKG_ENERGY_STATUS",
+    "MSR_PKG_POWER_INFO",
+    "IA32_PERF_STATUS",
+    "DEFAULT_ALLOWLIST",
+    "MsrAccessError",
+    "MsrFile",
+]
+
+MSR_RAPL_POWER_UNIT = 0x606
+MSR_PKG_POWER_LIMIT = 0x610
+MSR_PKG_ENERGY_STATUS = 0x611
+MSR_PKG_POWER_INFO = 0x614
+IA32_PERF_STATUS = 0x198
+
+#: Registers msr-safe exposes to the power stack in this reproduction.
+DEFAULT_ALLOWLIST: FrozenSet[int] = frozenset(
+    {
+        MSR_RAPL_POWER_UNIT,
+        MSR_PKG_POWER_LIMIT,
+        MSR_PKG_ENERGY_STATUS,
+        MSR_PKG_POWER_INFO,
+        IA32_PERF_STATUS,
+    }
+)
+
+_U64_MASK = (1 << 64) - 1
+
+
+class MsrAccessError(PermissionError):
+    """Raised on access to a register outside the msr-safe allowlist."""
+
+
+class MsrFile:
+    """A 64-bit register file guarded by an allowlist.
+
+    Mirrors the semantics of ``/dev/cpu/*/msr_safe``: reads of unknown but
+    allowed registers return 0 (hardware reset value in this emulation),
+    writes are masked to 64 bits, and any access outside the allowlist
+    raises :class:`MsrAccessError`.
+    """
+
+    def __init__(self, allowlist: Iterable[int] = DEFAULT_ALLOWLIST) -> None:
+        self._allowlist: FrozenSet[int] = frozenset(allowlist)
+        self._registers: Dict[int, int] = {}
+
+    @property
+    def allowlist(self) -> FrozenSet[int]:
+        """Registers this file permits access to."""
+        return self._allowlist
+
+    def _check(self, address: int) -> None:
+        if address not in self._allowlist:
+            raise MsrAccessError(f"MSR 0x{address:x} is not in the msr-safe allowlist")
+
+    def read(self, address: int) -> int:
+        """Read a 64-bit register; unwritten registers read as zero."""
+        self._check(address)
+        return self._registers.get(address, 0)
+
+    def write(self, address: int, value: int) -> None:
+        """Write a 64-bit register (value is masked to 64 bits)."""
+        self._check(address)
+        if value < 0:
+            raise ValueError(f"MSR value must be non-negative, got {value}")
+        self._registers[address] = value & _U64_MASK
+
+    def write_field(self, address: int, shift: int, width: int, value: int) -> None:
+        """Read-modify-write a bit field ``[shift, shift + width)``."""
+        if not 0 <= shift < 64 or not 0 < width <= 64 - shift:
+            raise ValueError(f"invalid MSR field shift={shift} width={width}")
+        mask = ((1 << width) - 1) << shift
+        if value < 0 or value > (1 << width) - 1:
+            raise ValueError(f"field value {value} does not fit in {width} bits")
+        current = self.read(address)
+        self.write(address, (current & ~mask) | (value << shift))
+
+    def read_field(self, address: int, shift: int, width: int) -> int:
+        """Read a bit field ``[shift, shift + width)``."""
+        if not 0 <= shift < 64 or not 0 < width <= 64 - shift:
+            raise ValueError(f"invalid MSR field shift={shift} width={width}")
+        return (self.read(address) >> shift) & ((1 << width) - 1)

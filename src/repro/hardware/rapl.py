@@ -1,0 +1,171 @@
+"""RAPL (Running Average Power Limit) emulation over the MSR file.
+
+RAPL is the only actuation mechanism the paper's policies use ("Since CPU
+activity is a major contributor to total system power, and can be controlled
+with low-latency interfaces, this paper studies the impact of controlling
+CPU power" — §II).  This module provides the package-domain power limit and
+energy counter with the real encoding quirks that matter for a faithful
+stack:
+
+* limits and energies are stored in hardware units derived from
+  ``MSR_RAPL_POWER_UNIT`` (1/8 W power units and ~15.3 uJ energy units by
+  default), so requested caps are quantised exactly as on hardware;
+* the energy counter is a 32-bit accumulator that wraps, and the reader
+  must handle wraparound (GEOPM does; so does :class:`RaplDomain`);
+* caps are clamped to the settable range ``[min_rapl_w, tdp_w]`` from
+  ``MSR_PKG_POWER_INFO`` — the paper's policies all depend on the 68 W
+  floor being enforced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.cpu import CpuSpec, QUARTZ_CPU
+from repro.hardware.msr import (
+    MsrFile,
+    MSR_PKG_ENERGY_STATUS,
+    MSR_PKG_POWER_INFO,
+    MSR_PKG_POWER_LIMIT,
+    MSR_RAPL_POWER_UNIT,
+)
+from repro.units import ensure_non_negative, ensure_positive
+
+__all__ = ["RaplDomain", "RaplPackage"]
+
+# MSR_RAPL_POWER_UNIT default exponents (Intel SDM): power = 1/2^3 W,
+# energy = 1/2^16 J (Broadwell server parts use 2^-16 J units).
+_POWER_UNIT_EXP = 3
+_ENERGY_UNIT_EXP = 16
+_ENERGY_COUNTER_BITS = 32
+# MSR_PKG_POWER_LIMIT field layout (PL1 only; the stack does not use PL2).
+_PL1_LIMIT_SHIFT = 0
+_PL1_LIMIT_WIDTH = 15
+_PL1_ENABLE_SHIFT = 15
+
+
+@dataclass
+class RaplDomain:
+    """One RAPL package domain bound to an MSR file.
+
+    Parameters
+    ----------
+    msr:
+        Backing register file (one per socket).
+    spec:
+        Socket specification supplying the settable cap range.
+    """
+
+    msr: MsrFile
+    spec: CpuSpec = field(default_factory=lambda: QUARTZ_CPU)
+
+    def __post_init__(self) -> None:
+        self._power_units_per_watt = float(1 << _POWER_UNIT_EXP)
+        self._energy_units_per_joule = float(1 << _ENERGY_UNIT_EXP)
+        self._energy_accumulator_units = 0
+        self._last_counter = 0
+        self._unwrapped_energy_units = 0
+        self.msr.write(
+            MSR_RAPL_POWER_UNIT,
+            _POWER_UNIT_EXP | (_ENERGY_UNIT_EXP << 8),
+        )
+        # Advertise the settable range through MSR_PKG_POWER_INFO:
+        # TDP in bits [14:0], minimum power in bits [30:16].
+        tdp_units = int(round(self.spec.tdp_w * self._power_units_per_watt))
+        min_units = int(round(self.spec.min_rapl_w * self._power_units_per_watt))
+        self.msr.write(MSR_PKG_POWER_INFO, tdp_units | (min_units << 16))
+        self.set_power_limit(self.spec.tdp_w)
+
+    # ------------------------------------------------------------------
+    # power limit
+    # ------------------------------------------------------------------
+    @property
+    def min_power_w(self) -> float:
+        """Lowest settable package limit (decoded from MSR_PKG_POWER_INFO)."""
+        units = self.msr.read_field(MSR_PKG_POWER_INFO, 16, 15)
+        return units / self._power_units_per_watt
+
+    @property
+    def max_power_w(self) -> float:
+        """TDP (decoded from MSR_PKG_POWER_INFO)."""
+        units = self.msr.read_field(MSR_PKG_POWER_INFO, 0, 15)
+        return units / self._power_units_per_watt
+
+    def set_power_limit(self, power_w: float) -> float:
+        """Program PL1; returns the quantised, clamped limit actually set.
+
+        Requests outside ``[min_power_w, max_power_w]`` are clamped — this
+        mirrors msr-safe behaviour and is what lets the paper state that
+        "power caps less than min result in all policies producing the same
+        configuration".
+        """
+        ensure_positive(power_w, "power_w")
+        clamped = min(max(float(power_w), self.min_power_w), self.max_power_w)
+        units = int(round(clamped * self._power_units_per_watt))
+        self.msr.write_field(MSR_PKG_POWER_LIMIT, _PL1_LIMIT_SHIFT, _PL1_LIMIT_WIDTH, units)
+        self.msr.write_field(MSR_PKG_POWER_LIMIT, _PL1_ENABLE_SHIFT, 1, 1)
+        return units / self._power_units_per_watt
+
+    def power_limit(self) -> float:
+        """Currently programmed PL1 in watts."""
+        units = self.msr.read_field(MSR_PKG_POWER_LIMIT, _PL1_LIMIT_SHIFT, _PL1_LIMIT_WIDTH)
+        return units / self._power_units_per_watt
+
+    # ------------------------------------------------------------------
+    # energy counter
+    # ------------------------------------------------------------------
+    def accumulate_energy(self, energy_j: float) -> None:
+        """Advance the hardware energy accumulator (simulator-side hook).
+
+        Called by the execution engine as simulated time advances; the
+        32-bit counter in ``MSR_PKG_ENERGY_STATUS`` wraps exactly as on
+        hardware (every ~65.5 kJ at 2^-16 J units).
+        """
+        ensure_non_negative(energy_j, "energy_j")
+        self._energy_accumulator_units += int(round(energy_j * self._energy_units_per_joule))
+        counter = self._energy_accumulator_units & ((1 << _ENERGY_COUNTER_BITS) - 1)
+        self.msr.write(MSR_PKG_ENERGY_STATUS, counter)
+
+    def read_energy_j(self) -> float:
+        """Wrap-corrected cumulative energy in joules since construction.
+
+        Performs the same unwrap a production reader performs: if the
+        32-bit counter moved backwards since the previous read, one full
+        wrap is added.  Reads must therefore happen at least once per wrap
+        period, which every agent in :mod:`repro.runtime` does.
+        """
+        counter = self.msr.read(MSR_PKG_ENERGY_STATUS)
+        if counter < self._last_counter:
+            self._unwrapped_energy_units += 1 << _ENERGY_COUNTER_BITS
+        self._last_counter = counter
+        total_units = self._unwrapped_energy_units + counter
+        return total_units / self._energy_units_per_joule
+
+
+class RaplPackage:
+    """Convenience pair of RAPL domains for a dual-socket node."""
+
+    def __init__(self, spec: CpuSpec = QUARTZ_CPU, sockets: int = 2) -> None:
+        if sockets < 1:
+            raise ValueError("a node needs at least one socket")
+        self.spec = spec
+        self.domains = [RaplDomain(MsrFile(), spec) for _ in range(sockets)]
+
+    def set_node_power_limit(self, node_power_w: float) -> float:
+        """Split a node-level cap evenly across sockets; returns the sum set."""
+        per_socket = node_power_w / len(self.domains)
+        return sum(domain.set_power_limit(per_socket) for domain in self.domains)
+
+    def node_power_limit(self) -> float:
+        """Sum of programmed per-socket PL1 limits."""
+        return sum(domain.power_limit() for domain in self.domains)
+
+    def read_node_energy_j(self) -> float:
+        """Sum of wrap-corrected per-socket energies."""
+        return sum(domain.read_energy_j() for domain in self.domains)
+
+    def accumulate_node_energy(self, energy_j: float) -> None:
+        """Distribute simulated energy evenly across socket accumulators."""
+        per_socket = energy_j / len(self.domains)
+        for domain in self.domains:
+            domain.accumulate_energy(per_socket)

@@ -1,0 +1,121 @@
+"""JSON (de)serialization for characterizations, budgets, and results.
+
+Formats are versioned (``"format"`` key) so cached artefacts from older
+library versions fail loudly instead of silently misparsing.  Arrays are
+stored as plain lists — characterizations are hundreds of floats, far
+below any size where a binary format would matter, and JSON keeps the
+artefacts human-diffable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.characterization.budgets import PowerBudgets
+from repro.characterization.mix_characterization import MixCharacterization
+
+__all__ = [
+    "characterization_to_dict",
+    "characterization_from_dict",
+    "save_characterization",
+    "load_characterization",
+    "budgets_to_dict",
+    "budgets_from_dict",
+    "save_grid_results",
+]
+
+_CHAR_FORMAT = "repro.mix-characterization.v1"
+_BUDGET_FORMAT = "repro.power-budgets.v1"
+
+
+def characterization_to_dict(char: MixCharacterization) -> Dict:
+    """A JSON-ready dict of one mix characterization."""
+    return {
+        "format": _CHAR_FORMAT,
+        "mix_name": char.mix_name,
+        "job_boundaries": char.job_boundaries.tolist(),
+        "monitor_power_w": char.monitor_power_w.tolist(),
+        "needed_power_w": char.needed_power_w.tolist(),
+        "needed_cap_w": char.needed_cap_w.tolist(),
+        "min_cap_w": char.min_cap_w,
+        "tdp_w": char.tdp_w,
+    }
+
+
+def characterization_from_dict(data: Dict) -> MixCharacterization:
+    """Rebuild a characterization; validates the format tag."""
+    if data.get("format") != _CHAR_FORMAT:
+        raise ValueError(
+            f"unsupported characterization format {data.get('format')!r}; "
+            f"expected {_CHAR_FORMAT!r}"
+        )
+    return MixCharacterization(
+        mix_name=data["mix_name"],
+        job_boundaries=np.asarray(data["job_boundaries"], dtype=int),
+        monitor_power_w=np.asarray(data["monitor_power_w"], dtype=float),
+        needed_power_w=np.asarray(data["needed_power_w"], dtype=float),
+        needed_cap_w=np.asarray(data["needed_cap_w"], dtype=float),
+        min_cap_w=float(data["min_cap_w"]),
+        tdp_w=float(data["tdp_w"]),
+    )
+
+
+def save_characterization(char: MixCharacterization,
+                          path: Union[str, Path]) -> Path:
+    """Write a characterization to a JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(characterization_to_dict(char), indent=2), encoding="utf-8"
+    )
+    return path
+
+
+def load_characterization(path: Union[str, Path]) -> MixCharacterization:
+    """Read a characterization from a JSON file."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return characterization_from_dict(data)
+
+
+def budgets_to_dict(budgets: PowerBudgets) -> Dict:
+    """A JSON-ready dict of one mix's Table III budgets."""
+    return {
+        "format": _BUDGET_FORMAT,
+        "mix_name": budgets.mix_name,
+        "min_w": budgets.min_w,
+        "ideal_w": budgets.ideal_w,
+        "max_w": budgets.max_w,
+        "total_tdp_w": budgets.total_tdp_w,
+    }
+
+
+def budgets_from_dict(data: Dict) -> PowerBudgets:
+    """Rebuild budgets; validates the format tag."""
+    if data.get("format") != _BUDGET_FORMAT:
+        raise ValueError(
+            f"unsupported budgets format {data.get('format')!r}; "
+            f"expected {_BUDGET_FORMAT!r}"
+        )
+    return PowerBudgets(
+        mix_name=data["mix_name"],
+        min_w=float(data["min_w"]),
+        ideal_w=float(data["ideal_w"]),
+        max_w=float(data["max_w"]),
+        total_tdp_w=float(data["total_tdp_w"]),
+    )
+
+
+def save_grid_results(results, path: Union[str, Path]) -> Path:
+    """Persist a grid's flat result rows as CSV (plotting-friendly).
+
+    Accepts a :class:`~repro.experiments.grid.GridResults`; the CSV holds
+    one row per (mix, budget level, policy) cell with the Fig. 7-level
+    summary metrics.
+    """
+    from repro.analysis.export import write_csv
+
+    return write_csv(results.rows(), path)

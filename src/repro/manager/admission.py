@@ -1,0 +1,166 @@
+"""Power-aware admission control: which queued jobs may start now.
+
+The paper's §II frames the site operator's problem: "Power delivery
+infrastructure must ensure that a site's total power consumption does not
+exceed the deliverable power capacity."  Before any of the §III policies
+can divide a budget among *running* jobs, the resource manager must decide
+which jobs to admit at all — the admission step SLURM performs with its
+power plugin.
+
+:class:`PowerAwareAdmission` implements the standard greedy scheme over
+characterization estimates:
+
+* each pending job's power demand is estimated from its characterization
+  (needed power when available, a user hint, or a worst-case TDP bound —
+  in that order of preference);
+* jobs are admitted in queue order while both node and power capacity
+  remain (optionally with backfill: a later job that fits may jump a
+  blocked head-of-queue job, the classic EASY-backfill compromise);
+* the admitted set's total estimate never exceeds the budget, so the
+  downstream allocation policy always starts from a feasible state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.characterization.mix_characterization import characterize_mix
+from repro.manager.queue import JobQueue, JobRequest, JobState
+from repro.sim.engine import ExecutionModel
+from repro.units import ensure_positive
+from repro.workload.job import WorkloadMix
+
+__all__ = ["AdmissionDecision", "PowerAwareAdmission"]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission pass."""
+
+    admitted: Tuple[str, ...]
+    deferred: Tuple[str, ...]
+    estimates_w: Dict[str, float]
+    budget_w: float
+    nodes_available: int
+
+    @property
+    def admitted_power_w(self) -> float:
+        """Total estimated draw of the admitted set."""
+        return sum(self.estimates_w[name] for name in self.admitted)
+
+    @property
+    def admitted_nodes(self) -> int:
+        """Total nodes the admitted set occupies (via the estimates map
+        keys' requests is not stored; computed by the admitter)."""
+        return self._admitted_nodes
+
+    # populated by the admitter post-init via object.__setattr__
+    _admitted_nodes: int = 0
+
+    def feasible(self) -> bool:
+        """Whether the admitted set respects the power budget."""
+        return self.admitted_power_w <= self.budget_w + 1e-6
+
+
+class PowerAwareAdmission:
+    """Greedy (optionally backfilling) power-aware admission.
+
+    Parameters
+    ----------
+    model:
+        Physics bundle used to estimate per-job demand when no user hint
+        is given.
+    backfill:
+        When True, a job behind a blocked one may be admitted if it fits
+        in the remaining capacity (EASY-style).  When False, admission
+        stops at the first job that does not fit (strict FIFO).
+    safety_margin:
+        Fractional head-room kept against estimate error: a job is
+        admitted only if the admitted-set estimate stays below
+        ``(1 - margin) x budget``.
+    """
+
+    def __init__(
+        self,
+        model: Optional[ExecutionModel] = None,
+        backfill: bool = True,
+        safety_margin: float = 0.02,
+    ) -> None:
+        if not 0.0 <= safety_margin < 1.0:
+            raise ValueError("safety_margin must be in [0, 1)")
+        self.model = model if model is not None else ExecutionModel()
+        self.backfill = backfill
+        self.safety_margin = safety_margin
+
+    # ------------------------------------------------------------------
+    def estimate_job_power_w(self, request: JobRequest) -> float:
+        """Estimated steady-state draw of one job (whole job, W).
+
+        Preference order: the balancer-characterized needed power (what an
+        application-aware site knows), then the user's hint scaled by the
+        node count, then the TDP worst case.
+        """
+        if request.power_hint_w is not None:
+            return request.power_hint_w * request.node_count
+        job = request.to_job()
+        mix = WorkloadMix(name=job.name, jobs=(job,))
+        char = characterize_mix(
+            mix, np.ones(job.node_count), self.model
+        )
+        return float(np.sum(char.needed_power_w))
+
+    def decide(
+        self,
+        queue: JobQueue,
+        budget_w: float,
+        nodes_available: int,
+        mark: bool = True,
+    ) -> AdmissionDecision:
+        """Admit pending jobs against the budget and node pool.
+
+        With ``mark`` (default) admitted jobs transition to ALLOCATED in
+        the queue; pass False for a dry run.
+        """
+        ensure_positive(budget_w, "budget_w")
+        if nodes_available < 0:
+            raise ValueError("nodes_available must be non-negative")
+
+        usable_w = (1.0 - self.safety_margin) * budget_w
+        admitted: List[str] = []
+        deferred: List[str] = []
+        estimates: Dict[str, float] = {}
+        power_used = 0.0
+        nodes_used = 0
+        blocked = False
+
+        for request in queue.pending():
+            estimate = self.estimate_job_power_w(request)
+            estimates[request.name] = estimate
+            fits = (
+                power_used + estimate <= usable_w
+                and nodes_used + request.node_count <= nodes_available
+            )
+            if fits and (not blocked or self.backfill):
+                admitted.append(request.name)
+                power_used += estimate
+                nodes_used += request.node_count
+            else:
+                deferred.append(request.name)
+                blocked = True
+
+        if mark:
+            for name in admitted:
+                queue.mark(name, JobState.ALLOCATED)
+
+        decision = AdmissionDecision(
+            admitted=tuple(admitted),
+            deferred=tuple(deferred),
+            estimates_w=estimates,
+            budget_w=budget_w,
+            nodes_available=nodes_available,
+        )
+        object.__setattr__(decision, "_admitted_nodes", nodes_used)
+        return decision

@@ -1,0 +1,142 @@
+"""Emergency power capping: responding to a sudden budget reduction.
+
+The paper's opening problem statement: "Power limiting is needed in order
+to respond to greater-than-expected power demand", and its conclusion
+asks for a policy that "minimizes the loss of quality of service in
+exceptional cases."  This module implements the two-stage emergency
+response a production resource manager performs when the facility sheds
+load (a feeder trips, a cooling unit fails, a demand-response event):
+
+1. **Clamp** — immediately scale every running host's cap so the cluster
+   is guaranteed under the new budget within one RAPL window.  The clamp
+   is proportional above the floor (every job hurts, none dies) — the
+   fastest safe actuation, needing no characterization at all.
+2. **Re-plan** — re-run the site's allocation policy against the new
+   budget using the existing characterization, recovering whatever
+   performance the clamp left on the table.
+
+:func:`respond_to_budget_drop` executes both stages against the simulator
+and reports the QoS impact of each, quantifying the value of stage 2 —
+i.e. of having an application-aware policy on call during emergencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.characterization.mix_characterization import MixCharacterization
+from repro.core.allocation import fit_to_budget
+from repro.core.policy import Policy
+from repro.manager.power_manager import apply_job_runtime
+from repro.manager.scheduler import ScheduledMix
+from repro.sim.engine import ExecutionModel
+from repro.sim.execution import SimulationOptions, simulate_mix
+from repro.sim.results import MixRunResult
+from repro.units import ensure_positive
+
+__all__ = ["EmergencyResponse", "emergency_clamp", "respond_to_budget_drop"]
+
+
+def emergency_clamp(
+    current_caps_w: np.ndarray,
+    new_budget_w: float,
+    min_cap_w: float = 136.0,
+) -> np.ndarray:
+    """Stage 1: proportional clamp of running caps onto a reduced budget.
+
+    Scales the above-floor portion of every cap by a common factor so the
+    sum meets ``new_budget_w`` — no characterization, no job knowledge,
+    safe to fire from an interrupt handler.  If even the all-floor state
+    exceeds the budget the all-floor state is returned (RAPL can do no
+    more; the operator must kill jobs).
+    """
+    ensure_positive(new_budget_w, "new_budget_w")
+    caps = np.asarray(current_caps_w, dtype=float)
+    return fit_to_budget(np.maximum(caps, min_cap_w), new_budget_w, min_cap_w)
+
+
+@dataclass(frozen=True)
+class EmergencyResponse:
+    """Outcome of the two-stage response to a budget drop."""
+
+    old_budget_w: float
+    new_budget_w: float
+    baseline: MixRunResult
+    clamped: MixRunResult
+    replanned: MixRunResult
+
+    def qos_impact(self) -> Dict[str, float]:
+        """Slowdowns relative to the pre-emergency execution.
+
+        ``clamp_slowdown`` is what the blunt stage-1 response costs;
+        ``replanned_slowdown`` what remains after stage 2; ``recovered``
+        the fraction of the clamp's penalty that re-planning recovers.
+        """
+        base = self.baseline.mean_elapsed_s
+        clamp = self.clamped.mean_elapsed_s / base - 1.0
+        replan = self.replanned.mean_elapsed_s / base - 1.0
+        recovered = 0.0 if clamp <= 0 else max(0.0, (clamp - replan) / clamp)
+        return {
+            "clamp_slowdown": clamp,
+            "replanned_slowdown": replan,
+            "recovered": recovered,
+        }
+
+    def within_new_budget(self) -> bool:
+        """Both response stages hold the cluster under the new budget."""
+        return (
+            self.clamped.mean_system_power_w <= self.new_budget_w * 1.001
+            and self.replanned.mean_system_power_w <= self.new_budget_w * 1.001
+        )
+
+
+def respond_to_budget_drop(
+    scheduled: ScheduledMix,
+    char: MixCharacterization,
+    policy: Policy,
+    old_budget_w: float,
+    new_budget_w: float,
+    model: Optional[ExecutionModel] = None,
+    options: SimulationOptions = SimulationOptions(),
+) -> EmergencyResponse:
+    """Simulate the emergency: baseline, stage-1 clamp, stage-2 re-plan.
+
+    ``policy`` allocates both the pre-emergency caps (at ``old_budget_w``)
+    and the stage-2 re-plan (at ``new_budget_w``); stage 1 clamps the
+    pre-emergency caps directly.
+    """
+    ensure_positive(old_budget_w, "old_budget_w")
+    ensure_positive(new_budget_w, "new_budget_w")
+    if new_budget_w >= old_budget_w:
+        raise ValueError("an emergency is a budget *drop*")
+    model = model if model is not None else ExecutionModel()
+
+    def run(caps: np.ndarray, budget: float) -> MixRunResult:
+        return simulate_mix(
+            scheduled.mix, caps, scheduled.efficiencies, model, options,
+            policy_name=policy.name, budget_w=budget,
+        )
+
+    before = policy.allocate(char, old_budget_w).caps_w
+    if policy.application_aware:
+        before = apply_job_runtime(char, before)
+    baseline = run(before, old_budget_w)
+
+    clamped_caps = emergency_clamp(before, new_budget_w, char.min_cap_w)
+    clamped = run(clamped_caps, new_budget_w)
+
+    replan_caps = policy.allocate(char, new_budget_w).caps_w
+    if policy.application_aware:
+        replan_caps = apply_job_runtime(char, replan_caps)
+    replanned = run(replan_caps, new_budget_w)
+
+    return EmergencyResponse(
+        old_budget_w=float(old_budget_w),
+        new_budget_w=float(new_budget_w),
+        baseline=baseline,
+        clamped=clamped,
+        replanned=replanned,
+    )

@@ -1,0 +1,122 @@
+"""Job submission records and the admission queue.
+
+A thin but faithful model of resource-manager admission: users submit
+:class:`JobRequest` objects (a kernel configuration, a node count, and an
+optional user-supplied power hint — how the ``Precharacterized`` policy's
+"user submits the job with a cap" workflow enters the system), and the
+queue tracks their lifecycle.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.workload.job import Job
+from repro.workload.kernel import KernelConfig
+
+__all__ = ["JobState", "JobRequest", "JobQueue"]
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a submitted job."""
+
+    PENDING = "pending"
+    ALLOCATED = "allocated"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+
+
+@dataclass
+class JobRequest:
+    """One user submission.
+
+    Attributes
+    ----------
+    name:
+        User-visible job name (unique within a queue).
+    config:
+        Kernel configuration to run.
+    node_count:
+        Requested nodes.
+    iterations:
+        Bulk-synchronous iterations to run.
+    power_hint_w:
+        Optional user-supplied per-node power expectation (the
+        Precharacterized workflow); ``None`` when the user provides none.
+    """
+
+    name: str
+    config: KernelConfig
+    node_count: int
+    iterations: int = 100
+    power_hint_w: Optional[float] = None
+    state: JobState = field(default=JobState.PENDING, init=False)
+
+    def __post_init__(self) -> None:
+        if self.node_count < 1:
+            raise ValueError("node_count must be positive")
+        if self.iterations < 1:
+            raise ValueError("iterations must be positive")
+        if self.power_hint_w is not None and self.power_hint_w <= 0:
+            raise ValueError("power_hint_w must be positive when given")
+
+    def to_job(self) -> Job:
+        """Materialise the workload-layer job."""
+        return Job(
+            name=self.name,
+            config=self.config,
+            node_count=self.node_count,
+            iterations=self.iterations,
+        )
+
+
+class JobQueue:
+    """FIFO admission queue with state tracking."""
+
+    def __init__(self) -> None:
+        self._requests: Dict[str, JobRequest] = {}
+        self._order = itertools.count()
+        self._sequence: Dict[str, int] = {}
+
+    def submit(self, request: JobRequest) -> None:
+        """Admit a request; names must be unique."""
+        if request.name in self._requests:
+            raise ValueError(f"job {request.name!r} already queued")
+        self._requests[request.name] = request
+        self._sequence[request.name] = next(self._order)
+
+    def pending(self) -> List[JobRequest]:
+        """Pending requests in submission order."""
+        items = [r for r in self._requests.values() if r.state is JobState.PENDING]
+        return sorted(items, key=lambda r: self._sequence[r.name])
+
+    def get(self, name: str) -> JobRequest:
+        """Look up a request by name."""
+        try:
+            return self._requests[name]
+        except KeyError:
+            raise KeyError(f"no job named {name!r}") from None
+
+    def mark(self, name: str, state: JobState) -> None:
+        """Transition a job's state (validated against the lifecycle)."""
+        request = self.get(name)
+        valid = {
+            JobState.PENDING: {JobState.ALLOCATED, JobState.FAILED},
+            JobState.ALLOCATED: {JobState.RUNNING, JobState.FAILED},
+            JobState.RUNNING: {JobState.COMPLETED, JobState.FAILED},
+            JobState.COMPLETED: set(),
+            JobState.FAILED: set(),
+        }
+        if state not in valid[request.state]:
+            raise ValueError(
+                f"illegal transition {request.state.value} -> {state.value} "
+                f"for job {name!r}"
+            )
+        request.state = state
+
+    def __len__(self) -> int:
+        return len(self._requests)

@@ -1,0 +1,92 @@
+"""Node allocation: placing a workload mix onto cluster nodes.
+
+The paper runs each mix on the 918-node medium-frequency partition,
+allocating 100 similar nodes per job.  The scheduler here reproduces that:
+it owns a partition (a :class:`~repro.hardware.cluster.Cluster`, typically
+the medium cluster from the Fig. 6 survey) and assigns each job a
+contiguous block of nodes, optionally shuffled so job-to-node assignment
+does not correlate with node id.
+
+The result, :class:`ScheduledMix`, binds the mix's host index space to
+physical node ids and their efficiency multipliers — the arrays both the
+characterization and the execution engine need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.hardware.cluster import Cluster
+from repro.workload.job import WorkloadMix
+
+__all__ = ["ScheduledMix", "Scheduler"]
+
+
+@dataclass(frozen=True)
+class ScheduledMix:
+    """A mix bound to physical nodes.
+
+    ``node_ids[h]`` is the cluster node running mix host ``h``;
+    ``efficiencies[h]`` its variation multiplier.
+    """
+
+    mix: WorkloadMix
+    node_ids: np.ndarray
+    efficiencies: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.mix.total_nodes
+        if self.node_ids.shape != (n,) or self.efficiencies.shape != (n,):
+            raise ValueError("node_ids and efficiencies must match the mix size")
+        if np.unique(self.node_ids).size != n:
+            raise ValueError("a node cannot be allocated to two hosts")
+
+    def job_node_ids(self, job_index: int) -> np.ndarray:
+        """Node ids allocated to one job."""
+        offsets = self.mix.job_offsets()
+        return self.node_ids[offsets[job_index]:offsets[job_index + 1]]
+
+
+class Scheduler:
+    """Allocate mix hosts onto a cluster partition.
+
+    Parameters
+    ----------
+    cluster:
+        The partition to allocate from (e.g. the medium-frequency subset).
+    shuffle_seed:
+        When given, node order is shuffled before block assignment, so
+        consecutive jobs do not land on consecutively-manufactured parts.
+        ``None`` assigns nodes in id order (deterministic layout for
+        tests).
+    """
+
+    def __init__(self, cluster: Cluster, shuffle_seed: Optional[int] = 11) -> None:
+        self.cluster = cluster
+        self.shuffle_seed = shuffle_seed
+
+    def allocate(self, mix: WorkloadMix) -> ScheduledMix:
+        """Assign every mix host a distinct cluster node.
+
+        Raises ``ValueError`` when the partition is too small — the
+        resource manager must never over-subscribe nodes.
+        """
+        total = mix.total_nodes
+        if total > len(self.cluster):
+            raise ValueError(
+                f"mix {mix.name!r} needs {total} nodes but the partition has "
+                f"{len(self.cluster)}"
+            )
+        order = np.arange(len(self.cluster))
+        if self.shuffle_seed is not None:
+            rng = np.random.default_rng(self.shuffle_seed)
+            rng.shuffle(order)
+        node_ids = order[:total]
+        return ScheduledMix(
+            mix=mix,
+            node_ids=node_ids,
+            efficiencies=self.cluster.efficiencies[node_ids].copy(),
+        )

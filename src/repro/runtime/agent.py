@@ -1,0 +1,114 @@
+"""Agent abstraction: GEOPM's plugin interface, reduced to its essentials.
+
+GEOPM agents observe platform signals each control epoch and decide new
+control values (RAPL limits here).  The simulator presents an epoch's
+telemetry as a :class:`PlatformSample`; an :class:`Agent` returns the node
+power limits to apply for the next epoch.  Agents are registered by name in
+:class:`AgentRegistry`, mirroring GEOPM's plugin-loading behaviour the
+paper leans on for portability ("they can be ported to other architectures
+... by leveraging GEOPM's portable plugin infrastructure").
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Type
+
+import numpy as np
+
+__all__ = ["PlatformSample", "Agent", "AgentRegistry"]
+
+
+@dataclass(frozen=True)
+class PlatformSample:
+    """One control epoch's telemetry for a job's hosts.
+
+    Attributes
+    ----------
+    epoch:
+        Control-epoch index (one bulk-synchronous iteration here).
+    host_time_s:
+        Each host's compute-phase time this epoch.
+    epoch_time_s:
+        The job's iteration wall time (critical path + barrier).
+    host_power_w:
+        Each host's mean power over the epoch (compute + poll phases).
+    power_limit_w:
+        Node limits that were in force during the epoch.
+    host_energy_j:
+        Energy per host over the epoch.
+    mean_freq_ghz:
+        Mean achieved frequency per host over the epoch.
+    """
+
+    epoch: int
+    host_time_s: np.ndarray
+    epoch_time_s: float
+    host_power_w: np.ndarray
+    power_limit_w: np.ndarray
+    host_energy_j: np.ndarray
+    mean_freq_ghz: np.ndarray
+
+
+class Agent(abc.ABC):
+    """Base class for job-runtime agents.
+
+    Subclasses implement :meth:`adjust`; the controller calls it once per
+    epoch with fresh telemetry and programs the returned limits before the
+    next epoch.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def adjust(self, sample: PlatformSample) -> np.ndarray:
+        """Return node power limits (W) to apply for the next epoch."""
+
+    def converged(self) -> bool:
+        """Whether the agent's control loop has reached steady state.
+
+        Agents with no dynamic behaviour are trivially converged; the
+        balancer overrides this with its epsilon test.
+        """
+        return True
+
+    def describe(self) -> Dict[str, float]:
+        """Agent-specific scalars for the job report metadata."""
+        return {}
+
+
+class AgentRegistry:
+    """Name -> agent-class registry (GEOPM plugin emulation)."""
+
+    def __init__(self) -> None:
+        self._agents: Dict[str, Type[Agent]] = {}
+
+    def register(self, agent_cls: Type[Agent]) -> Type[Agent]:
+        """Register an agent class under its ``name`` (decorator-friendly)."""
+        name = agent_cls.name
+        if not name or name == "abstract":
+            raise ValueError(f"{agent_cls.__name__} must define a concrete name")
+        if name in self._agents:
+            raise ValueError(f"agent {name!r} already registered")
+        self._agents[name] = agent_cls
+        return agent_cls
+
+    def create(self, name: str, /, **kwargs) -> Agent:
+        """Instantiate a registered agent by name."""
+        try:
+            agent_cls = self._agents[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown agent {name!r}; registered: {sorted(self._agents)}"
+            ) from None
+        return agent_cls(**kwargs)
+
+    def names(self):
+        """Registered agent names, sorted."""
+        return sorted(self._agents)
+
+
+#: Process-wide default registry, analogous to GEOPM's plugin path.
+DEFAULT_REGISTRY = AgentRegistry()

@@ -1,0 +1,186 @@
+"""The runtime controller: drives an agent over a job's control epochs.
+
+GEOPM's Controller sits inside the job, samples platform telemetry each
+epoch (one bulk-synchronous iteration of the synthetic kernel), hands the
+sample to the agent, and programs the limits the agent returns.  This
+module does exactly that against the simulated platform, producing the
+:class:`~repro.runtime.reports.JobReport` that the characterization layer
+and the resource-manager policies consume.
+
+The controller runs a *single job* — the multi-job grid runs go through
+the vectorised :func:`repro.sim.execution.simulate_mix` path instead; the
+controller exists for characterization runs and for validating that the
+balancer's feedback loop converges to the analytic steady state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.runtime.agent import Agent, PlatformSample
+from repro.runtime.reports import HostReport, JobReport
+from repro.sim.engine import ExecutionModel
+from repro.workload.job import Job, WorkloadMix
+
+__all__ = ["EpochResult", "Controller"]
+
+
+@dataclass(frozen=True)
+class EpochResult:
+    """Telemetry of one simulated control epoch."""
+
+    epoch: int
+    sample: PlatformSample
+    limits_applied_w: np.ndarray
+
+
+class Controller:
+    """Run one job under an agent until convergence or an epoch budget.
+
+    Parameters
+    ----------
+    job:
+        The job to execute.
+    efficiencies:
+        Per-host variation multipliers (length ``job.node_count``).
+    agent:
+        The runtime agent making power decisions.
+    model:
+        Physics bundle (defaults to the Quartz node model).
+    noise_std:
+        Relative lognormal noise on per-epoch compute times.  The
+        characterization pipeline uses 0 for deterministic steady states;
+        convergence tests use small positive values.
+    seed:
+        RNG seed for epoch noise.
+    """
+
+    def __init__(
+        self,
+        job: Job,
+        efficiencies: np.ndarray,
+        agent: Agent,
+        model: Optional[ExecutionModel] = None,
+        noise_std: float = 0.0,
+        seed: int = 0,
+        barrier_overhead_s: float = 5.0e-4,
+    ) -> None:
+        eff = np.asarray(efficiencies, dtype=float)
+        if eff.shape != (job.node_count,):
+            raise ValueError(
+                f"efficiencies must have shape ({job.node_count},), got {eff.shape}"
+            )
+        self.job = job
+        self.efficiencies = eff
+        self.agent = agent
+        self.model = model if model is not None else ExecutionModel()
+        self.noise_std = float(noise_std)
+        self.barrier_overhead_s = float(barrier_overhead_s)
+        self._rng = np.random.default_rng(seed)
+        # A single-job mix gives the controller the same flattened layout
+        # the vectorised engine uses.
+        self._layout = WorkloadMix(name=job.name, jobs=(job,)).layout()
+        self.history: List[EpochResult] = []
+
+    # ------------------------------------------------------------------
+    def _run_epoch(self, epoch: int, limits_w: np.ndarray) -> PlatformSample:
+        """Simulate one bulk-synchronous iteration under ``limits_w``."""
+        layout = self._layout
+        caps = self.model.power_model.clamp_cap(limits_w)
+        freq = self.model.frequencies(caps, layout, self.efficiencies)
+        t = self.model.compute_time(freq, layout)
+        if self.noise_std > 0:
+            t = t * self._rng.lognormal(0.0, self.noise_std, size=t.shape)
+        epoch_time = float(np.max(t)) + self.barrier_overhead_s
+        p_compute = self.model.power_model.power_at_freq(
+            freq, layout.kappa, self.efficiencies
+        )
+        p_poll = self.model.poll_power(caps, layout, self.efficiencies)
+        slack = np.maximum(epoch_time - t, 0.0)
+        energy = p_compute * t + p_poll * slack
+        mean_power = energy / epoch_time
+        return PlatformSample(
+            epoch=epoch,
+            host_time_s=t,
+            epoch_time_s=epoch_time,
+            host_power_w=mean_power,
+            power_limit_w=caps,
+            host_energy_j=energy,
+            mean_freq_ghz=freq,
+        )
+
+    def run(
+        self,
+        initial_limits_w: Optional[np.ndarray] = None,
+        max_epochs: int = 200,
+        min_epochs: int = 3,
+    ) -> JobReport:
+        """Execute epochs until the agent converges (or the budget runs out).
+
+        Returns the GEOPM-style job report aggregated over all epochs run.
+        """
+        if max_epochs < 1:
+            raise ValueError("max_epochs must be positive")
+        n = self.job.node_count
+        if initial_limits_w is None:
+            limits = np.full(n, self.model.power_model.tdp_w)
+        else:
+            limits = np.asarray(initial_limits_w, dtype=float)
+            if limits.shape != (n,):
+                raise ValueError(f"initial limits must have shape ({n},)")
+
+        self.history.clear()
+        for epoch in range(max_epochs):
+            sample = self._run_epoch(epoch, limits)
+            limits = self.agent.adjust(sample)
+            self.history.append(EpochResult(epoch, sample, limits.copy()))
+            if epoch + 1 >= min_epochs and self.agent.converged():
+                break
+        return self._build_report()
+
+    # ------------------------------------------------------------------
+    def steady_state_sample(self) -> PlatformSample:
+        """Telemetry of the final epoch (the converged operating point)."""
+        if not self.history:
+            raise RuntimeError("controller has not run")
+        return self.history[-1].sample
+
+    def final_limits_w(self) -> np.ndarray:
+        """Limits in force after the final epoch."""
+        if not self.history:
+            raise RuntimeError("controller has not run")
+        return self.history[-1].limits_applied_w.copy()
+
+    def _build_report(self) -> JobReport:
+        epochs = len(self.history)
+        runtime = np.zeros(self.job.node_count)
+        energy = np.zeros(self.job.node_count)
+        freq_sum = np.zeros(self.job.node_count)
+        for record in self.history:
+            runtime += record.sample.epoch_time_s
+            energy += record.sample.host_energy_j
+            freq_sum += record.sample.mean_freq_ghz
+        final_limits = self.history[-1].limits_applied_w
+        hosts = tuple(
+            HostReport(
+                host_id=i,
+                runtime_s=float(runtime[i]),
+                energy_j=float(energy[i]),
+                mean_power_w=float(energy[i] / runtime[i]) if runtime[i] else 0.0,
+                mean_freq_ghz=float(freq_sum[i] / epochs),
+                power_limit_w=float(final_limits[i]),
+                epochs=epochs,
+            )
+            for i in range(self.job.node_count)
+        )
+        total_time = float(np.sum([r.sample.epoch_time_s for r in self.history]))
+        return JobReport(
+            job_name=self.job.name,
+            agent=self.agent.name,
+            hosts=hosts,
+            figure_of_merit=total_time / epochs,
+            metadata=dict(self.agent.describe()),
+        )

@@ -1,0 +1,31 @@
+"""The monitor agent: telemetry without control.
+
+GEOPM's ``monitor`` agent "simply reports requested metrics of interest,
+such as energy and time, without modifying system behavior" (paper §III-B).
+The paper uses it for characterization metric (a): maximum power each
+workload consumes when unconstrained (Fig. 4), and its reports feed the
+``Precharacterized`` and ``StaticCaps`` baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.agent import Agent, DEFAULT_REGISTRY, PlatformSample
+
+__all__ = ["MonitorAgent"]
+
+
+@DEFAULT_REGISTRY.register
+class MonitorAgent(Agent):
+    """Leave limits untouched; exist only so reports get generated."""
+
+    name = "monitor"
+
+    def __init__(self) -> None:
+        self._last_limits: np.ndarray | None = None
+
+    def adjust(self, sample: PlatformSample) -> np.ndarray:
+        """Echo back whatever limits are already in force."""
+        self._last_limits = np.array(sample.power_limit_w, dtype=float, copy=True)
+        return self._last_limits

@@ -1,0 +1,191 @@
+"""The power balancer agent: GEOPM's critical-path power shifting.
+
+Paper §II/§IV-B: "The power balancer agent reduces the power limit where it
+does not impact performance, and redistributes that power where it can
+improve performance, all during execution."  For a bulk-synchronous job the
+performance signal is the epoch (iteration) time: only hosts on the
+critical path determine it, so any host finishing early can be slowed —
+its RAPL limit lowered — until its compute phase just meets the critical
+path, with the freed budget offered to the hosts that *are* the critical
+path.
+
+The implementation is a model-free feedback loop, as on real hardware: the
+agent never consults the simulator's power/performance model, only the
+observed per-epoch host times and limits.  Each epoch it
+
+1. measures each host's slack fraction against the epoch's critical path,
+2. cuts limits on hosts with slack beyond a dead-band ``margin``,
+   proportionally to their slack (gain-scheduled, floor-clamped),
+3. pools the cut power plus any undistributed carry-over, and
+4. grants the pool to near-critical hosts, weighted by their remaining
+   headroom to TDP.
+
+Convergence is declared when limits stop moving (relative step below
+``tolerance``).  The converged *consumption* is the paper's metric (b) —
+"the minimum power each workload needs" (Fig. 5) — which the
+characterization layer cross-checks against the analytic inverse model in
+:meth:`repro.sim.engine.ExecutionModel.required_power`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.runtime.agent import Agent, DEFAULT_REGISTRY, PlatformSample
+from repro.units import ensure_positive, ensure_fraction
+
+__all__ = ["BalancerOptions", "PowerBalancerAgent"]
+
+
+@dataclass(frozen=True)
+class BalancerOptions:
+    """Tuning of the balancer feedback loop.
+
+    Attributes
+    ----------
+    gain:
+        Fraction of the proportional correction applied per epoch.  Higher
+        converges faster but can oscillate with noisy epoch times.
+    margin:
+        Dead-band around the critical path: hosts within ``margin`` of the
+        epoch time are treated as critical and never cut.  This is the
+        balancer's safety margin against cutting into the critical path
+        itself.
+    tolerance:
+        Relative limit movement below which the loop declares convergence.
+    min_limit_w / max_limit_w:
+        Node-level RAPL bounds (Quartz: 136 W floor, 240 W TDP).
+    harvest_fraction:
+        How much of a host's apparent power slack the balancer is willing
+        to harvest.  GEOPM's production loop is conservative — bounded
+        steps, a safety margin around the critical path — and the paper's
+        Fig. 5 shows waiting nodes settling roughly halfway between their
+        unconstrained draw and the theoretical minimum; 0.5 reproduces
+        that (see
+        :data:`repro.characterization.mix_characterization.DEFAULT_HARVEST_FRACTION`).
+        Set 1.0 for an idealised balancer.
+    """
+
+    gain: float = 0.5
+    margin: float = 0.02
+    tolerance: float = 1.0e-3
+    min_limit_w: float = 136.0
+    max_limit_w: float = 240.0
+    harvest_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.gain, "gain")
+        ensure_fraction(self.margin, "margin")
+        ensure_positive(self.tolerance, "tolerance")
+        ensure_positive(self.min_limit_w, "min_limit_w")
+        if self.max_limit_w <= self.min_limit_w:
+            raise ValueError("max_limit_w must exceed min_limit_w")
+        if not 0.0 < self.harvest_fraction <= 1.0:
+            raise ValueError("harvest_fraction must be in (0, 1]")
+
+
+@DEFAULT_REGISTRY.register
+class PowerBalancerAgent(Agent):
+    """Shift power from slack hosts to critical-path hosts within a job.
+
+    Parameters
+    ----------
+    job_budget_w:
+        Total node-power budget for the job.  The sum of limits the agent
+        programs never exceeds this budget; power it cannot place (all
+        receivers at TDP) is retained in an internal pool and reported via
+        :meth:`describe` as ``unallocated_w`` — the figure a coordinating
+        resource manager would harvest.
+    options:
+        Feedback-loop tuning.
+    """
+
+    name = "power_balancer"
+
+    def __init__(self, job_budget_w: float, options: BalancerOptions = BalancerOptions()) -> None:
+        ensure_positive(job_budget_w, "job_budget_w")
+        self.job_budget_w = float(job_budget_w)
+        self.options = options
+        self._limits: np.ndarray | None = None
+        self._pool_w = 0.0
+        self._last_step_w = np.inf
+        self._cut_floor_w: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _initial_limits(self, hosts: int) -> np.ndarray:
+        """Uniform split of the job budget, clamped to the settable range."""
+        uniform = self.job_budget_w / hosts
+        limits = np.full(hosts, uniform)
+        clamped = np.clip(limits, self.options.min_limit_w, self.options.max_limit_w)
+        # Budget that clamping released (or consumed) goes to the pool so
+        # the invariant sum(limits) + pool == budget holds from epoch 0.
+        self._pool_w = self.job_budget_w - float(np.sum(clamped))
+        return clamped
+
+    def adjust(self, sample: PlatformSample) -> np.ndarray:
+        """One feedback step; returns the next epoch's node limits."""
+        opts = self.options
+        if self._limits is None:
+            self._limits = self._initial_limits(sample.power_limit_w.size)
+            # The first epoch's observed power anchors the per-host cut
+            # floor: the balancer will not take more than harvest_fraction
+            # of the distance from that draw to the RAPL floor.
+            reference = np.asarray(sample.host_power_w, dtype=float)
+            self._cut_floor_w = np.maximum(
+                reference - opts.harvest_fraction * (reference - opts.min_limit_w),
+                opts.min_limit_w,
+            )
+            return self._limits.copy()
+
+        limits = self._limits
+        times = np.asarray(sample.host_time_s, dtype=float)
+        target = float(np.max(times))
+        if target <= 0:
+            return limits.copy()
+
+        slack_frac = 1.0 - times / target
+
+        # --- donors: hosts comfortably off the critical path ------------
+        cut_floor = (
+            self._cut_floor_w
+            if self._cut_floor_w is not None
+            else np.full_like(limits, opts.min_limit_w)
+        )
+        donors = slack_frac > opts.margin
+        cut = np.zeros_like(limits)
+        cut[donors] = opts.gain * slack_frac[donors] * (
+            limits[donors] - cut_floor[donors]
+        )
+        cut = np.maximum(cut, 0.0)
+        new_limits = np.maximum(limits - cut, cut_floor)
+        cut = limits - new_limits
+        pool = self._pool_w + float(np.sum(cut))
+
+        # --- receivers: near-critical hosts with headroom ---------------
+        receivers = (slack_frac <= opts.margin) & (new_limits < opts.max_limit_w - 1e-9)
+        if pool > 0 and np.any(receivers):
+            headroom = opts.max_limit_w - new_limits[receivers]
+            grant_total = min(pool, float(np.sum(headroom)))
+            grants = grant_total * headroom / float(np.sum(headroom))
+            new_limits[receivers] += grants
+            pool -= grant_total
+
+        self._pool_w = pool
+        self._last_step_w = float(np.max(np.abs(new_limits - limits)))
+        self._limits = new_limits
+        return new_limits.copy()
+
+    def converged(self) -> bool:
+        """Limits stopped moving (relative to the settable range width)."""
+        span = self.options.max_limit_w - self.options.min_limit_w
+        return self._last_step_w < self.options.tolerance * span
+
+    def describe(self):
+        """Budget, carried pool, and last step size for report metadata."""
+        return {
+            "job_budget_w": self.job_budget_w,
+            "unallocated_w": self._pool_w,
+            "last_step_w": self._last_step_w if np.isfinite(self._last_step_w) else -1.0,
+        }

@@ -1,0 +1,42 @@
+"""The power governor agent: uniform job-level cap enforcement.
+
+GEOPM's ``power_governor`` divides a job power budget evenly across hosts
+and holds it there.  It is the intra-job mechanism behind the paper's
+``StaticCaps`` baseline and the initial state of every power-sharing
+policy ("step 1: uniformly distribute the system power limit among hosts").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.agent import Agent, DEFAULT_REGISTRY, PlatformSample
+from repro.units import ensure_positive
+
+__all__ = ["PowerGovernorAgent"]
+
+
+@DEFAULT_REGISTRY.register
+class PowerGovernorAgent(Agent):
+    """Hold every host at ``job_budget_w / host_count``.
+
+    Parameters
+    ----------
+    job_budget_w:
+        Total node-power budget for the job (W).
+    """
+
+    name = "power_governor"
+
+    def __init__(self, job_budget_w: float) -> None:
+        ensure_positive(job_budget_w, "job_budget_w")
+        self.job_budget_w = float(job_budget_w)
+
+    def adjust(self, sample: PlatformSample) -> np.ndarray:
+        """Uniform per-host limit; constant across epochs."""
+        hosts = sample.power_limit_w.size
+        return np.full(hosts, self.job_budget_w / hosts)
+
+    def describe(self):
+        """Report the governed budget."""
+        return {"job_budget_w": self.job_budget_w}

@@ -1,0 +1,160 @@
+"""GEOPM-style reports: the interface between runtime and resource manager.
+
+On the real system, GEOPM writes a per-job report summarising every host's
+energy, runtime, average power, and achieved frequency; the paper's
+policies are computed *from those reports* ("The power is removed from and
+added to jobs based on the observed ... power usage (obtained from GEOPM
+reports)").  This module defines the same artefact, so the policy layer
+never reaches into the simulator directly — it sees exactly what a
+production resource manager would see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["HostReport", "JobReport"]
+
+
+@dataclass(frozen=True)
+class HostReport:
+    """Per-host section of a GEOPM report.
+
+    Attributes
+    ----------
+    host_id:
+        Host index within the job.
+    runtime_s:
+        Wall time the host spent in the job.
+    energy_j:
+        Package energy consumed over that time.
+    mean_power_w:
+        ``energy / runtime``; recorded explicitly because it is the
+        quantity every policy in the paper consumes.
+    mean_freq_ghz:
+        Average achieved core frequency.
+    power_limit_w:
+        The RAPL node limit in force at report time.
+    epochs:
+        Control epochs observed (iterations, for the synthetic kernel).
+    """
+
+    host_id: int
+    runtime_s: float
+    energy_j: float
+    mean_power_w: float
+    mean_freq_ghz: float
+    power_limit_w: float
+    epochs: int
+
+    def __post_init__(self) -> None:
+        if self.runtime_s < 0 or self.energy_j < 0:
+            raise ValueError("runtime and energy must be non-negative")
+
+
+@dataclass(frozen=True)
+class JobReport:
+    """A complete GEOPM report for one job execution.
+
+    The array accessors return host-ordered NumPy views so policy code can
+    stay vectorised.
+    """
+
+    job_name: str
+    agent: str
+    hosts: Tuple[HostReport, ...]
+    figure_of_merit: float = 0.0
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.hosts:
+            raise ValueError("a job report needs at least one host")
+        ids = [h.host_id for h in self.hosts]
+        if ids != sorted(set(ids)):
+            raise ValueError("host reports must be unique and host-id ordered")
+
+    # ------------------------------------------------------------------
+    @property
+    def host_count(self) -> int:
+        """Hosts covered by the report."""
+        return len(self.hosts)
+
+    def mean_power_w(self) -> np.ndarray:
+        """Per-host mean power (the policies' primary input)."""
+        return np.array([h.mean_power_w for h in self.hosts])
+
+    def power_limits_w(self) -> np.ndarray:
+        """Per-host RAPL limits in force."""
+        return np.array([h.power_limit_w for h in self.hosts])
+
+    def energy_j(self) -> np.ndarray:
+        """Per-host energy."""
+        return np.array([h.energy_j for h in self.hosts])
+
+    def runtime_s(self) -> np.ndarray:
+        """Per-host runtime."""
+        return np.array([h.runtime_s for h in self.hosts])
+
+    def mean_freq_ghz(self) -> np.ndarray:
+        """Per-host mean achieved frequency."""
+        return np.array([h.mean_freq_ghz for h in self.hosts])
+
+    def total_energy_j(self) -> float:
+        """Job energy."""
+        return float(np.sum(self.energy_j()))
+
+    def max_host_power_w(self) -> float:
+        """Most power-hungry host's mean power.
+
+        The ``Precharacterized`` policy submits jobs with exactly this cap
+        and ``StaticCaps`` uses it as the per-job clip level.
+        """
+        return float(np.max(self.mean_power_w()))
+
+    def summary(self) -> Dict[str, float]:
+        """Scalar roll-up for logs and tables."""
+        power = self.mean_power_w()
+        return {
+            "hosts": float(self.host_count),
+            "total_energy_j": self.total_energy_j(),
+            "max_runtime_s": float(np.max(self.runtime_s())),
+            "mean_power_w": float(np.mean(power)),
+            "max_power_w": float(np.max(power)),
+            "min_power_w": float(np.min(power)),
+        }
+
+    def to_geopm_format(self) -> str:
+        """Render the report in GEOPM's report-file style.
+
+        GEOPM writes per-job YAML-like reports with a header block and a
+        ``Hosts:`` section carrying per-host totals; downstream site
+        tooling (and this paper's characterization pipeline) parses that
+        layout.  The emitter covers the fields this stack produces.
+        """
+        lines = [
+            "##### geopm-style report #####",
+            f"Job Name: {self.job_name}",
+            f"Agent: {self.agent}",
+            f"Figure of Merit: {self.figure_of_merit:.6f}",
+        ]
+        if self.metadata:
+            lines.append("Policy:")
+            for key in sorted(self.metadata):
+                lines.append(f"  {key}: {self.metadata[key]:.6f}")
+        lines.append("Hosts:")
+        for host in self.hosts:
+            lines.extend(
+                [
+                    f"  host-{host.host_id}:",
+                    f"    runtime (s): {host.runtime_s:.6f}",
+                    f"    package-energy (J): {host.energy_j:.6f}",
+                    f"    power (W): {host.mean_power_w:.6f}",
+                    f"    frequency (GHz): {host.mean_freq_ghz:.6f}",
+                    f"    power-limit (W): {host.power_limit_w:.6f}",
+                    f"    epoch-count: {host.epochs}",
+                ]
+            )
+        return "\n".join(lines) + "\n"

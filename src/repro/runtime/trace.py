@@ -1,0 +1,162 @@
+"""GEOPM-style traces: per-epoch telemetry records.
+
+Alongside its end-of-job report, GEOPM writes a *trace* — one row per
+control epoch per host with the signals the agent sampled.  Traces are
+what operators use to debug a balancer that won't converge and what
+papers plot time series from.  :class:`TraceWriter` collects
+:class:`~repro.runtime.agent.PlatformSample` objects from a controller
+run into a columnar trace with CSV export, and :func:`attach_tracer`
+wires one into a controller non-invasively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.runtime.agent import PlatformSample
+
+__all__ = ["TraceRecord", "JobTrace", "TraceWriter", "attach_tracer"]
+
+#: Columns of a trace row, in GEOPM's naming spirit.
+TRACE_COLUMNS = (
+    "epoch",
+    "host",
+    "epoch_time_s",
+    "host_time_s",
+    "power_w",
+    "power_limit_w",
+    "energy_j",
+    "frequency_ghz",
+)
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One host's telemetry for one epoch."""
+
+    epoch: int
+    host: int
+    epoch_time_s: float
+    host_time_s: float
+    power_w: float
+    power_limit_w: float
+    energy_j: float
+    frequency_ghz: float
+
+    def row(self) -> Dict[str, float]:
+        """Flat dict in :data:`TRACE_COLUMNS` order."""
+        return {
+            "epoch": self.epoch,
+            "host": self.host,
+            "epoch_time_s": self.epoch_time_s,
+            "host_time_s": self.host_time_s,
+            "power_w": self.power_w,
+            "power_limit_w": self.power_limit_w,
+            "energy_j": self.energy_j,
+            "frequency_ghz": self.frequency_ghz,
+        }
+
+
+@dataclass
+class JobTrace:
+    """A complete trace: all epochs of all hosts of one job."""
+
+    job_name: str
+    records: List[TraceRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def epochs(self) -> int:
+        """Number of distinct epochs recorded."""
+        return len({r.epoch for r in self.records})
+
+    @property
+    def hosts(self) -> int:
+        """Number of distinct hosts recorded."""
+        return len({r.host for r in self.records})
+
+    def column(self, name: str, host: Optional[int] = None) -> np.ndarray:
+        """One column as an array, optionally filtered to a single host.
+
+        Rows are ordered by (epoch, host), so a single-host column is an
+        epoch-ordered time series.
+        """
+        if name not in TRACE_COLUMNS:
+            raise KeyError(f"unknown trace column {name!r}; have {TRACE_COLUMNS}")
+        rows = (
+            self.records
+            if host is None
+            else [r for r in self.records if r.host == host]
+        )
+        return np.array([getattr(r, name) for r in rows], dtype=float)
+
+    def limit_history(self) -> np.ndarray:
+        """Power limits as an (epochs, hosts) matrix — the balancer's
+        convergence picture."""
+        epochs = sorted({r.epoch for r in self.records})
+        hosts = sorted({r.host for r in self.records})
+        out = np.full((len(epochs), len(hosts)), np.nan)
+        epoch_index = {e: i for i, e in enumerate(epochs)}
+        host_index = {h: j for j, h in enumerate(hosts)}
+        for r in self.records:
+            out[epoch_index[r.epoch], host_index[r.host]] = r.power_limit_w
+        return out
+
+    def to_csv(self, path: Union[str, Path]) -> Path:
+        """Write the trace as CSV; returns the path written."""
+        from repro.analysis.export import write_csv
+
+        return write_csv([r.row() for r in self.records], path)
+
+
+class TraceWriter:
+    """Collects platform samples into a :class:`JobTrace`.
+
+    Call :meth:`record` once per epoch with the sample the controller
+    produced; hosts are numbered by array position.
+    """
+
+    def __init__(self, job_name: str) -> None:
+        self.trace = JobTrace(job_name=job_name)
+
+    def record(self, sample: PlatformSample) -> None:
+        """Append one epoch's telemetry for every host."""
+        n = sample.host_time_s.size
+        for host in range(n):
+            self.trace.records.append(
+                TraceRecord(
+                    epoch=sample.epoch,
+                    host=host,
+                    epoch_time_s=float(sample.epoch_time_s),
+                    host_time_s=float(sample.host_time_s[host]),
+                    power_w=float(sample.host_power_w[host]),
+                    power_limit_w=float(sample.power_limit_w[host]),
+                    energy_j=float(sample.host_energy_j[host]),
+                    frequency_ghz=float(sample.mean_freq_ghz[host]),
+                )
+            )
+
+
+def attach_tracer(controller) -> TraceWriter:
+    """Attach a tracer to a controller without touching its agent.
+
+    Wraps the controller's ``_run_epoch`` so every sample is recorded
+    before the agent sees it.  Returns the writer; read
+    ``writer.trace`` after :meth:`Controller.run`.
+    """
+    writer = TraceWriter(job_name=controller.job.name)
+    original = controller._run_epoch
+
+    def traced(epoch, limits_w):
+        sample = original(epoch, limits_w)
+        writer.record(sample)
+        return sample
+
+    controller._run_epoch = traced
+    return writer

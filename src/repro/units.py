@@ -1,0 +1,134 @@
+"""Physical-unit conventions and validation helpers.
+
+Every quantity in this library is a plain ``float`` or :class:`numpy.ndarray`
+in a fixed SI-derived unit.  The conventions are:
+
+===============  ==========================  =======================
+Quantity         Unit                        Typical symbol
+===============  ==========================  =======================
+power            watt (W)                    ``power_w``
+energy           joule (J)                   ``energy_j``
+time             second (s)                  ``time_s``
+frequency        gigahertz (GHz)             ``freq_ghz``
+bandwidth        gigabytes per second        ``bw_gbps``
+throughput       gigaFLOPS (GFLOP/s)         ``gflops``
+work (compute)   gigaFLOPs                   ``gflop``
+work (memory)    gigabytes                   ``gbyte``
+intensity        FLOPs per byte              ``intensity``
+===============  ==========================  =======================
+
+Frequencies are kept in GHz (not Hz) because the power model's polynomial
+coefficients are calibrated against GHz, and GFLOPS = GHz x FLOPs/cycle
+then works without scale factors.
+
+The helpers here raise :class:`ValueError` early with a descriptive message
+instead of letting a bad unit propagate into the vectorised simulation where
+it would surface as a cryptic broadcast error.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "KILO",
+    "MEGA",
+    "GIGA",
+    "JOULES_PER_KWH",
+    "SECONDS_PER_HOUR",
+    "SECONDS_PER_DAY",
+    "watts_to_kilowatts",
+    "kilowatts_to_watts",
+    "joules_to_kwh",
+    "ensure_positive",
+    "ensure_non_negative",
+    "ensure_fraction",
+    "ensure_in_range",
+    "ensure_monotonic_increasing",
+]
+
+KILO = 1.0e3
+MEGA = 1.0e6
+GIGA = 1.0e9
+
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+JOULES_PER_KWH = 3.6e6
+
+
+def watts_to_kilowatts(power_w: float) -> float:
+    """Convert watts to kilowatts."""
+    return power_w / KILO
+
+
+def kilowatts_to_watts(power_kw: float) -> float:
+    """Convert kilowatts to watts."""
+    return power_kw * KILO
+
+
+def joules_to_kwh(energy_j: float) -> float:
+    """Convert joules to kilowatt-hours."""
+    return energy_j / JOULES_PER_KWH
+
+
+def _is_scalar(value) -> bool:
+    return np.ndim(value) == 0
+
+
+def ensure_positive(value, name: str):
+    """Validate that ``value`` (scalar or array) is strictly positive.
+
+    Returns the value unchanged so the helper can be used inline::
+
+        self.tdp_w = ensure_positive(tdp_w, "tdp_w")
+    """
+    arr = np.asarray(value, dtype=float)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if not np.all(arr > 0):
+        raise ValueError(f"{name} must be strictly positive, got {value!r}")
+    return value
+
+
+def ensure_non_negative(value, name: str):
+    """Validate that ``value`` (scalar or array) is >= 0; return it."""
+    arr = np.asarray(value, dtype=float)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if not np.all(arr >= 0):
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def ensure_fraction(value, name: str):
+    """Validate that ``value`` lies in the closed interval [0, 1]; return it."""
+    arr = np.asarray(value, dtype=float)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if not (np.all(arr >= 0.0) and np.all(arr <= 1.0)):
+        raise ValueError(f"{name} must be within [0, 1], got {value!r}")
+    return value
+
+
+def ensure_in_range(value, low: float, high: float, name: str):
+    """Validate ``low <= value <= high`` element-wise; return ``value``."""
+    if math.isnan(low) or math.isnan(high) or low > high:
+        raise ValueError(f"invalid range [{low}, {high}] for {name}")
+    arr = np.asarray(value, dtype=float)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if not (np.all(arr >= low) and np.all(arr <= high)):
+        raise ValueError(f"{name} must be within [{low}, {high}], got {value!r}")
+    return value
+
+
+def ensure_monotonic_increasing(values: Iterable[float], name: str):
+    """Validate that a sequence is strictly increasing; return it as a list."""
+    seq = list(values)
+    for a, b in zip(seq, seq[1:]):
+        if not b > a:
+            raise ValueError(f"{name} must be strictly increasing, got {seq!r}")
+    return seq

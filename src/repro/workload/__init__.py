@@ -1,0 +1,58 @@
+"""Workload substrate: the synthetic arithmetic-intensity kernel and mixes.
+
+The paper evaluates with a synthetic kernel (its §IV, Fig. 2; released by
+the authors as the "arithmetic-intensity" benchmark) whose knobs are:
+
+* **computational intensity** — FLOPs per byte of memory traffic,
+* **vector length** — 128-bit (xmm) or 256-bit (ymm) FMA instructions,
+* **percent of waiting ranks** — fraction of the job's processes on the
+  non-critical path, polling at the bulk-synchronous barrier,
+* **imbalance factor** — how much more work the critical path performs
+  (2x / 3x in the paper's grid).
+
+This subpackage models that kernel analytically (:mod:`.kernel`), lays out
+jobs over nodes (:mod:`.job`), builds the configuration catalog spanning
+the paper's Fig. 4/5 heat-map grid (:mod:`.catalog`), constructs the six
+workload mixes of Table II (:mod:`.mixes`), and generates the Fig. 1
+facility power trace (:mod:`.facility`).
+"""
+
+from repro.workload.kernel import (
+    KernelConfig,
+    VectorWidth,
+    Precision,
+    activity_factor,
+    WAITING_IMBALANCE_GRID,
+    INTENSITY_GRID,
+)
+from repro.workload.job import Job, WorkloadMix
+from repro.workload.catalog import ConfigCatalog, build_catalog
+from repro.workload.mixes import MixBuilder, MIX_NAMES
+from repro.workload.facility import FacilityTraceConfig, generate_facility_trace
+from repro.workload.phases import (
+    WorkloadPhase,
+    PhasedWorkload,
+    PhasedRunResult,
+    simulate_phased_job,
+)
+
+__all__ = [
+    "KernelConfig",
+    "VectorWidth",
+    "Precision",
+    "activity_factor",
+    "WAITING_IMBALANCE_GRID",
+    "INTENSITY_GRID",
+    "Job",
+    "WorkloadMix",
+    "ConfigCatalog",
+    "build_catalog",
+    "MixBuilder",
+    "MIX_NAMES",
+    "FacilityTraceConfig",
+    "generate_facility_trace",
+    "WorkloadPhase",
+    "PhasedWorkload",
+    "PhasedRunResult",
+    "simulate_phased_job",
+]

@@ -1,0 +1,87 @@
+"""Shared fixtures for the test suite.
+
+Expensive objects (clusters, prepared grids) are session-scoped; tests
+must treat them as read-only.  Anything a test mutates gets a
+function-scoped fixture instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.grid import ExperimentConfig, ExperimentGrid
+from repro.hardware.cluster import Cluster
+from repro.hardware.cpu import QUARTZ_CPU, SocketPowerModel
+from repro.hardware.node import NodePowerModel
+from repro.manager.power_manager import PowerManager
+from repro.manager.scheduler import Scheduler
+from repro.sim.engine import ExecutionModel
+from repro.workload.catalog import build_catalog
+from repro.workload.mixes import MixBuilder
+
+
+@pytest.fixture(scope="session")
+def socket_model() -> SocketPowerModel:
+    """The Quartz socket power model."""
+    return SocketPowerModel(QUARTZ_CPU)
+
+
+@pytest.fixture(scope="session")
+def node_model() -> NodePowerModel:
+    """The Quartz dual-socket node power model."""
+    return NodePowerModel()
+
+
+@pytest.fixture(scope="session")
+def execution_model() -> ExecutionModel:
+    """The default physics bundle."""
+    return ExecutionModel()
+
+
+@pytest.fixture(scope="session")
+def small_cluster() -> Cluster:
+    """A 120-node cluster with variation (read-only)."""
+    return Cluster(node_count=120, seed=3)
+
+
+@pytest.fixture(scope="session")
+def flat_cluster() -> Cluster:
+    """A 60-node cluster without variation (read-only)."""
+    return Cluster(node_count=60, variation=None, seed=0)
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    """The full 126-configuration catalog."""
+    return build_catalog()
+
+
+@pytest.fixture(scope="session")
+def mix_builder() -> MixBuilder:
+    """Mix builder at test scale: 10 nodes per job."""
+    return MixBuilder(nodes_per_job=10, iterations=20)
+
+
+@pytest.fixture(scope="session")
+def small_grid() -> ExperimentGrid:
+    """A test-scale experiment grid (environment built lazily)."""
+    return ExperimentGrid(ExperimentConfig.small(nodes_per_job=10, iterations=20))
+
+
+@pytest.fixture(scope="session")
+def small_grid_results(small_grid):
+    """The full policy x mix x budget results at test scale."""
+    return small_grid.run_all()
+
+
+@pytest.fixture(scope="session")
+def scheduled_wasteful(small_grid):
+    """The WastefulPower mix, prepared (scheduled + characterized)."""
+    return small_grid.prepare_mix("WastefulPower")
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh seeded RNG per test."""
+    return np.random.default_rng(42)

@@ -1,0 +1,95 @@
+"""Integration: the balancer feedback loop agrees with the analytic path.
+
+The characterization pipeline uses an analytic balancer steady state for
+speed; the runtime package implements the authentic feedback loop.  These
+tests drive both against the same jobs and require agreement — the
+cross-validation that justifies the fast path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.characterization.balancer_runs import (
+    balancer_power_for_config,
+    needed_caps_for_job,
+)
+from repro.characterization.mix_characterization import characterize_mix
+from repro.hardware.cluster import Cluster
+from repro.runtime.power_balancer import BalancerOptions
+from repro.workload.job import Job, WorkloadMix
+from repro.workload.kernel import KernelConfig
+
+
+@pytest.fixture(scope="module")
+def flat_cluster_mod():
+    return Cluster(node_count=16, variation=None, seed=0)
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("waiting,imbalance", [(0.25, 2), (0.5, 2), (0.5, 3), (0.75, 3)])
+    def test_imbalanced_configs(self, flat_cluster_mod, execution_model,
+                                waiting, imbalance):
+        """Feedback-loop steady-state power matches the analytic needed
+        power within a few watts per host."""
+        config = KernelConfig(
+            intensity=8.0, waiting_fraction=waiting, imbalance=imbalance
+        )
+        ids = np.arange(8)
+        job = Job(name="x", config=config, node_count=8)
+        analytic = needed_caps_for_job(job, flat_cluster_mod.efficiencies[ids],
+                                       execution_model)
+        _, loop_power = balancer_power_for_config(
+            config, flat_cluster_mod, ids, execution_model,
+        )
+        # Mean powers agree within 4 % — the loop quantises its cuts.
+        assert np.mean(loop_power) == pytest.approx(np.mean(analytic), rel=0.04)
+
+    def test_balanced_config_no_cuts(self, flat_cluster_mod, execution_model):
+        """On a balanced job both paths report the unconstrained draw."""
+        config = KernelConfig(intensity=8.0)
+        ids = np.arange(8)
+        mean_power, loop_power = balancer_power_for_config(
+            config, flat_cluster_mod, ids, execution_model,
+        )
+        uncapped = execution_model.power_model.uncapped_power(config.kappa)
+        assert mean_power == pytest.approx(uncapped, rel=0.02)
+
+    def test_idealised_harvest_agreement(self, flat_cluster_mod, execution_model):
+        """With harvest_fraction=1 both paths cut waiting hosts to the
+        critical-path minimum."""
+        config = KernelConfig(intensity=16.0, waiting_fraction=0.5, imbalance=3)
+        ids = np.arange(8)
+        job = Job(name="x", config=config, node_count=8)
+        mix = WorkloadMix(name="x", jobs=(job,))
+        eff = flat_cluster_mod.efficiencies[ids]
+        analytic = characterize_mix(
+            mix, eff, execution_model, harvest_fraction=1.0
+        ).needed_power_w
+        _, loop_power = balancer_power_for_config(
+            config, flat_cluster_mod, ids, execution_model,
+            options=BalancerOptions(harvest_fraction=1.0),
+        )
+        assert np.mean(loop_power) == pytest.approx(np.mean(analytic), rel=0.05)
+
+    def test_loop_preserves_critical_path_time(self, flat_cluster_mod, execution_model):
+        """The balancer's whole contract: iteration time at steady state
+        matches the unconstrained iteration time (within its margin)."""
+        from repro.runtime.controller import Controller
+        from repro.runtime.power_balancer import PowerBalancerAgent
+
+        config = KernelConfig(intensity=16.0, waiting_fraction=0.5, imbalance=2)
+        job = Job(name="x", config=config, node_count=8)
+        eff = flat_cluster_mod.efficiencies[:8]
+
+        # Unconstrained iteration time.
+        from repro.runtime.monitor import MonitorAgent
+
+        mon = Controller(job, eff, MonitorAgent(), model=execution_model)
+        mon.run(max_epochs=2, min_epochs=2)
+        t_unconstrained = mon.steady_state_sample().epoch_time_s
+
+        agent = PowerBalancerAgent(job_budget_w=8 * 240.0)
+        ctl = Controller(job, eff, agent, model=execution_model)
+        ctl.run(max_epochs=300)
+        t_balanced = ctl.steady_state_sample().epoch_time_s
+        assert t_balanced == pytest.approx(t_unconstrained, rel=0.03)

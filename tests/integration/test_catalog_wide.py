@@ -1,0 +1,49 @@
+"""Catalog-wide sanity: every one of the 126 configurations works.
+
+The characterization grid (Figs. 4-5) and the mixes draw from the full
+configuration catalog; this sweep runs every configuration through
+characterization, budget derivation, allocation, and execution, asserting
+the invariants that must hold for *any* workload a user could build.
+"""
+
+import numpy as np
+import pytest
+
+from repro.characterization.budgets import derive_budgets
+from repro.characterization.mix_characterization import characterize_mix
+from repro.core.registry import create_policy
+from repro.sim.engine import ExecutionModel
+from repro.sim.execution import SimulationOptions, simulate_mix
+from repro.workload.catalog import build_catalog
+from repro.workload.job import Job, WorkloadMix
+
+MODEL = ExecutionModel()
+CATALOG = build_catalog()
+
+
+@pytest.mark.parametrize(
+    "config", list(CATALOG), ids=lambda c: c.label()
+)
+def test_config_end_to_end(config):
+    """Characterize, budget, allocate, and run one configuration."""
+    job = Job(name="cfg", config=config, node_count=4, iterations=2)
+    mix = WorkloadMix(name="cfg", jobs=(job,))
+    eff = np.ones(4)
+
+    char = characterize_mix(mix, eff, MODEL)
+    assert np.all(char.needed_power_w <= char.monitor_power_w + 1e-9)
+    assert np.all(char.monitor_power_w <= 240.0 + 1e-6)
+
+    budgets = derive_budgets(char)
+    assert budgets.min_w <= budgets.ideal_w <= budgets.max_w
+
+    policy = create_policy("MixedAdaptive")
+    alloc = policy.allocate(char, budgets.ideal_w)
+    assert alloc.within_budget()
+
+    result = simulate_mix(
+        mix, alloc.caps_w, eff, MODEL, SimulationOptions(noise_std=0.0),
+    )
+    assert np.all(np.isfinite(result.iteration_times_s))
+    assert result.total_energy_j > 0
+    assert result.mean_system_power_w <= budgets.ideal_w * 1.001

@@ -1,0 +1,85 @@
+"""Integration: the full stack driven through its public entry points."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ExperimentConfig,
+    ExperimentGrid,
+    check_takeaways,
+    create_policy,
+)
+from repro.analysis.export import rows_to_csv
+from repro.experiments.metrics import savings_grid
+
+
+class TestPackageQuickstart:
+    def test_readme_quickstart(self):
+        """The README quick-start sequence runs exactly as documented."""
+        grid = ExperimentGrid(ExperimentConfig.small(nodes_per_job=5, iterations=10))
+        results = grid.run_all()
+        report = check_takeaways(results)
+        assert report.all_hold(), report.failed()
+
+    def test_public_policy_api(self):
+        policy = create_policy("MixedAdaptive")
+        assert policy.system_power_aware and policy.application_aware
+
+
+class TestGridConsistency:
+    def test_budget_levels_order_performance(self, small_grid_results):
+        """For every mix and dynamic policy, more budget is never slower
+        (mean elapsed at min >= ideal >= max, to noise tolerance)."""
+        for mix in {k[0] for k in small_grid_results.cells}:
+            for policy in ("StaticCaps", "MixedAdaptive"):
+                t_min = small_grid_results.cell(mix, "min", policy).run.result.mean_elapsed_s
+                t_ideal = small_grid_results.cell(mix, "ideal", policy).run.result.mean_elapsed_s
+                t_max = small_grid_results.cell(mix, "max", policy).run.result.mean_elapsed_s
+                assert t_min >= t_ideal * 0.995, (mix, policy)
+                assert t_ideal >= t_max * 0.995, (mix, policy)
+
+    def test_energy_time_tradeoff_sane(self, small_grid_results):
+        """No policy consumes more energy *and* more time than StaticCaps
+        at the same budget (the policies never strictly lose)."""
+        grid = savings_grid(small_grid_results)
+        for key, savings in grid.items():
+            strictly_worse = (
+                savings.time_savings.mean < -0.01
+                and savings.energy_savings.mean < -0.01
+            )
+            assert not strictly_worse, key
+
+    def test_mean_power_within_physics(self, small_grid_results):
+        """Measured powers stay inside [floor-ish, TDP] per host."""
+        for cell in small_grid_results.cells.values():
+            power = cell.run.result.host_mean_power_w
+            assert np.all(power <= 240.0 + 1e-6)
+            assert np.all(power >= 50.0)
+
+    def test_rows_export_csv(self, small_grid_results):
+        csv_text = rows_to_csv(small_grid_results.rows())
+        assert csv_text.count("\n") == 91  # header + 90 cells
+
+    def test_allocations_match_caps_run(self, small_grid_results):
+        """The allocation recorded on a cell is what the simulator saw
+        (for application-agnostic policies, which run uncapped by the
+        runtime)."""
+        cell = small_grid_results.cell("LowPower", "min", "StaticCaps")
+        caps = cell.run.allocation.caps_w
+        power = cell.run.result.host_mean_power_w
+        assert np.all(power <= caps + 1e-6)
+
+
+class TestScaleInvariance:
+    def test_shapes_stable_across_scales(self):
+        """Doubling the per-job node count leaves the qualitative outcome
+        unchanged (per-node budgets and savings ordering)."""
+        outcomes = {}
+        for npj in (5, 10):
+            grid = ExperimentGrid(ExperimentConfig.small(nodes_per_job=npj,
+                                                         iterations=10))
+            results = grid.run_all(mixes=["WastefulPower"])
+            sg = savings_grid(results)
+            outcomes[npj] = sg[("WastefulPower", "max", "MixedAdaptive")].energy_savings.mean
+        assert outcomes[5] == pytest.approx(outcomes[10], abs=0.03)
+        assert outcomes[10] > 0.05

@@ -1,0 +1,147 @@
+"""Integration: quantitative agreement with the paper's published values.
+
+These tests pin the reproduction to the numbers a reader can extract from
+the paper — heat-map cells, cluster sizes, budget ranges, and the headline
+savings — at the tolerances EXPERIMENTS.md documents.
+"""
+
+import numpy as np
+import pytest
+
+from repro.characterization.balancer_runs import balancer_heatmap
+from repro.characterization.clustering import survey_and_cluster
+from repro.characterization.monitor_runs import monitor_heatmap
+from repro.experiments.metrics import savings_grid
+from repro.hardware.cluster import Cluster
+
+
+@pytest.fixture(scope="module")
+def test_nodes():
+    """100 test nodes, as in the paper's characterization runs."""
+    cluster = Cluster(node_count=2000, seed=2021)
+    survey = survey_and_cluster(cluster, cap_w=140.0, kappa=1.0)
+    medium = survey.cluster_node_ids("medium")
+    return cluster, medium[:100]
+
+
+#: Fig. 4's ymm heat map, transcribed from the paper (W per node).
+FIG4_PAPER = {
+    (0.25, 0.0, 1): 214, (0.5, 0.0, 1): 212, (1.0, 0.0, 1): 209,
+    (2.0, 0.0, 1): 213, (4.0, 0.0, 1): 223, (8.0, 0.0, 1): 232,
+    (16.0, 0.0, 1): 222, (32.0, 0.0, 1): 216,
+    (8.0, 0.75, 3): 222, (8.0, 0.25, 2): 231, (16.0, 0.5, 2): 220,
+}
+
+#: Selected Fig. 5 cells (W per node).
+FIG5_PAPER = {
+    (0.25, 0.0, 1): 214, (1.0, 0.0, 1): 207, (8.0, 0.75, 3): 191,
+    (8.0, 0.25, 2): 213, (8.0, 0.5, 2): 199, (16.0, 0.75, 3): 190,
+}
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def heatmap(self, test_nodes, execution_model):
+        cluster, ids = test_nodes
+        return monitor_heatmap(cluster, ids, model=execution_model)
+
+    def test_balanced_column_within_3w(self, heatmap):
+        """The calibration anchors: 0 %-waiting cells match to ~3 W."""
+        for (intensity, waiting, imbalance), watts in FIG4_PAPER.items():
+            if imbalance != 1:
+                continue
+            cell = heatmap.cell(intensity, waiting, imbalance)
+            assert cell == pytest.approx(watts, abs=3.0), (intensity, waiting)
+
+    def test_imbalanced_cells_within_8w(self, heatmap):
+        for (intensity, waiting, imbalance), watts in FIG4_PAPER.items():
+            if imbalance == 1:
+                continue
+            cell = heatmap.cell(intensity, waiting, imbalance)
+            assert cell == pytest.approx(watts, abs=8.0), (intensity, waiting)
+
+    def test_power_peak_at_intensity_8(self, heatmap):
+        balanced = heatmap.values[:, 0]
+        assert heatmap.intensities[int(np.argmax(balanced))] == 8.0
+
+    def test_insensitive_to_imbalance(self, heatmap):
+        """Row spread across waiting columns stays within ~12 W."""
+        spreads = np.ptp(heatmap.values, axis=1)
+        assert np.max(spreads) < 13.0
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def heatmap(self, test_nodes, execution_model):
+        cluster, ids = test_nodes
+        return balancer_heatmap(cluster, ids, model=execution_model)
+
+    def test_selected_cells_within_10w(self, heatmap):
+        for (intensity, waiting, imbalance), watts in FIG5_PAPER.items():
+            cell = heatmap.cell(intensity, waiting, imbalance)
+            assert cell == pytest.approx(watts, abs=10.0), (intensity, waiting)
+
+    def test_vertical_bands(self, heatmap):
+        """Needed power decreases monotonically with the waiting
+        percentage — the paper's central Fig. 5 observation."""
+        cols = list(heatmap.columns)
+        c0 = cols.index((0.0, 1))
+        c25 = cols.index((0.25, 2))
+        c50 = cols.index((0.5, 2))
+        c75 = cols.index((0.75, 2))
+        for row in heatmap.values:
+            assert row[c0] >= row[c25] >= row[c50] >= row[c75]
+
+    def test_needed_below_monitor(self, heatmap, test_nodes, execution_model):
+        cluster, ids = test_nodes
+        monitor = monitor_heatmap(cluster, ids, model=execution_model)
+        assert np.all(heatmap.values <= monitor.values + 1e-6)
+
+
+class TestFig6:
+    def test_cluster_sizes_match_paper(self):
+        """522 / 918 / 560 within a +-5 % band."""
+        cluster = Cluster(node_count=2000, seed=2021)
+        survey = survey_and_cluster(cluster, cap_w=140.0, kappa=1.0)
+        sizes = survey.cluster_sizes()
+        assert sizes["low"] == pytest.approx(522, abs=30)
+        assert sizes["medium"] == pytest.approx(918, abs=30)
+        assert sizes["high"] == pytest.approx(560, abs=30)
+
+    def test_medium_supports_paper_experiments(self):
+        cluster = Cluster(node_count=2000, seed=2021)
+        survey = survey_and_cluster(cluster, cap_w=140.0, kappa=1.0)
+        assert survey.cluster_sizes()["medium"] >= 900
+
+
+class TestHeadlines:
+    """The abstract's quantitative claims, at test scale."""
+
+    def test_up_to_7pct_time_savings(self, small_grid_results):
+        grid = savings_grid(small_grid_results)
+        best = max(s.time_savings.mean for s in grid.values())
+        assert 0.05 <= best <= 0.12  # paper: "up to 7%"
+
+    def test_up_to_11pct_energy_savings(self, small_grid_results):
+        grid = savings_grid(small_grid_results)
+        best = max(s.energy_savings.mean for s in grid.values())
+        assert 0.08 <= best <= 0.16  # paper: "up to 11%"
+
+    def test_wasteful_power_max_energy_champion(self, small_grid_results):
+        """The paper's marker-(d): the big energy win is WastefulPower at
+        a generous budget under MixedAdaptive."""
+        grid = savings_grid(small_grid_results)
+        s = grid[("WastefulPower", "max", "MixedAdaptive")]
+        assert s.energy_savings.mean > 0.08
+
+    def test_table3_budget_ranges(self, small_grid):
+        """Per-node budget levels fall in the paper's Table III ranges
+        (numbers scaled to per-node: paper min 151-186 W, ideal 160-197 W,
+        max ~209-232 W)."""
+        for mix_name in small_grid.config.mixes:
+            prepared = small_grid.prepare_mix(mix_name)
+            hosts = prepared.characterization.host_count
+            b = prepared.budgets
+            assert 140.0 <= b.min_w / hosts <= 195.0, mix_name
+            assert 155.0 <= b.ideal_w / hosts <= 216.0, mix_name
+            assert 205.0 <= b.max_w / hosts <= 242.0, mix_name

@@ -1,0 +1,89 @@
+"""Property-based tests: admission-control invariants over random queues."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.manager.admission import PowerAwareAdmission
+from repro.manager.queue import JobQueue, JobRequest
+from repro.workload.kernel import KernelConfig
+
+
+@st.composite
+def queues(draw):
+    """A random queue of 1-8 hinted jobs."""
+    count = draw(st.integers(1, 8))
+    queue = JobQueue()
+    for i in range(count):
+        queue.submit(
+            JobRequest(
+                name=f"job-{i}",
+                config=KernelConfig(intensity=8.0),
+                node_count=draw(st.integers(1, 12)),
+                power_hint_w=draw(st.floats(140.0, 240.0, allow_nan=False)),
+            )
+        )
+    return queue
+
+
+budgets = st.floats(200.0, 20000.0, allow_nan=False)
+node_pools = st.integers(0, 40)
+backfills = st.booleans()
+
+
+class TestAdmissionInvariants:
+    @given(queue=queues(), budget=budgets, nodes=node_pools, backfill=backfills)
+    @settings(max_examples=200, deadline=None)
+    def test_power_budget_respected(self, queue, budget, nodes, backfill):
+        decision = PowerAwareAdmission(backfill=backfill).decide(
+            queue, budget, nodes, mark=False
+        )
+        assert decision.admitted_power_w <= budget + 1e-6
+        assert decision.feasible()
+
+    @given(queue=queues(), budget=budgets, nodes=node_pools, backfill=backfills)
+    @settings(max_examples=200, deadline=None)
+    def test_node_pool_respected(self, queue, budget, nodes, backfill):
+        decision = PowerAwareAdmission(backfill=backfill).decide(
+            queue, budget, nodes, mark=False
+        )
+        assert decision.admitted_nodes <= nodes
+
+    @given(queue=queues(), budget=budgets, nodes=node_pools, backfill=backfills)
+    @settings(max_examples=200, deadline=None)
+    def test_partition_complete(self, queue, budget, nodes, backfill):
+        """Every pending job is either admitted or deferred, never both."""
+        decision = PowerAwareAdmission(backfill=backfill).decide(
+            queue, budget, nodes, mark=False
+        )
+        admitted = set(decision.admitted)
+        deferred = set(decision.deferred)
+        pending = {r.name for r in queue.pending()}
+        assert admitted | deferred == pending
+        assert not admitted & deferred
+
+    @given(queue=queues(), budget=budgets, nodes=node_pools)
+    @settings(max_examples=150, deadline=None)
+    def test_backfill_admits_superset_power(self, queue, budget, nodes):
+        """Backfill never admits less total work than strict FIFO."""
+        fifo = PowerAwareAdmission(backfill=False).decide(
+            queue, budget, nodes, mark=False
+        )
+        easy = PowerAwareAdmission(backfill=True).decide(
+            queue, budget, nodes, mark=False
+        )
+        assert len(easy.admitted) >= len(fifo.admitted)
+        # FIFO's admitted prefix is preserved by backfill.
+        assert set(fifo.admitted) <= set(easy.admitted)
+
+    @given(queue=queues(), budget=budgets, nodes=node_pools)
+    @settings(max_examples=150, deadline=None)
+    def test_fifo_stops_at_first_blocker(self, queue, budget, nodes):
+        """Strict FIFO admissions form a prefix of the queue order."""
+        decision = PowerAwareAdmission(backfill=False).decide(
+            queue, budget, nodes, mark=False
+        )
+        order = [r.name for r in queue.pending()]
+        prefix = order[: len(decision.admitted)]
+        assert list(decision.admitted) == prefix

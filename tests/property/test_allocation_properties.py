@@ -1,0 +1,157 @@
+"""Property-based tests: the water-filling primitives' invariants.
+
+Power conservation and bound respect must hold for *any* input, not just
+the scenarios the policies happen to produce — these are the invariants
+every policy builds on.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.allocation import (
+    distribute_uniform,
+    distribute_weighted,
+    fit_to_budget,
+)
+
+_SIZE = st.integers(min_value=1, max_value=24)
+
+
+def _alloc_and_bounds(draw, size):
+    alloc = draw(
+        arrays(float, size, elements=st.floats(0.0, 300.0, allow_nan=False))
+    )
+    headroom = draw(
+        arrays(float, size, elements=st.floats(0.0, 200.0, allow_nan=False))
+    )
+    return alloc, alloc + headroom
+
+
+@st.composite
+def uniform_case(draw):
+    size = draw(_SIZE)
+    alloc, bounds = _alloc_and_bounds(draw, size)
+    pool = draw(st.floats(0.0, 5000.0, allow_nan=False))
+    return pool, alloc, bounds
+
+
+@st.composite
+def weighted_case(draw):
+    size = draw(_SIZE)
+    alloc, bounds = _alloc_and_bounds(draw, size)
+    weights = draw(
+        arrays(float, size, elements=st.floats(0.0, 10.0, allow_nan=False))
+    )
+    pool = draw(st.floats(0.0, 5000.0, allow_nan=False))
+    return pool, alloc, weights, bounds
+
+
+class TestDistributeUniform:
+    @given(uniform_case())
+    @settings(max_examples=200, deadline=None)
+    def test_conservation(self, case):
+        pool, alloc, bounds = case
+        new, leftover = distribute_uniform(pool, alloc, bounds)
+        granted = float(np.sum(new - alloc))
+        np.testing.assert_allclose(granted + leftover, pool, rtol=1e-9, atol=1e-6)
+
+    @given(uniform_case())
+    @settings(max_examples=200, deadline=None)
+    def test_bounds_respected(self, case):
+        pool, alloc, bounds = case
+        new, _ = distribute_uniform(pool, alloc, bounds)
+        assert np.all(new <= bounds + 1e-6)
+        assert np.all(new >= alloc - 1e-9)
+
+    @given(uniform_case())
+    @settings(max_examples=200, deadline=None)
+    def test_leftover_nonnegative(self, case):
+        pool, alloc, bounds = case
+        _, leftover = distribute_uniform(pool, alloc, bounds)
+        assert leftover >= 0.0
+
+    @given(uniform_case())
+    @settings(max_examples=100, deadline=None)
+    def test_leftover_only_when_saturated(self, case):
+        """Leftover implies every host is at its bound."""
+        pool, alloc, bounds = case
+        new, leftover = distribute_uniform(pool, alloc, bounds)
+        if leftover > 1e-6:
+            np.testing.assert_allclose(new, bounds, atol=1e-6)
+
+
+class TestDistributeWeighted:
+    @given(weighted_case())
+    @settings(max_examples=200, deadline=None)
+    def test_conservation(self, case):
+        pool, alloc, weights, bounds = case
+        new, leftover = distribute_weighted(pool, alloc, weights, bounds)
+        np.testing.assert_allclose(
+            float(np.sum(new - alloc)) + leftover, pool, rtol=1e-9, atol=1e-6
+        )
+
+    @given(weighted_case())
+    @settings(max_examples=200, deadline=None)
+    def test_bounds_respected(self, case):
+        pool, alloc, weights, bounds = case
+        new, _ = distribute_weighted(pool, alloc, weights, bounds)
+        assert np.all(new <= bounds + 1e-6)
+        assert np.all(new >= alloc - 1e-9)
+
+    @given(weighted_case())
+    @settings(max_examples=200, deadline=None)
+    def test_zero_weight_gets_nothing(self, case):
+        pool, alloc, weights, bounds = case
+        new, _ = distribute_weighted(pool, alloc, weights, bounds)
+        zero = weights == 0
+        np.testing.assert_allclose(new[zero], alloc[zero], atol=1e-9)
+
+
+@st.composite
+def fit_case(draw):
+    size = draw(_SIZE)
+    floor = draw(st.floats(10.0, 150.0, allow_nan=False))
+    above = draw(
+        arrays(float, size, elements=st.floats(0.0, 150.0, allow_nan=False))
+    )
+    budget = draw(st.floats(1.0, 6000.0, allow_nan=False))
+    return floor + above, budget, floor
+
+
+class TestFitToBudget:
+    @given(fit_case())
+    @settings(max_examples=200, deadline=None)
+    def test_budget_or_floor(self, case):
+        """Result meets the budget, unless the all-floor vector itself
+        exceeds it (the infeasible case returns all-floor)."""
+        targets, budget, floor = case
+        out = fit_to_budget(targets, budget, floor)
+        if targets.size * floor <= budget:
+            assert float(np.sum(out)) <= budget + 1e-6
+        else:
+            np.testing.assert_allclose(out, floor)
+
+    @given(fit_case())
+    @settings(max_examples=200, deadline=None)
+    def test_floor_respected(self, case):
+        targets, budget, floor = case
+        out = fit_to_budget(targets, budget, floor)
+        assert np.all(out >= floor - 1e-9)
+
+    @given(fit_case())
+    @settings(max_examples=200, deadline=None)
+    def test_never_exceeds_targets(self, case):
+        targets, budget, floor = case
+        out = fit_to_budget(targets, budget, floor)
+        assert np.all(out <= targets + 1e-9)
+
+    @given(fit_case())
+    @settings(max_examples=200, deadline=None)
+    def test_order_preserved(self, case):
+        """Scaling never swaps two hosts' relative allocations."""
+        targets, budget, floor = case
+        out = fit_to_budget(targets, budget, floor)
+        order_in = np.argsort(targets, kind="stable")
+        assert np.all(np.diff(out[order_in]) >= -1e-9)

@@ -1,0 +1,124 @@
+"""Property-based tests: characterization invariants over random mixes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.characterization.budgets import derive_budgets
+from repro.characterization.mix_characterization import characterize_mix
+from repro.sim.engine import ExecutionModel
+from repro.workload.job import Job, WorkloadMix
+from repro.workload.kernel import INTENSITY_GRID, KernelConfig
+
+MODEL = ExecutionModel()
+
+
+@st.composite
+def random_mixes(draw):
+    """A mix of 1-3 jobs with random grid configurations and sizes."""
+    job_count = draw(st.integers(1, 3))
+    jobs = []
+    for i in range(job_count):
+        intensity = draw(st.sampled_from(INTENSITY_GRID))
+        imbalanced = draw(st.booleans())
+        if imbalanced:
+            waiting = draw(st.sampled_from([0.25, 0.5, 0.75]))
+            imbalance = draw(st.sampled_from([2, 3]))
+        else:
+            waiting, imbalance = 0.0, 1
+        jobs.append(
+            Job(
+                name=f"j{i}",
+                config=KernelConfig(
+                    intensity=intensity,
+                    waiting_fraction=waiting,
+                    imbalance=imbalance,
+                ),
+                node_count=draw(st.integers(2, 8)),
+            )
+        )
+    return WorkloadMix(name="prop", jobs=tuple(jobs))
+
+
+@st.composite
+def mix_cases(draw):
+    mix = draw(random_mixes())
+    eff = np.array(
+        draw(
+            st.lists(
+                st.floats(0.85, 1.15, allow_nan=False),
+                min_size=mix.total_nodes,
+                max_size=mix.total_nodes,
+            )
+        )
+    )
+    harvest = draw(st.sampled_from([0.25, 0.5, 0.75, 1.0]))
+    return mix, eff, harvest
+
+
+class TestCharacterizationInvariants:
+    @given(case=mix_cases())
+    @settings(max_examples=120, deadline=None)
+    def test_needed_never_exceeds_observed(self, case):
+        mix, eff, harvest = case
+        char = characterize_mix(mix, eff, MODEL, harvest_fraction=harvest)
+        assert np.all(char.needed_power_w <= char.monitor_power_w + 1e-9)
+
+    @given(case=mix_cases())
+    @settings(max_examples=120, deadline=None)
+    def test_powers_physical(self, case):
+        mix, eff, harvest = case
+        char = characterize_mix(mix, eff, MODEL, harvest_fraction=harvest)
+        assert np.all(char.monitor_power_w > 0)
+        assert np.all(char.monitor_power_w <= 2 * 240.0)
+        assert np.all(char.needed_cap_w >= char.min_cap_w - 1e-9)
+        assert np.all(char.needed_cap_w <= char.tdp_w + 1e-9)
+
+    @given(case=mix_cases())
+    @settings(max_examples=120, deadline=None)
+    def test_critical_hosts_need_their_draw(self, case):
+        """Hosts on the critical path always need their full draw."""
+        mix, eff, harvest = case
+        char = characterize_mix(mix, eff, MODEL, harvest_fraction=harvest)
+        layout = mix.layout()
+        # The per-job critical path is set by its slowest critical host;
+        # that host's needed power equals its observed power.
+        for j, job in enumerate(mix.jobs):
+            block = char.job_slice(j)
+            crit = layout.critical[block.start:block.stop]
+            gap = (
+                char.monitor_power_w[block][crit]
+                - char.needed_power_w[block][crit]
+            )
+            assert float(np.min(gap)) >= -1e-9
+            assert float(np.min(gap)) < 1.0  # someone is pinned
+
+    @given(case=mix_cases())
+    @settings(max_examples=120, deadline=None)
+    def test_deeper_harvest_needs_less(self, case):
+        mix, eff, _ = case
+        shallow = characterize_mix(mix, eff, MODEL, harvest_fraction=0.25)
+        deep = characterize_mix(mix, eff, MODEL, harvest_fraction=1.0)
+        assert np.all(deep.needed_power_w <= shallow.needed_power_w + 1e-9)
+        np.testing.assert_allclose(
+            deep.monitor_power_w, shallow.monitor_power_w
+        )
+
+    @given(case=mix_cases())
+    @settings(max_examples=120, deadline=None)
+    def test_budget_ordering_always_holds(self, case):
+        mix, eff, harvest = case
+        char = characterize_mix(mix, eff, MODEL, harvest_fraction=harvest)
+        budgets = derive_budgets(char)
+        assert budgets.min_w <= budgets.ideal_w <= budgets.max_w
+        assert budgets.max_w <= budgets.total_tdp_w + 1e-6
+
+    @given(case=mix_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_deterministic(self, case):
+        mix, eff, harvest = case
+        a = characterize_mix(mix, eff, MODEL, harvest_fraction=harvest)
+        b = characterize_mix(mix, eff, MODEL, harvest_fraction=harvest)
+        np.testing.assert_array_equal(a.needed_power_w, b.needed_power_w)
+        np.testing.assert_array_equal(a.monitor_power_w, b.monitor_power_w)

@@ -1,0 +1,137 @@
+"""Property-based tests: invariants every policy must satisfy.
+
+Generated characterizations cover arbitrary job structures and power
+profiles; the properties are the contract the resource manager relies on.
+"""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.characterization.mix_characterization import MixCharacterization
+from repro.core.registry import POLICY_NAMES, create_policy
+
+FLOOR = 136.0
+TDP = 240.0
+
+SYSTEM_AWARE = ("StaticCaps", "MinimizeWaste", "JobAdaptive", "MixedAdaptive")
+
+
+@st.composite
+def characterizations(draw):
+    """A random mix characterization with 1-4 jobs of 1-6 hosts each."""
+    job_sizes = draw(
+        st.lists(st.integers(1, 6), min_size=1, max_size=4)
+    )
+    boundaries = np.concatenate([[0], np.cumsum(job_sizes)])
+    n = int(boundaries[-1])
+    monitor = np.array(
+        draw(
+            st.lists(
+                st.floats(150.0, 239.0, allow_nan=False), min_size=n, max_size=n
+            )
+        )
+    )
+    shave = np.array(
+        draw(
+            st.lists(st.floats(0.0, 80.0, allow_nan=False), min_size=n, max_size=n)
+        )
+    )
+    needed = np.maximum(monitor - shave, FLOOR)
+    needed = np.minimum(needed, monitor)
+    return MixCharacterization(
+        mix_name="prop",
+        job_boundaries=boundaries,
+        monitor_power_w=monitor,
+        needed_power_w=needed,
+        needed_cap_w=np.clip(needed, FLOOR, TDP),
+        min_cap_w=FLOOR,
+        tdp_w=TDP,
+    )
+
+
+budgets_per_host = st.floats(140.0, 260.0, allow_nan=False)
+
+
+class TestUniversalInvariants:
+    @given(char=characterizations(), per_host=budgets_per_host,
+           policy_name=st.sampled_from(POLICY_NAMES))
+    @settings(max_examples=300, deadline=None)
+    def test_caps_in_rapl_range(self, char, per_host, policy_name):
+        alloc = create_policy(policy_name).allocate(char, per_host * char.host_count)
+        assert np.all(alloc.caps_w >= FLOOR - 1e-9)
+        assert np.all(alloc.caps_w <= TDP + 1e-9)
+
+    @given(char=characterizations(), per_host=budgets_per_host,
+           policy_name=st.sampled_from(SYSTEM_AWARE))
+    @settings(max_examples=300, deadline=None)
+    def test_system_aware_respect_budget(self, char, per_host, policy_name):
+        budget = per_host * char.host_count
+        alloc = create_policy(policy_name).allocate(char, budget)
+        assert alloc.within_budget(tolerance_w=1e-4), policy_name
+
+    @given(char=characterizations(), per_host=budgets_per_host,
+           policy_name=st.sampled_from(POLICY_NAMES))
+    @settings(max_examples=150, deadline=None)
+    def test_deterministic(self, char, per_host, policy_name):
+        policy = create_policy(policy_name)
+        budget = per_host * char.host_count
+        a = policy.allocate(char, budget)
+        b = policy.allocate(char, budget)
+        np.testing.assert_array_equal(a.caps_w, b.caps_w)
+
+    @given(char=characterizations(), per_host=budgets_per_host)
+    @settings(max_examples=150, deadline=None)
+    def test_jobadaptive_silo_invariant(self, char, per_host):
+        """No job's allocation exceeds its uniform job budget."""
+        budget = per_host * char.host_count
+        alloc = create_policy("JobAdaptive").allocate(char, budget)
+        uniform = budget / char.host_count
+        for j in range(char.job_count):
+            block = char.job_slice(j)
+            hosts = block.stop - block.start
+            job_total = float(np.sum(alloc.caps_w[block]))
+            # A tiny violation can come from the floor clamp when the
+            # uniform share is below the RAPL floor.
+            assert job_total <= max(uniform, FLOOR) * hosts + 1e-6
+
+    @given(char=characterizations(), per_host=budgets_per_host)
+    @settings(max_examples=150, deadline=None)
+    def test_minimize_waste_never_exceeds_observed(self, char, per_host):
+        """MinimizeWaste grants are bounded by observed power (or the
+        floor, whichever is higher)."""
+        budget = per_host * char.host_count
+        alloc = create_policy("MinimizeWaste").allocate(char, budget)
+        uniform = budget / char.host_count
+        bound = np.maximum(np.maximum(char.monitor_power_w, FLOOR), 0)
+        # Hosts can also simply keep their uniform share when it is below
+        # their observed power.
+        assert np.all(alloc.caps_w <= np.maximum(bound, min(uniform, TDP)) + 1e-6)
+
+    @given(char=characterizations(), per_host=budgets_per_host)
+    @settings(max_examples=150, deadline=None)
+    def test_mixed_dominates_static_on_needed_satisfaction(self, char, per_host):
+        """MixedAdaptive leaves no host further from its needed power than
+        StaticCaps does, in aggregate shortfall."""
+        budget = per_host * char.host_count
+        mixed = create_policy("MixedAdaptive").allocate(char, budget)
+        static = create_policy("StaticCaps").allocate(char, budget)
+        need = char.needed_cap_w
+        shortfall_mixed = float(np.sum(np.maximum(need - mixed.caps_w, 0.0)))
+        shortfall_static = float(np.sum(np.maximum(need - static.caps_w, 0.0)))
+        assert shortfall_mixed <= shortfall_static + 1e-6
+
+    @given(char=characterizations(), p1=budgets_per_host, p2=budgets_per_host)
+    @settings(max_examples=150, deadline=None)
+    def test_mixed_adaptive_monotone_satisfaction_in_budget(self, char, p1, p2):
+        """More budget never increases MixedAdaptive's aggregate needed-
+        power shortfall."""
+        assume(abs(p1 - p2) > 1e-6)
+        lo, hi = sorted((p1, p2))
+        policy = create_policy("MixedAdaptive")
+        need = char.needed_cap_w
+        a = policy.allocate(char, lo * char.host_count)
+        b = policy.allocate(char, hi * char.host_count)
+        short_a = float(np.sum(np.maximum(need - a.caps_w, 0.0)))
+        short_b = float(np.sum(np.maximum(need - b.caps_w, 0.0)))
+        assert short_b <= short_a + 1e-6

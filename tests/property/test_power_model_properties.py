@@ -1,0 +1,94 @@
+"""Property-based tests: socket power-model invariants.
+
+The policies assume monotone, invertible physics; hypothesis hammers the
+model across the whole parameter space to guarantee it.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.cpu import QUARTZ_CPU, SocketPowerModel
+
+MODEL = SocketPowerModel(QUARTZ_CPU)
+
+freqs = st.floats(QUARTZ_CPU.min_freq_ghz, QUARTZ_CPU.turbo_freq_ghz,
+                  allow_nan=False)
+kappas = st.floats(0.5, 1.0, allow_nan=False)
+effs = st.floats(0.85, 1.15, allow_nan=False)
+powers = st.floats(20.0, 130.0, allow_nan=False)
+
+
+class TestForwardMap:
+    @given(f=freqs, k=kappas, e=effs)
+    @settings(max_examples=300, deadline=None)
+    def test_power_above_uncore(self, f, k, e):
+        assert MODEL.power_at(f, k, e) > QUARTZ_CPU.uncore_power_w
+
+    @given(f1=freqs, f2=freqs, k=kappas, e=effs)
+    @settings(max_examples=300, deadline=None)
+    def test_monotone_in_frequency(self, f1, f2, k, e):
+        if f1 + 1e-9 < f2:
+            assert MODEL.power_at(f1, k, e) < MODEL.power_at(f2, k, e)
+
+    @given(f=freqs, k1=kappas, k2=kappas, e=effs)
+    @settings(max_examples=300, deadline=None)
+    def test_monotone_in_activity(self, f, k1, k2, e):
+        if k1 + 1e-9 < k2:
+            assert MODEL.power_at(f, k1, e) < MODEL.power_at(f, k2, e)
+
+
+class TestInverseMap:
+    @given(f=freqs, k=kappas, e=effs)
+    @settings(max_examples=300, deadline=None)
+    def test_roundtrip(self, f, k, e):
+        """freq -> power -> freq is the identity inside the DVFS band."""
+        p = MODEL.power_at(f, k, e)
+        back = MODEL.freq_at_power(p, k, e)
+        assert back == pytest.approx(f, rel=1e-9)
+
+    @given(p1=powers, p2=powers, k=kappas, e=effs)
+    @settings(max_examples=300, deadline=None)
+    def test_monotone_in_power(self, p1, p2, k, e):
+        if p1 < p2:
+            f1 = MODEL.freq_at_power(p1, k, e)
+            f2 = MODEL.freq_at_power(p2, k, e)
+            assert f1 <= f2 + 1e-12
+
+    @given(p=powers, k=kappas, e=effs)
+    @settings(max_examples=300, deadline=None)
+    def test_frequency_in_band(self, p, k, e):
+        f = MODEL.freq_at_power(p, k, e)
+        assert QUARTZ_CPU.min_freq_ghz <= f <= QUARTZ_CPU.turbo_freq_ghz
+
+    @given(p=powers, k=kappas, e=effs)
+    @settings(max_examples=300, deadline=None)
+    def test_consumption_never_exceeds_cap_in_band(self, p, k, e):
+        """When the inverse map lands strictly inside the DVFS band, the
+        consumption at that frequency equals the cap."""
+        f = MODEL.freq_at_power(p, k, e)
+        if QUARTZ_CPU.min_freq_ghz < f < QUARTZ_CPU.turbo_freq_ghz:
+            assert MODEL.power_at(f, k, e) == pytest.approx(p, rel=1e-9)
+        elif f == QUARTZ_CPU.turbo_freq_ghz:
+            assert MODEL.power_at(f, k, e) <= p + 1e-9
+
+
+class TestDerived:
+    @given(k=kappas, e=effs)
+    @settings(max_examples=200, deadline=None)
+    def test_uncapped_at_most_tdp(self, k, e):
+        assert MODEL.uncapped_power(k, e) <= QUARTZ_CPU.tdp_w + 1e-9
+
+    @given(k=kappas, e=effs)
+    @settings(max_examples=200, deadline=None)
+    def test_floor_power_at_most_floor_cap(self, k, e):
+        assert MODEL.floor_power(k, e) <= QUARTZ_CPU.min_rapl_w + 1e-9
+
+    @given(k=kappas, e1=effs, e2=effs)
+    @settings(max_examples=200, deadline=None)
+    def test_inefficiency_lowers_capped_frequency(self, k, e1, e2):
+        if e1 < e2:
+            f1 = MODEL.freq_at_power(70.0, k, e1)
+            f2 = MODEL.freq_at_power(70.0, k, e2)
+            assert f1 >= f2 - 1e-12

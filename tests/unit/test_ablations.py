@@ -1,0 +1,88 @@
+"""Unit tests for the ablation studies."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    MixedAdaptiveUniformSurplus,
+    characterization_noise_sweep,
+    harvest_fraction_sweep,
+    step4_weighting_ablation,
+)
+from tests.unit.test_policies_basic import make_char
+
+
+class TestHarvestSweep:
+    def test_energy_savings_grow_with_harvest(self, small_grid):
+        points = harvest_fraction_sweep(
+            small_grid, fractions=(0.25, 1.0), budget_level="max"
+        )
+        assert points[0].energy_savings_pct < points[1].energy_savings_pct
+
+    def test_points_carry_parameters(self, small_grid):
+        points = harvest_fraction_sweep(small_grid, fractions=(0.5,))
+        assert points[0].parameter == "harvest_fraction"
+        assert points[0].value == 0.5
+        assert points[0].mix_name == "WastefulPower"
+
+
+class TestUniformSurplusPolicy:
+    def test_respects_budget(self):
+        char = make_char(
+            monitor=[230, 180, 160, 200],
+            needed=[230, 160, 150, 180],
+            boundaries=[0, 2, 4],
+        )
+        policy = MixedAdaptiveUniformSurplus()
+        for budget in (600.0, 720.0, 900.0):
+            assert policy.allocate(char, budget).within_budget()
+
+    def test_spreads_surplus_uniformly(self):
+        char = make_char(
+            monitor=[200, 160],
+            needed=[200, 160],
+            boundaries=[0, 1, 2],
+        )
+        alloc = MixedAdaptiveUniformSurplus().allocate(char, 400.0)
+        # 40 W surplus split evenly (20/20), unlike the weighted variant.
+        assert alloc.caps_w[0] - 200.0 == pytest.approx(20.0)
+        assert alloc.caps_w[1] - 160.0 == pytest.approx(20.0)
+
+    def test_registered_name(self):
+        assert MixedAdaptiveUniformSurplus().name == "MixedAdaptiveUniformSurplus"
+
+
+class TestStep4Ablation:
+    def test_returns_both_variants(self, small_grid):
+        out = step4_weighting_ablation(small_grid, levels=("ideal",))
+        assert set(out["ideal"]) == {"weighted", "uniform"}
+
+    def test_tuple_metrics(self, small_grid):
+        out = step4_weighting_ablation(small_grid, levels=("max",))
+        t, e = out["max"]["weighted"]
+        assert isinstance(t, float) and isinstance(e, float)
+
+
+class TestNoiseSweep:
+    def test_zero_noise_matches_clean(self, small_grid):
+        points = characterization_noise_sweep(
+            small_grid, noise_levels=(0.0,), budget_level="ideal"
+        )
+        assert points[0].value == 0.0
+        # Clean characterization yields positive time savings at ideal.
+        assert points[0].time_savings_pct > 0
+
+    def test_noise_levels_recorded(self, small_grid):
+        points = characterization_noise_sweep(
+            small_grid, noise_levels=(0.0, 0.05)
+        )
+        assert [p.value for p in points] == [0.0, 0.05]
+
+    def test_heavy_noise_degrades_or_preserves(self, small_grid):
+        """Savings under heavy characterization noise do not exceed the
+        clean-characterization savings by more than noise jitter."""
+        points = characterization_noise_sweep(
+            small_grid, noise_levels=(0.0, 0.10), budget_level="ideal"
+        )
+        clean, noisy = points
+        assert noisy.time_savings_pct <= clean.time_savings_pct + 1.5

@@ -1,0 +1,55 @@
+"""Direct tests for small accessors that only had indirect coverage."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.provisioning import ProvisioningPoint
+from repro.runtime.reports import HostReport, JobReport
+from repro.workload.catalog import build_catalog
+from tests.unit.test_policies_basic import make_char
+
+
+class TestJobTotalNeeded:
+    def test_sums_per_job(self):
+        char = make_char(
+            monitor=[230, 210, 190, 170],
+            needed=[200, 180, 160, 150],
+            boundaries=[0, 2, 4],
+        )
+        totals = char.job_total_needed_w()
+        np.testing.assert_allclose(totals, [380.0, 310.0])
+
+
+class TestReportPowerLimits:
+    def test_limits_in_host_order(self):
+        hosts = tuple(
+            HostReport(i, 1.0, 100.0, 100.0, 2.0, 200.0 + i, 1)
+            for i in range(3)
+        )
+        report = JobReport(job_name="j", agent="monitor", hosts=hosts)
+        np.testing.assert_allclose(report.power_limits_w(), [200.0, 201.0, 202.0])
+
+
+class TestCatalogPollPower:
+    def test_uncapped_poll_power_below_peak(self):
+        catalog = build_catalog()
+        poll = catalog.uncapped_poll_power_w()
+        peak = catalog.uncapped_power_w(catalog.find(8.0))
+        assert 180.0 < poll < peak
+
+    def test_poll_power_consistent_with_activity(self):
+        from repro.hardware.node import NodePowerModel
+        from repro.workload.kernel import POLL_ACTIVITY_FACTOR
+
+        catalog = build_catalog()
+        expected = NodePowerModel().uncapped_power(POLL_ACTIVITY_FACTOR)
+        assert catalog.uncapped_poll_power_w() == pytest.approx(float(expected))
+
+
+class TestProvisioningPoint:
+    def test_overprovisioning_factor(self):
+        point = ProvisioningPoint(
+            nodes=100, cap_per_node_w=120.0,
+            per_node_gflops=10.0, fleet_gflops=1000.0,
+        )
+        assert point.overprovisioning_factor == pytest.approx(2.0)

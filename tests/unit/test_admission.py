@@ -1,0 +1,130 @@
+"""Unit tests for power-aware admission control."""
+
+import pytest
+
+from repro.manager.admission import PowerAwareAdmission
+from repro.manager.queue import JobQueue, JobRequest, JobState
+from repro.workload.kernel import KernelConfig
+
+
+def _request(name, nodes=4, intensity=8.0, hint=None, waiting=0.0, imbalance=1):
+    return JobRequest(
+        name=name,
+        config=KernelConfig(
+            intensity=intensity, waiting_fraction=waiting, imbalance=imbalance
+        ),
+        node_count=nodes,
+        power_hint_w=hint,
+    )
+
+
+class TestEstimates:
+    def test_hint_takes_precedence(self, execution_model):
+        admission = PowerAwareAdmission(execution_model)
+        request = _request("a", nodes=4, hint=200.0)
+        assert admission.estimate_job_power_w(request) == pytest.approx(800.0)
+
+    def test_characterized_estimate_for_balanced_job(self, execution_model):
+        admission = PowerAwareAdmission(execution_model)
+        request = _request("a", nodes=4, intensity=8.0)
+        estimate = admission.estimate_job_power_w(request)
+        # Balanced I=8 draws ~232 W/node.
+        assert estimate == pytest.approx(4 * 232.0, rel=0.01)
+
+    def test_waiting_jobs_estimate_below_balanced(self, execution_model):
+        admission = PowerAwareAdmission(execution_model)
+        balanced = admission.estimate_job_power_w(_request("a", intensity=8.0))
+        waster = admission.estimate_job_power_w(
+            _request("b", intensity=8.0, waiting=0.75, imbalance=3)
+        )
+        assert waster < balanced
+
+
+class TestDecide:
+    def test_admits_within_budget(self, execution_model):
+        queue = JobQueue()
+        queue.submit(_request("a", nodes=2, hint=200.0))
+        queue.submit(_request("b", nodes=2, hint=200.0))
+        decision = PowerAwareAdmission(execution_model).decide(
+            queue, budget_w=1000.0, nodes_available=10
+        )
+        assert decision.admitted == ("a", "b")
+        assert decision.feasible()
+
+    def test_defers_over_budget(self, execution_model):
+        queue = JobQueue()
+        queue.submit(_request("a", nodes=2, hint=200.0))
+        queue.submit(_request("b", nodes=2, hint=200.0))
+        decision = PowerAwareAdmission(execution_model).decide(
+            queue, budget_w=500.0, nodes_available=10
+        )
+        assert decision.admitted == ("a",)
+        assert decision.deferred == ("b",)
+
+    def test_node_capacity_limits(self, execution_model):
+        queue = JobQueue()
+        queue.submit(_request("a", nodes=8, hint=100.0))
+        queue.submit(_request("b", nodes=8, hint=100.0))
+        decision = PowerAwareAdmission(execution_model).decide(
+            queue, budget_w=10000.0, nodes_available=10
+        )
+        assert decision.admitted == ("a",)
+        assert decision.admitted_nodes == 8
+
+    def test_backfill_jumps_blocked_head(self, execution_model):
+        queue = JobQueue()
+        queue.submit(_request("big", nodes=2, hint=400.0))    # 800 W
+        queue.submit(_request("small", nodes=2, hint=100.0))  # 200 W
+        decision = PowerAwareAdmission(execution_model, backfill=True).decide(
+            queue, budget_w=500.0, nodes_available=10
+        )
+        assert decision.admitted == ("small",)
+        assert decision.deferred == ("big",)
+
+    def test_strict_fifo_blocks_behind_head(self, execution_model):
+        queue = JobQueue()
+        queue.submit(_request("big", nodes=2, hint=400.0))
+        queue.submit(_request("small", nodes=2, hint=100.0))
+        decision = PowerAwareAdmission(execution_model, backfill=False).decide(
+            queue, budget_w=500.0, nodes_available=10
+        )
+        assert decision.admitted == ()
+        assert decision.deferred == ("big", "small")
+
+    def test_safety_margin_holds_headroom(self, execution_model):
+        queue = JobQueue()
+        queue.submit(_request("a", nodes=2, hint=245.0))  # 490 W
+        decision = PowerAwareAdmission(
+            execution_model, safety_margin=0.05
+        ).decide(queue, budget_w=500.0, nodes_available=10)
+        # 490 > 0.95 x 500 = 475 -> deferred.
+        assert decision.admitted == ()
+
+    def test_marks_queue_states(self, execution_model):
+        queue = JobQueue()
+        queue.submit(_request("a", nodes=2, hint=100.0))
+        queue.submit(_request("b", nodes=2, hint=900.0))
+        PowerAwareAdmission(execution_model).decide(
+            queue, budget_w=500.0, nodes_available=10
+        )
+        assert queue.get("a").state is JobState.ALLOCATED
+        assert queue.get("b").state is JobState.PENDING
+
+    def test_dry_run_leaves_queue_untouched(self, execution_model):
+        queue = JobQueue()
+        queue.submit(_request("a", nodes=2, hint=100.0))
+        PowerAwareAdmission(execution_model).decide(
+            queue, budget_w=500.0, nodes_available=10, mark=False
+        )
+        assert queue.get("a").state is JobState.PENDING
+
+    def test_rejects_bad_margin(self):
+        with pytest.raises(ValueError):
+            PowerAwareAdmission(safety_margin=1.0)
+
+    def test_rejects_negative_nodes(self, execution_model):
+        queue = JobQueue()
+        with pytest.raises(ValueError):
+            PowerAwareAdmission(execution_model).decide(
+                queue, budget_w=100.0, nodes_available=-1
+            )

@@ -1,0 +1,161 @@
+"""Unit tests for the water-filling allocation primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import (
+    PowerAllocation,
+    distribute_uniform,
+    distribute_weighted,
+    fit_to_budget,
+)
+
+
+class TestPowerAllocation:
+    def test_total(self):
+        a = PowerAllocation("p", "m", 500.0, np.array([100.0, 200.0]))
+        assert a.total_allocated_w == pytest.approx(300.0)
+
+    def test_within_budget(self):
+        a = PowerAllocation("p", "m", 300.0, np.array([100.0, 200.0]))
+        assert a.within_budget()
+        b = PowerAllocation("p", "m", 250.0, np.array([100.0, 200.0]))
+        assert not b.within_budget()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PowerAllocation("p", "m", 100.0, np.array([]))
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            PowerAllocation("p", "m", 100.0, np.array([np.nan]))
+
+
+class TestDistributeUniform:
+    def test_simple_fill(self):
+        alloc, left = distribute_uniform(30.0, np.zeros(3), np.full(3, 100.0))
+        np.testing.assert_allclose(alloc, 10.0)
+        assert left == pytest.approx(0.0)
+
+    def test_respects_bounds_with_rollover(self):
+        """A host that saturates rolls its share to the others."""
+        alloc, left = distribute_uniform(
+            30.0, np.zeros(3), np.array([5.0, 100.0, 100.0])
+        )
+        assert alloc[0] == pytest.approx(5.0)
+        np.testing.assert_allclose(alloc[1:], 12.5)
+        assert left == pytest.approx(0.0)
+
+    def test_leftover_when_everyone_saturated(self):
+        alloc, left = distribute_uniform(50.0, np.zeros(2), np.full(2, 10.0))
+        np.testing.assert_allclose(alloc, 10.0)
+        assert left == pytest.approx(30.0)
+
+    def test_zero_pool_identity(self):
+        start = np.array([1.0, 2.0])
+        alloc, left = distribute_uniform(0.0, start, np.full(2, 10.0))
+        np.testing.assert_array_equal(alloc, start)
+        assert left == 0.0
+
+    def test_conservation(self):
+        rng = np.random.default_rng(0)
+        start = rng.uniform(0, 10, 8)
+        bounds = start + rng.uniform(0, 10, 8)
+        pool = 25.0
+        alloc, left = distribute_uniform(pool, start, bounds)
+        assert np.sum(alloc - start) + left == pytest.approx(pool)
+
+    def test_rejects_negative_pool(self):
+        with pytest.raises(ValueError):
+            distribute_uniform(-1.0, np.zeros(2), np.ones(2))
+
+    def test_rejects_bounds_below_allocation(self):
+        with pytest.raises(ValueError):
+            distribute_uniform(1.0, np.full(2, 5.0), np.full(2, 3.0))
+
+    def test_input_not_mutated(self):
+        start = np.array([1.0, 1.0])
+        distribute_uniform(4.0, start, np.full(2, 10.0))
+        np.testing.assert_array_equal(start, [1.0, 1.0])
+
+
+class TestDistributeWeighted:
+    def test_proportional_split(self):
+        alloc, left = distribute_weighted(
+            30.0, np.zeros(2), np.array([1.0, 2.0]), np.full(2, 100.0)
+        )
+        np.testing.assert_allclose(alloc, [10.0, 20.0])
+        assert left == pytest.approx(0.0)
+
+    def test_zero_weight_receives_nothing(self):
+        alloc, _ = distribute_weighted(
+            30.0, np.zeros(3), np.array([0.0, 1.0, 1.0]), np.full(3, 100.0)
+        )
+        assert alloc[0] == 0.0
+
+    def test_saturation_rollover(self):
+        alloc, left = distribute_weighted(
+            30.0, np.zeros(2), np.array([1.0, 1.0]), np.array([5.0, 100.0])
+        )
+        assert alloc[0] == pytest.approx(5.0)
+        assert alloc[1] == pytest.approx(25.0)
+        assert left == pytest.approx(0.0)
+
+    def test_leftover_with_no_eligible_hosts(self):
+        alloc, left = distribute_weighted(
+            10.0, np.zeros(2), np.zeros(2), np.full(2, 100.0)
+        )
+        np.testing.assert_array_equal(alloc, 0.0)
+        assert left == pytest.approx(10.0)
+
+    def test_conservation(self):
+        rng = np.random.default_rng(3)
+        start = rng.uniform(0, 10, 6)
+        bounds = start + rng.uniform(0, 5, 6)
+        weights = rng.uniform(0, 1, 6)
+        pool = 12.0
+        alloc, left = distribute_weighted(pool, start, weights, bounds)
+        assert np.sum(alloc - start) + left == pytest.approx(pool)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            distribute_weighted(1.0, np.zeros(2), np.ones(3), np.ones(2))
+
+
+class TestFitToBudget:
+    def test_no_change_when_under_budget(self):
+        targets = np.array([150.0, 160.0])
+        out = fit_to_budget(targets, 400.0, 136.0)
+        np.testing.assert_array_equal(out, targets)
+
+    def test_proportional_scale_down(self):
+        targets = np.array([236.0, 186.0])  # above-floor: 100, 50
+        out = fit_to_budget(targets, 372.0, 136.0)  # need to shed 50 W
+        # Above-floor parts scale by (150-50)/150 = 2/3.
+        np.testing.assert_allclose(out, [136 + 100 * 2 / 3, 136 + 50 * 2 / 3])
+
+    def test_result_meets_budget(self):
+        rng = np.random.default_rng(5)
+        targets = rng.uniform(140, 240, 10)
+        out = fit_to_budget(targets, 1500.0, 136.0)
+        assert np.sum(out) <= 1500.0 + 1e-6
+
+    def test_never_below_floor(self):
+        targets = np.array([240.0, 137.0, 200.0])
+        out = fit_to_budget(targets, 420.0, 136.0)
+        assert np.all(out >= 136.0 - 1e-9)
+
+    def test_infeasible_budget_returns_floor(self):
+        targets = np.array([240.0, 240.0])
+        out = fit_to_budget(targets, 100.0, 136.0)
+        np.testing.assert_allclose(out, 136.0)
+
+    def test_rejects_targets_below_floor(self):
+        with pytest.raises(ValueError):
+            fit_to_budget(np.array([100.0]), 500.0, 136.0)
+
+    def test_preserves_ordering(self):
+        """Scaling never reorders hosts: hungrier targets stay hungrier."""
+        targets = np.array([240.0, 200.0, 170.0, 150.0])
+        out = fit_to_budget(targets, 650.0, 136.0)
+        assert np.all(np.diff(out) <= 1e-9)

@@ -1,0 +1,83 @@
+"""Unit tests for Table III budget derivation."""
+
+import numpy as np
+import pytest
+
+from repro.characterization.budgets import PowerBudgets, derive_budgets
+from repro.characterization.mix_characterization import MixCharacterization
+
+
+def _char(monitor, needed, boundaries=None):
+    monitor = np.asarray(monitor, dtype=float)
+    needed = np.asarray(needed, dtype=float)
+    boundaries = (
+        np.asarray(boundaries)
+        if boundaries is not None
+        else np.array([0, monitor.size])
+    )
+    return MixCharacterization(
+        mix_name="m",
+        job_boundaries=boundaries,
+        monitor_power_w=monitor,
+        needed_power_w=needed,
+        needed_cap_w=np.clip(needed, 136.0, 240.0),
+        min_cap_w=136.0,
+        tdp_w=240.0,
+    )
+
+
+class TestPowerBudgets:
+    def test_rejects_unordered(self):
+        with pytest.raises(ValueError, match="ordered"):
+            PowerBudgets(mix_name="m", min_w=200.0, ideal_w=150.0, max_w=300.0,
+                         total_tdp_w=400.0)
+
+    def test_by_level(self):
+        b = PowerBudgets("m", 100.0, 150.0, 200.0, 240.0)
+        assert b.by_level() == {"min": 100.0, "ideal": 150.0, "max": 200.0}
+
+    def test_kilowatts(self):
+        b = PowerBudgets("m", 100_000.0, 150_000.0, 200_000.0, 216_000.0)
+        kw = b.as_kilowatts()
+        assert kw["min"] == pytest.approx(100.0)
+        assert kw["tdp"] == pytest.approx(216.0)
+
+
+class TestDerivation:
+    def test_min_rule(self):
+        """min = least per-host needed power, provisioned for every node."""
+        char = _char(monitor=[230, 210, 220, 200], needed=[200, 180, 160, 150],
+                     boundaries=[0, 2, 4])
+        budgets = derive_budgets(char)
+        assert budgets.min_w == pytest.approx(150.0 * 4)
+
+    def test_max_rule(self):
+        """max = most power-hungry observed node, provisioned for every node."""
+        char = _char(monitor=[230, 210, 220, 200], needed=[200, 180, 160, 150],
+                     boundaries=[0, 2, 4])
+        budgets = derive_budgets(char)
+        assert budgets.max_w == pytest.approx(230.0 * 4)
+
+    def test_ideal_rule(self):
+        char = _char(monitor=[230, 210], needed=[200, 180])
+        budgets = derive_budgets(char)
+        assert budgets.ideal_w == pytest.approx(380.0)
+
+    def test_ordering_holds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            monitor = rng.uniform(180, 240, size=12)
+            needed = monitor - rng.uniform(0, 40, size=12)
+            char = _char(monitor, needed, boundaries=[0, 4, 8, 12])
+            b = derive_budgets(char)
+            assert b.min_w <= b.ideal_w <= b.max_w
+
+    def test_tdp_footnote(self):
+        char = _char(monitor=[230, 210], needed=[200, 180])
+        assert derive_budgets(char).total_tdp_w == pytest.approx(480.0)
+
+    def test_balanced_mix_min_equals_cheapest_node(self):
+        """With needed == monitor, min is set by the cheapest node."""
+        char = _char(monitor=[190, 210, 230], needed=[190, 210, 230],
+                     boundaries=[0, 1, 2, 3])
+        assert derive_budgets(char).min_w == pytest.approx(190.0 * 3)

@@ -1,0 +1,116 @@
+"""Unit tests for the heat-map characterization run helpers."""
+
+import numpy as np
+import pytest
+
+from repro.characterization.balancer_runs import balancer_heatmap
+from repro.characterization.monitor_runs import (
+    HeatmapGrid,
+    monitor_heatmap,
+    monitor_power_for_config,
+)
+from repro.hardware.cluster import Cluster
+from repro.workload.kernel import KernelConfig, VectorWidth
+
+
+@pytest.fixture(scope="module")
+def tiny_cluster():
+    return Cluster(node_count=12, variation=None, seed=0)
+
+
+class TestHeatmapGrid:
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            HeatmapGrid(
+                title="t",
+                intensities=(1.0, 2.0),
+                columns=((0.0, 1),),
+                values=np.ones((3, 1)),
+            )
+
+    def test_cell_lookup(self):
+        grid = HeatmapGrid(
+            title="t",
+            intensities=(1.0, 2.0),
+            columns=((0.0, 1), (0.5, 2)),
+            values=np.array([[10.0, 11.0], [20.0, 21.0]]),
+        )
+        assert grid.cell(2.0, 0.5, 2) == 21.0
+
+    def test_cell_missing_raises(self):
+        grid = HeatmapGrid(
+            title="t",
+            intensities=(1.0,),
+            columns=((0.0, 1),),
+            values=np.array([[10.0]]),
+        )
+        with pytest.raises(KeyError):
+            grid.cell(3.0, 0.0, 1)
+
+    def test_column_labels(self):
+        grid = HeatmapGrid(
+            title="t",
+            intensities=(1.0,),
+            columns=((0.0, 1), (0.25, 3)),
+            values=np.ones((1, 2)),
+        )
+        assert grid.column_labels() == ("0%", "25% at 3x")
+
+
+class TestMonitorRunHelpers:
+    def test_monitor_power_for_config_matches_analytic(
+        self, tiny_cluster, execution_model
+    ):
+        """The controller path agrees with the analytic uncapped power."""
+        config = KernelConfig(intensity=8.0)
+        measured = monitor_power_for_config(
+            config, tiny_cluster, np.arange(6), execution_model
+        )
+        expected = execution_model.power_model.uncapped_power(config.kappa)
+        assert measured == pytest.approx(expected, rel=5e-3)
+
+    def test_small_heatmap_grid(self, tiny_cluster, execution_model):
+        grid = monitor_heatmap(
+            tiny_cluster, np.arange(6),
+            intensities=(1.0, 8.0),
+            columns=((0.0, 1), (0.5, 2)),
+            model=execution_model,
+        )
+        assert grid.values.shape == (2, 2)
+        # Balanced column matches the Fig. 4 anchors.
+        assert grid.cell(8.0, 0.0, 1) == pytest.approx(232.0, abs=1.0)
+
+    def test_xmm_heatmap_lower_power(self, tiny_cluster, execution_model):
+        ymm = monitor_heatmap(
+            tiny_cluster, np.arange(6), VectorWidth.YMM,
+            intensities=(8.0,), columns=((0.0, 1),), model=execution_model,
+        )
+        xmm = monitor_heatmap(
+            tiny_cluster, np.arange(6), VectorWidth.XMM,
+            intensities=(8.0,), columns=((0.0, 1),), model=execution_model,
+        )
+        assert xmm.values[0, 0] < ymm.values[0, 0] - 10.0
+
+
+class TestBalancerHeatmapHelpers:
+    def test_small_balancer_grid(self, tiny_cluster, execution_model):
+        grid = balancer_heatmap(
+            tiny_cluster, np.arange(6),
+            intensities=(8.0,),
+            columns=((0.0, 1), (0.75, 3)),
+            model=execution_model,
+        )
+        # The waiting column needs less than the balanced one.
+        assert grid.values[0, 1] < grid.values[0, 0] - 10.0
+
+    def test_titles_name_the_agent(self, tiny_cluster, execution_model):
+        monitor = monitor_heatmap(
+            tiny_cluster, np.arange(4), intensities=(1.0,),
+            columns=((0.0, 1),), model=execution_model,
+        )
+        balancer = balancer_heatmap(
+            tiny_cluster, np.arange(4), intensities=(1.0,),
+            columns=((0.0, 1),), model=execution_model,
+        )
+        assert "monitor" in monitor.title
+        assert "balancer" in balancer.title

@@ -1,0 +1,83 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scale_default(self):
+        args = build_parser().parse_args(["survey"])
+        assert args.scale == 10
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["characterize", "NotAMix"])
+
+
+class TestCommands:
+    def test_survey(self, capsys):
+        assert main(["--scale", "5", "survey"]) == 0
+        out = capsys.readouterr().out
+        assert "medium" in out and "GHz" in out
+
+    def test_facility(self, capsys):
+        assert main(["facility"]) == 0
+        out = capsys.readouterr().out
+        assert "rating_mw" in out
+
+    def test_budgets_single_mix(self, capsys):
+        assert main(["--scale", "5", "budgets", "LowPower"]) == 0
+        out = capsys.readouterr().out
+        assert "LowPower" in out
+        assert "HighPower" not in out
+
+    def test_budgets_all_mixes(self, capsys):
+        assert main(["--scale", "5", "budgets"]) == 0
+        out = capsys.readouterr().out
+        assert "LowPower" in out and "HighPower" in out
+
+    def test_characterize_with_save(self, capsys, tmp_path):
+        path = tmp_path / "char.json"
+        assert main(
+            ["--scale", "5", "characterize", "WastefulPower", "--save", str(path)]
+        ) == 0
+        data = json.loads(path.read_text())
+        assert data["format"].startswith("repro.mix-characterization")
+        out = capsys.readouterr().out
+        assert "observed W/node" in out
+
+    def test_grid_one_mix_with_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "grid.csv"
+        assert main(
+            ["--scale", "5", "grid", "--mix", "LowPower", "--csv", str(csv_path)]
+        ) == 0
+        assert csv_path.exists()
+        out = capsys.readouterr().out
+        assert "MixedAdaptive" in out
+
+    def test_grid_check_skipped_for_partial_mixes(self, capsys):
+        assert main(["--scale", "5", "grid", "--mix", "LowPower", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "skipping" in out
+
+    def test_grid_full_check_passes(self, capsys):
+        assert main(["--scale", "5", "grid", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS]" in out
+        assert "[FAIL]" not in out
+
+    def test_figures_command(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out_dir = tmp_path / "figs"
+        assert main(["--scale", "5", "figures", "-o", str(out_dir)]) == 0
+        assert (out_dir / "fig1_facility.svg").exists()
+        listed = capsys.readouterr().out
+        assert "fig8_energy" in listed

@@ -1,0 +1,90 @@
+"""Unit tests for the Fig. 6 survey / k-means pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.characterization.clustering import kmeans_1d, survey_and_cluster
+from repro.hardware.cluster import Cluster
+
+
+class TestKmeans1d:
+    def test_separable_clusters(self):
+        x = np.concatenate([
+            np.full(10, 1.0), np.full(10, 5.0), np.full(10, 9.0)
+        ]) + np.linspace(0, 0.01, 30)
+        labels, centroids = kmeans_1d(x, k=3)
+        assert centroids[0] == pytest.approx(1.0, abs=0.1)
+        assert centroids[2] == pytest.approx(9.0, abs=0.1)
+        assert set(labels) == {0, 1, 2}
+
+    def test_labels_ordered_by_centroid(self):
+        x = np.concatenate([np.full(5, 10.0), np.full(5, 0.0)]) + np.linspace(0, 0.01, 10)
+        labels, centroids = kmeans_1d(x, k=2)
+        assert np.all(np.diff(centroids) > 0)
+        assert labels[0] == 1  # large values -> high cluster
+        assert labels[-1] == 0
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(ValueError):
+            kmeans_1d(np.array([1.0, 2.0]), k=3)
+
+    def test_rejects_degenerate_data(self):
+        with pytest.raises(ValueError, match="distinct"):
+            kmeans_1d(np.full(10, 3.0), k=3)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=500)
+        l1, c1 = kmeans_1d(x, k=3)
+        l2, c2 = kmeans_1d(x, k=3)
+        np.testing.assert_array_equal(l1, l2)
+        np.testing.assert_array_equal(c1, c2)
+
+    def test_partition_is_contiguous_in_value(self):
+        """1-D k-means partitions are intervals: sorted values have
+        monotone labels."""
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=300)
+        labels, _ = kmeans_1d(x, k=3)
+        order = np.argsort(x)
+        assert np.all(np.diff(labels[order]) >= 0)
+
+
+class TestSurvey:
+    @pytest.fixture(scope="class")
+    def survey(self):
+        cluster = Cluster(node_count=2000, seed=2021)
+        return survey_and_cluster(cluster, cap_w=140.0, kappa=1.0)
+
+    def test_fig6_cluster_sizes(self, survey):
+        """Cluster populations approximate the paper's 522/918/560."""
+        sizes = survey.cluster_sizes()
+        assert abs(sizes["low"] - 522) <= 30
+        assert abs(sizes["medium"] - 918) <= 30
+        assert abs(sizes["high"] - 560) <= 30
+
+    def test_fig6_frequency_band(self, survey):
+        """Achieved frequencies under the 70 W cap span the paper's
+        1.6-1.9 GHz band."""
+        assert survey.centroids_ghz[0] > 1.55
+        assert survey.centroids_ghz[2] < 2.0
+
+    def test_centroids_ordered(self, survey):
+        assert np.all(np.diff(survey.centroids_ghz) > 0)
+
+    def test_cluster_node_ids_partition(self, survey):
+        ids = np.concatenate([
+            survey.cluster_node_ids(name) for name in ("low", "medium", "high")
+        ])
+        assert np.sort(ids).tolist() == list(range(2000))
+
+    def test_unknown_cluster_raises(self, survey):
+        with pytest.raises(KeyError):
+            survey.cluster_node_ids("extreme")
+
+    def test_medium_cluster_is_central(self, survey):
+        med = survey.frequencies_ghz[survey.cluster_node_ids("medium")]
+        low = survey.frequencies_ghz[survey.cluster_node_ids("low")]
+        high = survey.frequencies_ghz[survey.cluster_node_ids("high")]
+        assert low.max() <= med.min() + 1e-9 or low.mean() < med.mean()
+        assert med.mean() < high.mean()

@@ -1,0 +1,37 @@
+"""Unit tests for CSV export."""
+
+import csv
+import io
+
+from repro.analysis.export import rows_to_csv, write_csv
+
+
+class TestRowsToCsv:
+    def test_empty(self):
+        assert rows_to_csv([]) == ""
+
+    def test_header_from_first_seen_keys(self):
+        out = rows_to_csv([{"b": 1, "a": 2}])
+        assert out.splitlines()[0] == "b,a"
+
+    def test_heterogeneous_rows(self):
+        out = rows_to_csv([{"a": 1}, {"a": 2, "b": 3}])
+        reader = list(csv.DictReader(io.StringIO(out)))
+        assert reader[0]["b"] == ""
+        assert reader[1]["b"] == "3"
+
+    def test_roundtrip(self):
+        rows = [{"mix": "LowPower", "savings": 2.5}, {"mix": "HighPower", "savings": 7.0}]
+        parsed = list(csv.DictReader(io.StringIO(rows_to_csv(rows))))
+        assert parsed[0]["mix"] == "LowPower"
+        assert float(parsed[1]["savings"]) == 7.0
+
+
+class TestWriteCsv:
+    def test_writes_file(self, tmp_path):
+        path = write_csv([{"a": 1}], tmp_path / "out.csv")
+        assert path.read_text().startswith("a")
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_csv([{"a": 1}], tmp_path / "deep" / "dir" / "out.csv")
+        assert path.exists()

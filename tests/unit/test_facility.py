@@ -1,0 +1,94 @@
+"""Unit tests for the facility power trace (paper Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.workload.facility import (
+    FacilityTraceConfig,
+    generate_facility_trace,
+    moving_average,
+)
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        x = np.array([1.0, 5.0, 3.0])
+        np.testing.assert_array_equal(moving_average(x, 1), x)
+
+    def test_constant_series(self):
+        x = np.full(100, 7.0)
+        np.testing.assert_allclose(moving_average(x, 10), 7.0)
+
+    def test_warmup_is_cumulative_mean(self):
+        x = np.array([2.0, 4.0, 6.0, 8.0])
+        out = moving_average(x, 3)
+        assert out[0] == pytest.approx(2.0)
+        assert out[1] == pytest.approx(3.0)
+        assert out[2] == pytest.approx(4.0)
+
+    def test_steady_state_window(self):
+        x = np.arange(10, dtype=float)
+        out = moving_average(x, 3)
+        assert out[9] == pytest.approx((7 + 8 + 9) / 3)
+
+    def test_smooths_variance(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=5000)
+        out = moving_average(x, 50)
+        assert np.std(out) < np.std(x) / 3
+
+    def test_rejects_zero_window(self):
+        with pytest.raises(ValueError):
+            moving_average(np.ones(5), 0)
+
+
+class TestConfig:
+    def test_rejects_mean_above_rating(self):
+        with pytest.raises(ValueError):
+            FacilityTraceConfig(rating_mw=1.0, mean_draw_mw=1.2)
+
+    def test_rejects_bad_correlation(self):
+        with pytest.raises(ValueError):
+            FacilityTraceConfig(noise_correlation=1.0)
+
+
+class TestTrace:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_facility_trace(FacilityTraceConfig(days=120))
+
+    def test_length(self, trace):
+        assert trace.power_mw.shape == (120 * 288,)
+        assert trace.time_days.shape == trace.power_mw.shape
+
+    def test_mean_matches_fig1(self, trace):
+        """Mean draw ~0.83 MW against the 1.35 MW rating."""
+        stats = trace.statistics()
+        assert stats["mean_mw"] == pytest.approx(0.83, abs=0.02)
+
+    def test_never_exceeds_rating(self, trace):
+        assert trace.statistics()["peak_mw"] < trace.config.rating_mw
+
+    def test_utilization_well_below_one(self, trace):
+        """The Fig. 1 story: substantial stranded capacity."""
+        stats = trace.statistics()
+        assert stats["mean_utilization"] < 0.75
+        assert stats["stranded_power_mw"] > 0.3
+
+    def test_daily_average_smoother_than_raw(self, trace):
+        assert np.std(trace.daily_average_mw) < np.std(trace.power_mw)
+
+    def test_deterministic_per_seed(self):
+        a = generate_facility_trace(FacilityTraceConfig(days=30, seed=5))
+        b = generate_facility_trace(FacilityTraceConfig(days=30, seed=5))
+        np.testing.assert_array_equal(a.power_mw, b.power_mw)
+
+    def test_diurnal_cycle_visible(self, trace):
+        """Power autocorrelates at the one-day lag."""
+        x = trace.power_mw - trace.power_mw.mean()
+        lag = trace.config.samples_per_day
+        corr = np.corrcoef(x[:-lag], x[lag:])[0, 1]
+        assert corr > 0.3
+
+    def test_positive_power(self, trace):
+        assert np.all(trace.power_mw > 0)

@@ -1,0 +1,64 @@
+"""Unit tests for the session/facility integration module."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.facility_integration import simulate_session
+
+
+class TestSimulateSession:
+    @pytest.fixture(scope="class")
+    def session(self, small_grid):
+        return simulate_session(
+            small_grid, "MixedAdaptive",
+            mixes=["LowPower", "HighPower"],
+        )
+
+    def test_segments_in_order(self, session):
+        assert [s.mix_name for s in session.segments] == ["LowPower", "HighPower"]
+        assert session.segments[0].end_s == pytest.approx(
+            session.segments[1].start_s
+        )
+
+    def test_trace_monotone_time(self, session):
+        assert np.all(np.diff(session.time_s) >= 0)
+
+    def test_power_positive_and_bounded(self, session):
+        assert np.all(session.power_w > 0)
+        # No sample exceeds TDP of the whole partition.
+        hosts = 90
+        assert np.all(session.power_w <= hosts * 240.0)
+
+    def test_energy_consistency(self, session):
+        """Session energy equals the sum of segment energies."""
+        assert session.total_energy_j == pytest.approx(
+            sum(s.energy_j for s in session.segments)
+        )
+
+    def test_duration_sums_segments(self, session):
+        assert session.total_duration_s == pytest.approx(
+            sum(s.duration_s for s in session.segments)
+        )
+
+    def test_utilisation_stats_keys(self, session):
+        stats = session.utilisation_stats()
+        for key in ("mean_power_w", "peak_power_w", "mean_utilisation",
+                    "peak_utilisation", "stranded_w"):
+            assert key in stats
+        assert 0 < stats["mean_utilisation"] <= stats["peak_utilisation"]
+
+    def test_policy_changes_trace(self, small_grid):
+        static = simulate_session(small_grid, "StaticCaps", mixes=["WastefulPower"],
+                                  budget_level="max")
+        mixed = simulate_session(small_grid, "MixedAdaptive", mixes=["WastefulPower"],
+                                 budget_level="max")
+        # Application awareness lowers the session's mean power at a
+        # generous budget (the Fig. 7 marker-(a) effect, session-level).
+        assert (
+            mixed.utilisation_stats()["mean_power_w"]
+            < static.utilisation_stats()["mean_power_w"]
+        )
+
+    def test_empty_mixes_rejected(self, small_grid):
+        with pytest.raises(ValueError):
+            simulate_session(small_grid, "StaticCaps", mixes=[])

@@ -1,0 +1,132 @@
+"""Unit tests for the figure and table data builders."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    fig1_facility_data,
+    fig2_phase_timeline,
+    fig3_roofline_data,
+    fig6_survey_data,
+    fig7_power_utilization,
+    fig8_savings_grid,
+)
+from repro.experiments.tables import (
+    table1_system_properties,
+    table2_mixes,
+    table3_budgets,
+)
+from repro.workload.kernel import KernelConfig
+
+
+class TestFig1:
+    def test_statistics(self):
+        data = fig1_facility_data()
+        stats = data["statistics"]
+        assert stats["rating_mw"] == pytest.approx(1.35)
+        assert stats["mean_mw"] == pytest.approx(0.83, abs=0.03)
+        assert stats["peak_mw"] < 1.35
+
+
+class TestFig2:
+    def test_phase_split(self):
+        data = fig2_phase_timeline()
+        assert data["iteration_time_s"] > data["common_work_time_s"]
+        assert data["slack_time_s"] == pytest.approx(
+            data["iteration_time_s"] - data["common_work_time_s"]
+        )
+
+    def test_balanced_config_no_slack(self):
+        data = fig2_phase_timeline(KernelConfig(intensity=8.0))
+        assert data["slack_time_s"] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestFig3:
+    def test_kernel_points_on_envelope(self):
+        data = fig3_roofline_data()
+        for intensity, gflops in zip(data["kernel_intensity"], data["kernel_gflops"]):
+            envelope = np.interp(intensity, data["intensity"], data["attainable"])
+            assert gflops == pytest.approx(envelope, rel=0.05)
+
+    def test_spans_memory_and_compute_regions(self):
+        """The kernel covers DRAM-bound and FMA-bound ends (the paper's
+        'full spectrum of achievable throughput')."""
+        data = fig3_roofline_data()
+        low = data["kernel_gflops"][0]
+        high = data["kernel_gflops"][-1]
+        dram_bw = 12.44
+        fma_peak = 38.49
+        assert low == pytest.approx(0.25 * dram_bw, rel=1e-6)
+        assert high == pytest.approx(fma_peak, rel=1e-6)
+
+
+class TestFig6:
+    def test_cluster_structure(self, small_grid):
+        data = fig6_survey_data(small_grid)
+        assert set(data["clusters"]) == {"low", "medium", "high"}
+        assert data["clusters"]["low"]["mean_ghz"] < data["clusters"]["high"]["mean_ghz"]
+
+    def test_survey_cap(self, small_grid):
+        assert fig6_survey_data(small_grid)["cap_w"] == pytest.approx(140.0)
+
+
+class TestFig7:
+    def test_structure(self, small_grid_results):
+        util = fig7_power_utilization(small_grid_results)
+        assert set(util) == {
+            "NeedUsedPower", "HighImbalance", "WastefulPower",
+            "LowPower", "HighPower", "RandomLarge",
+        }
+        assert set(util["LowPower"]) == {"min", "ideal", "max"}
+
+    def test_precharacterized_exceeds_budget_at_min(self, small_grid_results):
+        util = fig7_power_utilization(small_grid_results)
+        over = [
+            util[mix]["min"]["Precharacterized"] > 1.0
+            for mix in util
+        ]
+        assert all(over)
+
+    def test_system_aware_policies_within_budget(self, small_grid_results):
+        util = fig7_power_utilization(small_grid_results)
+        for mix, levels in util.items():
+            for level, policies in levels.items():
+                for name in ("StaticCaps", "MinimizeWaste", "MixedAdaptive"):
+                    assert policies[name] <= 1.0 + 1e-6, (mix, level, name)
+
+
+class TestFig8:
+    def test_grid_complete(self, small_grid_results):
+        grid = fig8_savings_grid(small_grid_results)
+        assert len(grid) == 54
+
+
+class TestTables:
+    def test_table1(self):
+        t = table1_system_properties()
+        assert t["Cores Per Node"] == "36"
+        assert "120 W" in t["Thermal Design Power"]
+        assert "68 W" in t["Minimum RAPL Limit"]
+        assert "2.1 GHz" in t["Base Frequency"]
+
+    def test_table2_row_count(self, small_grid):
+        rows = table2_mixes(small_grid)
+        # 5 mixes x 9 jobs + HighImbalance x 1 job.
+        assert len(rows) == 5 * 9 + 1
+
+    def test_table2_row_schema(self, small_grid):
+        row = table2_mixes(small_grid)[0]
+        for key in ("mix", "job", "intensity_flop_per_byte", "vector",
+                    "waiting_pct", "imbalance", "nodes"):
+            assert key in row
+
+    def test_table3_budgets_ordered(self, small_grid):
+        for row in table3_budgets(small_grid):
+            assert row["min_kw"] <= row["ideal_kw"] <= row["max_kw"]
+            assert row["max_kw"] <= row["total_tdp_kw"] + 1e-9
+
+    def test_table3_tdp_footnote(self, small_grid):
+        """TDP of all CPUs: hosts x 240 W (216 kW at paper scale)."""
+        row = table3_budgets(small_grid)[0]
+        hosts = small_grid.config.nodes_per_job * small_grid.config.jobs_per_mix
+        assert row["total_tdp_kw"] == pytest.approx(hosts * 240.0 / 1e3)

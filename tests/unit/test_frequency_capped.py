@@ -1,0 +1,87 @@
+"""Unit tests for the EAR-style FrequencyCapped extension policy."""
+
+import numpy as np
+import pytest
+
+from repro.core.frequency_capped import FrequencyCappedPolicy
+from repro.hardware.node import NodePowerModel
+from tests.unit.test_policies_basic import make_char
+
+
+@pytest.fixture()
+def policy_inputs():
+    model = NodePowerModel()
+    eff = np.array([0.9, 1.0, 1.1, 1.0])
+    kappas = np.full(4, 1.0)
+    char = make_char(
+        monitor=[232, 232, 232, 232],
+        needed=[232, 232, 232, 232],
+        boundaries=[0, 2, 4],
+    )
+    return model, eff, kappas, char
+
+
+class TestConstruction:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FrequencyCappedPolicy(NodePowerModel(), np.ones(3), np.ones(2))
+
+    def test_host_count_checked(self, policy_inputs):
+        model, eff, kappas, char = policy_inputs
+        policy = FrequencyCappedPolicy(model, eff[:2], kappas[:2])
+        with pytest.raises(ValueError, match="hosts"):
+            policy.allocate(char, 800.0)
+
+
+class TestAllocation:
+    def test_respects_budget(self, policy_inputs):
+        model, eff, kappas, char = policy_inputs
+        policy = FrequencyCappedPolicy(model, eff, kappas)
+        for budget in (600.0, 700.0, 800.0, 900.0):
+            alloc = policy.allocate(char, budget)
+            assert alloc.within_budget(tolerance_w=1e-3), budget
+
+    def test_equal_frequency_across_variation(self, policy_inputs):
+        """All hosts land on the same achieved frequency — the policy's
+        defining property — so inefficient parts get larger caps."""
+        model, eff, kappas, char = policy_inputs
+        policy = FrequencyCappedPolicy(model, eff, kappas)
+        alloc = policy.allocate(char, 760.0)
+        freqs = model.freq_at_cap(alloc.caps_w, kappas, eff)
+        assert np.ptp(freqs) < 1e-3
+        assert alloc.caps_w[2] > alloc.caps_w[0]  # eff 1.1 needs more W
+
+    def test_generous_budget_hits_turbo(self, policy_inputs):
+        model, eff, kappas, char = policy_inputs
+        policy = FrequencyCappedPolicy(model, eff, kappas)
+        alloc = policy.allocate(char, 4 * 240.0)
+        assert alloc.notes["target_freq_ghz"] == pytest.approx(
+            model.spec.turbo_freq_ghz
+        )
+
+    def test_tight_budget_hits_floor_frequency(self, policy_inputs):
+        model, eff, kappas, char = policy_inputs
+        policy = FrequencyCappedPolicy(model, eff, kappas)
+        alloc = policy.allocate(char, 4 * 137.0)
+        assert np.all(alloc.caps_w >= 136.0 - 1e-9)
+        assert alloc.within_budget(tolerance_w=1e-3)
+
+    def test_contrast_with_uniform_power(self, policy_inputs):
+        """Under variation, uniform-frequency and uniform-power divide
+        the same budget differently: the frequency policy narrows the
+        frequency spread that a uniform power cap leaves open."""
+        model, eff, kappas, char = policy_inputs
+        budget = 720.0
+        freq_policy = FrequencyCappedPolicy(model, eff, kappas)
+        freq_caps = freq_policy.allocate(char, budget).caps_w
+        uniform_caps = np.full(4, budget / 4)
+        f_freq = model.freq_at_cap(freq_caps, kappas, eff)
+        f_unif = model.freq_at_cap(uniform_caps, kappas, eff)
+        assert np.ptp(f_freq) < np.ptp(f_unif) / 10
+
+    def test_deterministic(self, policy_inputs):
+        model, eff, kappas, char = policy_inputs
+        policy = FrequencyCappedPolicy(model, eff, kappas)
+        a = policy.allocate(char, 750.0)
+        b = policy.allocate(char, 750.0)
+        np.testing.assert_array_equal(a.caps_w, b.caps_w)

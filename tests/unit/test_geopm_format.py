@@ -1,0 +1,78 @@
+"""Unit tests for the GEOPM-style report emitter."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.controller import Controller
+from repro.runtime.power_balancer import PowerBalancerAgent
+from repro.runtime.reports import HostReport, JobReport
+from repro.workload.job import Job
+from repro.workload.kernel import KernelConfig
+
+
+def _report(metadata=None):
+    hosts = tuple(
+        HostReport(
+            host_id=i,
+            runtime_s=10.0,
+            energy_j=2000.0 + i,
+            mean_power_w=200.0 + i / 10,
+            mean_freq_ghz=2.0,
+            power_limit_w=220.0,
+            epochs=5,
+        )
+        for i in range(3)
+    )
+    return JobReport(
+        job_name="demo-job",
+        agent="power_balancer",
+        hosts=hosts,
+        figure_of_merit=1.25,
+        metadata=metadata or {},
+    )
+
+
+class TestGeopmFormat:
+    def test_header_fields(self):
+        text = _report().to_geopm_format()
+        assert "Job Name: demo-job" in text
+        assert "Agent: power_balancer" in text
+        assert "Figure of Merit: 1.250000" in text
+
+    def test_every_host_listed(self):
+        text = _report().to_geopm_format()
+        for i in range(3):
+            assert f"host-{i}:" in text
+
+    def test_host_fields(self):
+        text = _report().to_geopm_format()
+        assert "package-energy (J): 2000.000000" in text
+        assert "power-limit (W): 220.000000" in text
+        assert "epoch-count: 5" in text
+
+    def test_policy_block_when_metadata(self):
+        text = _report(metadata={"job_budget_w": 960.0}).to_geopm_format()
+        assert "Policy:" in text
+        assert "job_budget_w: 960.000000" in text
+
+    def test_no_policy_block_without_metadata(self):
+        assert "Policy:" not in _report().to_geopm_format()
+
+    def test_ends_with_newline(self):
+        assert _report().to_geopm_format().endswith("\n")
+
+    def test_controller_report_renders(self, execution_model):
+        """A real controller run produces a parseable-looking report."""
+        job = Job(
+            name="real",
+            config=KernelConfig(intensity=8.0, waiting_fraction=0.5, imbalance=2),
+            node_count=3,
+        )
+        agent = PowerBalancerAgent(job_budget_w=3 * 240.0)
+        report = Controller(job, np.ones(3), agent,
+                            model=execution_model).run(max_epochs=60)
+        text = report.to_geopm_format()
+        assert text.startswith("##### geopm-style report #####")
+        assert "unallocated_w" in text  # the balancer's metadata
+        # One indented block per host.
+        assert text.count("runtime (s):") == 3

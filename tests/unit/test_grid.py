@@ -1,0 +1,104 @@
+"""Unit tests for the experiment grid runner."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.grid import BUDGET_LEVELS, ExperimentConfig, ExperimentGrid
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        cfg = ExperimentConfig()
+        assert cfg.survey_nodes == 2000
+        assert cfg.nodes_per_job == 100
+        assert cfg.jobs_per_mix == 9
+        assert cfg.iterations == 100
+
+    def test_small_preserves_structure(self):
+        cfg = ExperimentConfig.small(nodes_per_job=10)
+        assert cfg.jobs_per_mix == 9
+        assert cfg.survey_nodes >= 250
+
+    def test_rejects_undersized_survey(self):
+        with pytest.raises(ValueError, match="survey"):
+            ExperimentConfig(survey_nodes=100, nodes_per_job=100)
+
+
+class TestEnvironment:
+    def test_partition_is_medium_cluster(self, small_grid):
+        survey = small_grid.survey
+        medium = survey.cluster_node_ids("medium")
+        assert len(small_grid.partition) == medium.size
+
+    def test_partition_large_enough(self, small_grid):
+        needed = small_grid.config.nodes_per_job * small_grid.config.jobs_per_mix
+        assert len(small_grid.partition) >= needed
+
+    def test_survey_cached(self, small_grid):
+        assert small_grid.survey is small_grid.survey
+
+
+class TestPreparation:
+    def test_prepare_mix_cached(self, small_grid):
+        a = small_grid.prepare_mix("LowPower")
+        b = small_grid.prepare_mix("LowPower")
+        assert a is b
+
+    def test_prepared_has_ordered_budgets(self, small_grid):
+        prepared = small_grid.prepare_mix("RandomLarge")
+        b = prepared.budgets
+        assert b.min_w <= b.ideal_w <= b.max_w
+
+    def test_characterization_matches_mix(self, small_grid):
+        prepared = small_grid.prepare_mix("HighPower")
+        assert prepared.characterization.host_count == prepared.scheduled.mix.total_nodes
+
+
+class TestCells:
+    def test_run_cell_metadata(self, small_grid):
+        cell = small_grid.run_cell("LowPower", "ideal", "StaticCaps")
+        assert cell.mix_name == "LowPower"
+        assert cell.budget_level == "ideal"
+        assert cell.run.result.policy_name == "StaticCaps"
+
+    def test_bad_level_rejected(self, small_grid):
+        with pytest.raises(ValueError, match="budget_level"):
+            small_grid.run_cell("LowPower", "medium", "StaticCaps")
+
+    def test_cell_deterministic(self, small_grid):
+        a = small_grid.run_cell("LowPower", "min", "MixedAdaptive")
+        b = small_grid.run_cell("LowPower", "min", "MixedAdaptive")
+        np.testing.assert_array_equal(
+            a.run.result.iteration_times_s, b.run.result.iteration_times_s
+        )
+
+    def test_row_export(self, small_grid):
+        cell = small_grid.run_cell("LowPower", "max", "MinimizeWaste")
+        row = cell.row()
+        assert row["mix"] == "LowPower"
+        assert "total_energy_j" in row
+
+
+class TestResults:
+    def test_full_grid_size(self, small_grid_results):
+        assert len(small_grid_results.cells) == 6 * 3 * 5
+
+    def test_lookup(self, small_grid_results):
+        cell = small_grid_results.cell("HighPower", "max", "JobAdaptive")
+        assert cell.policy_name == "JobAdaptive"
+
+    def test_missing_lookup_raises(self, small_grid_results):
+        with pytest.raises(KeyError):
+            small_grid_results.cell("HighPower", "max", "Nope")
+
+    def test_rows_deterministic_order(self, small_grid_results):
+        rows = small_grid_results.rows()
+        assert len(rows) == 90
+        keys = [(r["mix"], r["budget_level"], r["policy"]) for r in rows]
+        assert keys == sorted(keys)
+
+    def test_subgrid(self, small_grid):
+        results = small_grid.run_all(
+            mixes=["LowPower"], levels=["ideal"], policies=["StaticCaps"]
+        )
+        assert len(results.cells) == 1

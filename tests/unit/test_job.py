@@ -1,0 +1,122 @@
+"""Unit tests for jobs, mixes, and the flattened host layout."""
+
+import numpy as np
+import pytest
+
+from repro.workload.job import Job, WorkloadMix
+from repro.workload.kernel import KernelConfig, POLL_ACTIVITY_FACTOR
+
+
+def _job(name="j", intensity=4.0, nodes=10, waiting=0.0, imbalance=1, iters=5):
+    return Job(
+        name=name,
+        config=KernelConfig(
+            intensity=intensity, waiting_fraction=waiting, imbalance=imbalance
+        ),
+        node_count=nodes,
+        iterations=iters,
+    )
+
+
+class TestJob:
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            _job(nodes=0)
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ValueError):
+            _job(iters=0)
+
+    def test_balanced_critical_count(self):
+        assert _job(nodes=10).critical_node_count() == 10
+
+    def test_waiting_rounds_to_whole_nodes(self):
+        job = _job(nodes=10, waiting=0.75, imbalance=2)
+        assert job.critical_node_count() == 2  # 8 of 10 waiting (rounded)
+
+    def test_critical_set_never_empty(self):
+        """Even at extreme waiting fractions one node stays critical."""
+        job = Job(
+            name="extreme",
+            config=KernelConfig(intensity=1.0, waiting_fraction=0.99, imbalance=2),
+            node_count=4,
+        )
+        assert job.critical_node_count() >= 1
+
+
+class TestWorkloadMix:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            WorkloadMix(name="m", jobs=())
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            WorkloadMix(name="m", jobs=(_job("a"), _job("a")))
+
+    def test_total_nodes(self):
+        mix = WorkloadMix(name="m", jobs=(_job("a", nodes=3), _job("b", nodes=7)))
+        assert mix.total_nodes == 10
+
+    def test_offsets(self):
+        mix = WorkloadMix(name="m", jobs=(_job("a", nodes=3), _job("b", nodes=7)))
+        np.testing.assert_array_equal(mix.job_offsets(), [0, 3, 10])
+
+    def test_iterations_array(self):
+        mix = WorkloadMix(name="m", jobs=(_job("a", iters=5), _job("b", iters=9)))
+        np.testing.assert_array_equal(mix.iterations_array(), [5, 9])
+
+
+class TestHostLayout:
+    def test_host_count(self):
+        mix = WorkloadMix(name="m", jobs=(_job("a", nodes=4), _job("b", nodes=6)))
+        assert mix.layout().host_count == 10
+
+    def test_job_index_blocks(self):
+        mix = WorkloadMix(name="m", jobs=(_job("a", nodes=4), _job("b", nodes=6)))
+        layout = mix.layout()
+        np.testing.assert_array_equal(layout.job_index[:4], 0)
+        np.testing.assert_array_equal(layout.job_index[4:], 1)
+
+    def test_critical_mask_prefix(self):
+        """The first critical_node_count hosts of each job are critical."""
+        mix = WorkloadMix(
+            name="m", jobs=(_job("a", nodes=8, waiting=0.5, imbalance=2),)
+        )
+        layout = mix.layout()
+        assert layout.critical[:4].all()
+        assert not layout.critical[4:].any()
+
+    def test_work_arrays_reflect_imbalance(self):
+        mix = WorkloadMix(
+            name="m", jobs=(_job("a", nodes=4, waiting=0.5, imbalance=3),)
+        )
+        layout = mix.layout()
+        assert layout.traffic_gb[0] == pytest.approx(3 * layout.traffic_gb[-1])
+        assert layout.gflop[0] == pytest.approx(3 * layout.gflop[-1])
+
+    def test_kappa_per_job(self):
+        mix = WorkloadMix(
+            name="m",
+            jobs=(_job("a", intensity=8.0, nodes=2), _job("b", intensity=1.0, nodes=2)),
+        )
+        layout = mix.layout()
+        assert layout.kappa[0] > layout.kappa[2]
+
+    def test_poll_kappa_constant(self):
+        layout = WorkloadMix(name="m", jobs=(_job("a"),)).layout()
+        np.testing.assert_allclose(layout.poll_kappa, POLL_ACTIVITY_FACTOR)
+
+    def test_ceiling_dedup(self):
+        """Jobs sharing a vector width share one ceiling entry."""
+        mix = WorkloadMix(
+            name="m",
+            jobs=(_job("a", intensity=8.0), _job("b", intensity=1.0)),
+        )
+        layout = mix.layout()
+        assert layout.ceiling_names == ("dp_fma_ymm",)
+        np.testing.assert_array_equal(layout.compute_ceiling_index, 0)
+
+    def test_boundaries_sentinel(self):
+        mix = WorkloadMix(name="m", jobs=(_job("a", nodes=4), _job("b", nodes=6)))
+        layout = mix.layout()
+        assert layout.job_boundaries[-1] == layout.host_count

@@ -1,0 +1,101 @@
+"""Unit tests for the Fig. 8 savings metrics."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.metrics import savings_grid, savings_vs_baseline
+from repro.sim.execution import SimulationOptions, simulate_mix
+from repro.sim.results import MixRunResult
+from repro.workload.job import Job, WorkloadMix
+from repro.workload.kernel import KernelConfig
+
+
+def _run(caps_scale, execution_model, seed=0, policy="p"):
+    mix = WorkloadMix(
+        name="m",
+        jobs=(
+            Job(name="a", config=KernelConfig(intensity=32.0), node_count=4,
+                iterations=20),
+        ),
+    )
+    caps = np.full(4, 240.0 * caps_scale)
+    return simulate_mix(
+        mix, caps, np.ones(4), execution_model,
+        SimulationOptions(seed=seed), policy_name=policy, budget_w=960.0,
+    )
+
+
+class TestSavingsVsBaseline:
+    def test_more_power_saves_time(self, execution_model):
+        fast = _run(1.0, execution_model, policy="fast")
+        slow = _run(0.7, execution_model, policy="slow")
+        savings = savings_vs_baseline(fast, slow)
+        assert savings.time_savings.mean > 0.02
+
+    def test_identical_runs_zero_savings(self, execution_model):
+        a = _run(1.0, execution_model, seed=1)
+        b = _run(1.0, execution_model, seed=1)
+        savings = savings_vs_baseline(a, b)
+        assert savings.time_savings.mean == pytest.approx(0.0, abs=1e-12)
+        assert savings.energy_savings.mean == pytest.approx(0.0, abs=1e-12)
+
+    def test_edp_combines_time_and_energy(self, execution_model):
+        fast = _run(1.0, execution_model)
+        slow = _run(0.7, execution_model)
+        s = savings_vs_baseline(fast, slow)
+        # EDP savings exceed either component alone when both are positive
+        # (here time improves, energy worsens -> EDP in between).
+        assert s.edp_savings.mean < s.time_savings.mean + abs(s.energy_savings.mean)
+
+    def test_mismatched_mixes_rejected(self, execution_model):
+        a = _run(1.0, execution_model)
+        mix_b = WorkloadMix(
+            name="m2",
+            jobs=(Job(name="x", config=KernelConfig(intensity=1.0), node_count=4,
+                      iterations=20),),
+        )
+        b = simulate_mix(mix_b, np.full(4, 240.0), np.ones(4), execution_model)
+        with pytest.raises(ValueError, match="different mixes"):
+            savings_vs_baseline(a, b)
+
+    def test_ci_nonzero_with_noise(self, execution_model):
+        fast = _run(1.0, execution_model, seed=2)
+        slow = _run(0.7, execution_model, seed=3)
+        s = savings_vs_baseline(fast, slow)
+        assert s.time_savings.half_width > 0
+
+    def test_row_units_percent(self, execution_model):
+        s = savings_vs_baseline(_run(1.0, execution_model), _run(0.7, execution_model))
+        row = s.row()
+        assert row["time_savings_pct"] == pytest.approx(100 * s.time_savings.mean)
+
+
+class TestSavingsGrid:
+    def test_covers_dynamic_policies(self, small_grid_results):
+        grid = savings_grid(small_grid_results)
+        policies = {k[2] for k in grid}
+        assert policies == {"MinimizeWaste", "JobAdaptive", "MixedAdaptive"}
+
+    def test_precharacterized_omitted(self, small_grid_results):
+        grid = savings_grid(small_grid_results)
+        assert not any(k[2] == "Precharacterized" for k in grid)
+
+    def test_covers_all_mixes_and_levels(self, small_grid_results):
+        grid = savings_grid(small_grid_results)
+        assert len(grid) == 6 * 3 * 3
+
+    def test_metadata_filled(self, small_grid_results):
+        grid = savings_grid(small_grid_results)
+        s = grid[("WastefulPower", "max", "MixedAdaptive")]
+        assert s.mix_name == "WastefulPower"
+        assert s.budget_level == "max"
+
+    def test_by_metric_keys(self, small_grid_results):
+        grid = savings_grid(small_grid_results)
+        s = next(iter(grid.values()))
+        assert set(s.by_metric()) == {
+            "time_savings",
+            "energy_savings",
+            "edp_savings",
+            "flops_per_watt_increase",
+        }

@@ -1,0 +1,88 @@
+"""Unit tests for the msr-safe register-file emulation."""
+
+import pytest
+
+from repro.hardware.msr import (
+    DEFAULT_ALLOWLIST,
+    IA32_PERF_STATUS,
+    MSR_PKG_ENERGY_STATUS,
+    MSR_PKG_POWER_LIMIT,
+    MsrAccessError,
+    MsrFile,
+)
+
+
+class TestAllowlist:
+    def test_default_allowlist_contains_power_registers(self):
+        assert MSR_PKG_POWER_LIMIT in DEFAULT_ALLOWLIST
+        assert MSR_PKG_ENERGY_STATUS in DEFAULT_ALLOWLIST
+
+    def test_read_outside_allowlist_raises(self):
+        msr = MsrFile()
+        with pytest.raises(MsrAccessError, match="0x1a0"):
+            msr.read(0x1A0)
+
+    def test_write_outside_allowlist_raises(self):
+        msr = MsrFile()
+        with pytest.raises(MsrAccessError):
+            msr.write(0xDEAD, 1)
+
+    def test_custom_allowlist(self):
+        msr = MsrFile(allowlist={0x10})
+        msr.write(0x10, 5)
+        assert msr.read(0x10) == 5
+        with pytest.raises(MsrAccessError):
+            msr.read(MSR_PKG_POWER_LIMIT)
+
+    def test_allowlist_is_immutable_view(self):
+        msr = MsrFile()
+        assert isinstance(msr.allowlist, frozenset)
+
+
+class TestReadWrite:
+    def test_unwritten_register_reads_zero(self):
+        assert MsrFile().read(IA32_PERF_STATUS) == 0
+
+    def test_write_then_read(self):
+        msr = MsrFile()
+        msr.write(MSR_PKG_POWER_LIMIT, 0x1234)
+        assert msr.read(MSR_PKG_POWER_LIMIT) == 0x1234
+
+    def test_write_masks_to_64_bits(self):
+        msr = MsrFile()
+        msr.write(MSR_PKG_POWER_LIMIT, (1 << 65) | 7)
+        assert msr.read(MSR_PKG_POWER_LIMIT) == 7
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            MsrFile().write(MSR_PKG_POWER_LIMIT, -1)
+
+
+class TestFields:
+    def test_field_roundtrip(self):
+        msr = MsrFile()
+        msr.write_field(MSR_PKG_POWER_LIMIT, shift=0, width=15, value=560)
+        assert msr.read_field(MSR_PKG_POWER_LIMIT, 0, 15) == 560
+
+    def test_field_write_preserves_other_bits(self):
+        msr = MsrFile()
+        msr.write(MSR_PKG_POWER_LIMIT, 0xFFFF_0000)
+        msr.write_field(MSR_PKG_POWER_LIMIT, shift=0, width=8, value=0xAB)
+        assert msr.read(MSR_PKG_POWER_LIMIT) == 0xFFFF_00AB
+
+    def test_field_overflow_rejected(self):
+        msr = MsrFile()
+        with pytest.raises(ValueError, match="does not fit"):
+            msr.write_field(MSR_PKG_POWER_LIMIT, 0, 4, 16)
+
+    def test_bad_field_geometry_rejected(self):
+        msr = MsrFile()
+        with pytest.raises(ValueError):
+            msr.write_field(MSR_PKG_POWER_LIMIT, 60, 10, 1)
+        with pytest.raises(ValueError):
+            msr.read_field(MSR_PKG_POWER_LIMIT, -1, 4)
+
+    def test_full_width_field(self):
+        msr = MsrFile()
+        msr.write_field(MSR_PKG_POWER_LIMIT, 0, 64, (1 << 64) - 1)
+        assert msr.read(MSR_PKG_POWER_LIMIT) == (1 << 64) - 1

@@ -1,0 +1,95 @@
+"""Unit tests for the online (execution-time) re-planning manager."""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import create_policy
+from repro.manager.online import OnlinePowerManager
+from repro.manager.scheduler import Scheduler
+from repro.workload.job import Job, WorkloadMix
+from repro.workload.kernel import KernelConfig
+
+
+@pytest.fixture(scope="module")
+def scheduled():
+    from repro.hardware.cluster import Cluster
+
+    mix = WorkloadMix(
+        name="online",
+        jobs=(
+            Job(name="hungry", config=KernelConfig(intensity=32.0), node_count=5,
+                iterations=100),
+            Job(
+                name="waster",
+                config=KernelConfig(intensity=8.0, waiting_fraction=0.5, imbalance=3),
+                node_count=5,
+                iterations=100,
+            ),
+        ),
+    )
+    cluster = Cluster(node_count=20, seed=3)
+    return Scheduler(cluster).allocate(mix)
+
+
+class TestOnlineRun:
+    def test_epoch_count(self, scheduled):
+        manager = OnlinePowerManager(iterations_per_epoch=5)
+        run = manager.run(scheduled, create_policy("MixedAdaptive"),
+                          budget_w=10 * 190.0, epochs=4)
+        assert len(run.epochs) == 4
+
+    def test_first_epoch_uniform(self, scheduled):
+        manager = OnlinePowerManager(iterations_per_epoch=5)
+        run = manager.run(scheduled, create_policy("MixedAdaptive"),
+                          budget_w=10 * 190.0, epochs=3)
+        np.testing.assert_allclose(run.epochs[0].caps_w, 190.0)
+
+    def test_caps_converge(self, scheduled):
+        """Re-planning from live telemetry reaches a fixed point."""
+        manager = OnlinePowerManager(iterations_per_epoch=5)
+        run = manager.run(scheduled, create_policy("MixedAdaptive"),
+                          budget_w=10 * 190.0, epochs=5, noise_std=0.0)
+        assert run.caps_converged(tolerance_w=1.0)
+
+    def test_later_epochs_faster_than_first(self, scheduled):
+        """After re-planning, the hungry job runs faster than under the
+        uniform epoch-0 caps."""
+        manager = OnlinePowerManager(iterations_per_epoch=10)
+        run = manager.run(scheduled, create_policy("MixedAdaptive"),
+                          budget_w=10 * 190.0, epochs=4, noise_std=0.0)
+        first = run.epochs[0].result.job_elapsed_s[0]
+        last = run.epochs[-1].result.job_elapsed_s[0]
+        assert last < first
+
+    def test_budget_respected_every_epoch(self, scheduled):
+        manager = OnlinePowerManager(iterations_per_epoch=5)
+        budget = 10 * 190.0
+        run = manager.run(scheduled, create_policy("MixedAdaptive"),
+                          budget_w=budget, epochs=4)
+        for epoch in run.epochs:
+            assert epoch.result.mean_system_power_w <= budget * 1.001
+
+    def test_totals_aggregate(self, scheduled):
+        manager = OnlinePowerManager(iterations_per_epoch=5)
+        run = manager.run(scheduled, create_policy("StaticCaps"),
+                          budget_w=10 * 190.0, epochs=3)
+        assert run.total_elapsed_s == pytest.approx(
+            sum(e.result.mean_elapsed_s for e in run.epochs)
+        )
+        assert run.total_energy_j > 0
+
+    def test_rejects_bad_epochs(self, scheduled):
+        with pytest.raises(ValueError):
+            OnlinePowerManager().run(
+                scheduled, create_policy("StaticCaps"), 1900.0, epochs=0
+            )
+
+    def test_rejects_bad_epoch_iterations(self):
+        with pytest.raises(ValueError):
+            OnlinePowerManager(iterations_per_epoch=0)
+
+    def test_not_converged_with_single_epoch(self, scheduled):
+        manager = OnlinePowerManager(iterations_per_epoch=5)
+        run = manager.run(scheduled, create_policy("StaticCaps"),
+                          budget_w=1900.0, epochs=1)
+        assert not run.caps_converged()

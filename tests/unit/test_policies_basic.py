@@ -1,0 +1,135 @@
+"""Unit tests for the policy base, registry, and the static policies."""
+
+import numpy as np
+import pytest
+
+from repro.characterization.mix_characterization import MixCharacterization
+from repro.core.policy import Policy
+from repro.core.precharacterized import PrecharacterizedPolicy
+from repro.core.registry import POLICY_NAMES, create_policy, default_policies
+from repro.core.static_caps import StaticCapsPolicy
+
+
+def make_char(monitor, needed, boundaries):
+    monitor = np.asarray(monitor, dtype=float)
+    needed = np.asarray(needed, dtype=float)
+    return MixCharacterization(
+        mix_name="synthetic",
+        job_boundaries=np.asarray(boundaries),
+        monitor_power_w=monitor,
+        needed_power_w=needed,
+        needed_cap_w=np.clip(needed, 136.0, 240.0),
+        min_cap_w=136.0,
+        tdp_w=240.0,
+    )
+
+
+@pytest.fixture()
+def two_job_char():
+    """Job 0: hungry balanced (230 W); job 1: wasteful (210 observed,
+    150 needed)."""
+    return make_char(
+        monitor=[230, 230, 210, 210],
+        needed=[230, 230, 150, 150],
+        boundaries=[0, 2, 4],
+    )
+
+
+class TestRegistry:
+    def test_legend_order(self):
+        assert POLICY_NAMES == (
+            "Precharacterized",
+            "StaticCaps",
+            "MinimizeWaste",
+            "JobAdaptive",
+            "MixedAdaptive",
+        )
+
+    def test_create_each(self):
+        for name in POLICY_NAMES:
+            assert create_policy(name).name == name
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            create_policy("Nope")
+
+    def test_default_policies_order(self):
+        assert [p.name for p in default_policies()] == list(POLICY_NAMES)
+
+    def test_visibility_flags_match_paper_table(self):
+        flags = {p.name: p.describe() for p in default_policies()}
+        assert flags["Precharacterized"] == {
+            "system_power_aware": False, "application_aware": False,
+        }
+        assert flags["StaticCaps"]["system_power_aware"] is True
+        assert flags["MinimizeWaste"] == {
+            "system_power_aware": True, "application_aware": False,
+        }
+        assert flags["JobAdaptive"] == {
+            "system_power_aware": False, "application_aware": True,
+        }
+        assert flags["MixedAdaptive"] == {
+            "system_power_aware": True, "application_aware": True,
+        }
+
+
+class TestPolicyBase:
+    def test_rejects_nonpositive_budget(self, two_job_char):
+        with pytest.raises(ValueError):
+            StaticCapsPolicy().allocate(two_job_char, 0.0)
+
+    def test_output_always_rapl_programmable(self, two_job_char):
+        """Every policy's caps land inside [floor, TDP] for any budget."""
+        for policy in default_policies():
+            for budget in (400.0, 700.0, 2000.0):
+                alloc = policy.allocate(two_job_char, budget)
+                assert np.all(alloc.caps_w >= 136.0 - 1e-9), policy.name
+                assert np.all(alloc.caps_w <= 240.0 + 1e-9), policy.name
+
+    def test_deterministic(self, two_job_char):
+        for policy in default_policies():
+            a = policy.allocate(two_job_char, 780.0)
+            b = policy.allocate(two_job_char, 780.0)
+            np.testing.assert_array_equal(a.caps_w, b.caps_w)
+
+    def test_uniform_share(self, two_job_char):
+        assert Policy.uniform_share(two_job_char, 800.0) == pytest.approx(200.0)
+
+
+class TestStaticCaps:
+    def test_uniform_below_clip(self, two_job_char):
+        alloc = StaticCapsPolicy().allocate(two_job_char, 640.0)  # 160/host
+        np.testing.assert_allclose(alloc.caps_w, 160.0)
+
+    def test_clips_at_job_max_monitor(self, two_job_char):
+        alloc = StaticCapsPolicy().allocate(two_job_char, 960.0)  # 240/host
+        np.testing.assert_allclose(alloc.caps_w, [230, 230, 210, 210])
+
+    def test_no_redistribution_of_clipped_power(self, two_job_char):
+        """Clipped power is recorded as unallocated, not moved."""
+        alloc = StaticCapsPolicy().allocate(two_job_char, 960.0)
+        assert alloc.unallocated_w == pytest.approx(960.0 - 880.0)
+
+    def test_within_budget_always(self, two_job_char):
+        for budget in (560.0, 700.0, 900.0, 1300.0):
+            assert StaticCapsPolicy().allocate(two_job_char, budget).within_budget()
+
+
+class TestPrecharacterized:
+    def test_caps_at_job_max(self, two_job_char):
+        alloc = PrecharacterizedPolicy().allocate(two_job_char, 700.0)
+        np.testing.assert_allclose(alloc.caps_w, [230, 230, 210, 210])
+
+    def test_ignores_budget(self, two_job_char):
+        low = PrecharacterizedPolicy().allocate(two_job_char, 600.0)
+        high = PrecharacterizedPolicy().allocate(two_job_char, 1200.0)
+        np.testing.assert_array_equal(low.caps_w, high.caps_w)
+
+    def test_overshoot_recorded(self, two_job_char):
+        alloc = PrecharacterizedPolicy().allocate(two_job_char, 600.0)
+        assert alloc.notes["overshoot_w"] == pytest.approx(880.0 - 600.0)
+        assert not alloc.within_budget()
+
+    def test_no_overshoot_at_generous_budget(self, two_job_char):
+        alloc = PrecharacterizedPolicy().allocate(two_job_char, 1000.0)
+        assert alloc.notes["overshoot_w"] == 0.0

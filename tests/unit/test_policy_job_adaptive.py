@@ -1,0 +1,114 @@
+"""Unit tests for the JobAdaptive policy (per-job silos, §III-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.job_adaptive import JobAdaptivePolicy
+from tests.unit.test_policies_basic import make_char
+
+
+class TestSilos:
+    def test_no_cross_job_sharing(self):
+        """A job's surplus never leaves the job: each job block sums to at
+        most its uniform job budget."""
+        char = make_char(
+            monitor=[230, 230, 210, 150],
+            needed=[230, 230, 210, 150],
+            boundaries=[0, 2, 4],
+        )
+        budget = 800.0  # 200/host -> 400/job
+        alloc = JobAdaptivePolicy().allocate(char, budget)
+        job0 = alloc.caps_w[:2].sum()
+        job1 = alloc.caps_w[2:].sum()
+        assert job0 <= 400.0 + 1e-6
+        assert job1 <= 400.0 + 1e-6
+
+    def test_within_job_shift_to_needy(self):
+        """Inside a job, the waiting host is trimmed to its needed power
+        and the critical host boosted."""
+        char = make_char(
+            monitor=[230, 220],
+            needed=[230, 140],
+            boundaries=[0, 2],
+        )
+        alloc = JobAdaptivePolicy().allocate(char, 400.0)  # 200/host
+        assert alloc.caps_w[0] > 200.0
+        assert alloc.caps_w[1] < 200.0
+
+    def test_overflow_scales_proportionally(self):
+        """When needed power exceeds the job budget, targets scale down
+        (the paper's percentage-reduction rule)."""
+        char = make_char(
+            monitor=[240, 240],
+            needed=[240, 200],
+            boundaries=[0, 2],
+        )
+        alloc = JobAdaptivePolicy().allocate(char, 400.0)  # need 440 > 400
+        assert alloc.caps_w.sum() == pytest.approx(400.0)
+        # Proportional above the floor: bigger target keeps a bigger cap.
+        assert alloc.caps_w[0] > alloc.caps_w[1]
+
+    def test_surplus_to_neediest_within_job(self):
+        """Remainder goes to the hosts that need the most power,
+        weighted by needed-above-floor."""
+        char = make_char(
+            monitor=[200, 180],
+            needed=[200, 180],
+            boundaries=[0, 2],
+        )
+        alloc = JobAdaptivePolicy().allocate(char, 410.0)  # 30 W surplus
+        grant_hungry = alloc.caps_w[0] - 200.0
+        grant_light = alloc.caps_w[1] - 180.0
+        assert grant_hungry > grant_light > 0
+
+    def test_surplus_rolls_over_at_tdp(self):
+        """A needy host saturating at TDP rolls its share to the rest."""
+        char = make_char(
+            monitor=[230, 180],
+            needed=[230, 180],
+            boundaries=[0, 2],
+        )
+        alloc = JobAdaptivePolicy().allocate(char, 480.0)  # 70 W surplus
+        assert alloc.caps_w[0] == pytest.approx(240.0)
+        assert alloc.caps_w[1] == pytest.approx(240.0)
+
+    def test_respects_tdp_on_surplus(self):
+        char = make_char(
+            monitor=[230, 150],
+            needed=[230, 150],
+            boundaries=[0, 2],
+        )
+        alloc = JobAdaptivePolicy().allocate(char, 700.0)
+        assert np.all(alloc.caps_w <= 240.0 + 1e-9)
+        assert alloc.unallocated_w > 0
+
+    def test_within_budget_always(self):
+        char = make_char(
+            monitor=[230, 230, 210, 150],
+            needed=[230, 200, 180, 150],
+            boundaries=[0, 2, 4],
+        )
+        for budget in (560.0, 700.0, 850.0, 1200.0):
+            alloc = JobAdaptivePolicy().allocate(char, budget)
+            assert alloc.within_budget(), budget
+
+    def test_equal_needs_equal_caps(self):
+        char = make_char(
+            monitor=[220, 220, 220],
+            needed=[220, 220, 220],
+            boundaries=[0, 3],
+        )
+        alloc = JobAdaptivePolicy().allocate(char, 630.0)
+        assert np.ptp(alloc.caps_w) == pytest.approx(0.0, abs=1e-9)
+
+    def test_flat_needs_fall_back_to_uniform_weights(self):
+        """A job whose hosts all sit at the floor still gets its surplus
+        spread (uniform weights) rather than dropped."""
+        char = make_char(
+            monitor=[136, 136],
+            needed=[136, 136],
+            boundaries=[0, 2],
+        )
+        alloc = JobAdaptivePolicy().allocate(char, 400.0)
+        assert alloc.caps_w[0] == pytest.approx(alloc.caps_w[1])
+        assert alloc.caps_w.sum() <= 400.0 + 1e-6

@@ -1,0 +1,97 @@
+"""Unit tests for the MinimizeWaste policy (SLURM-style, §III-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.minimize_waste import MinimizeWastePolicy
+from tests.unit.test_policies_basic import make_char
+
+
+class TestTrimming:
+    def test_trims_to_observed_power(self):
+        """Hosts drawing less than the uniform share are trimmed to their
+        observed draw."""
+        char = make_char(
+            monitor=[230, 160, 230, 160],
+            needed=[230, 160, 230, 160],
+            boundaries=[0, 2, 4],
+        )
+        alloc = MinimizeWastePolicy().allocate(char, 800.0)  # 200/host
+        assert alloc.caps_w[1] == pytest.approx(160.0)
+        assert alloc.caps_w[3] == pytest.approx(160.0)
+
+    def test_surplus_goes_to_power_bound_hosts(self):
+        char = make_char(
+            monitor=[230, 160, 230, 160],
+            needed=[230, 160, 230, 160],
+            boundaries=[0, 2, 4],
+        )
+        alloc = MinimizeWastePolicy().allocate(char, 800.0)
+        # 80 W trimmed, split between the two 230 W hosts (equal weights).
+        assert alloc.caps_w[0] == pytest.approx(230.0)
+        assert alloc.caps_w[2] == pytest.approx(230.0)
+
+    def test_never_allocates_beyond_observed(self):
+        """The policy has no performance data, so observed draw bounds
+        every grant."""
+        char = make_char(
+            monitor=[230, 150, 150, 150],
+            needed=[230, 150, 150, 150],
+            boundaries=[0, 2, 4],
+        )
+        alloc = MinimizeWastePolicy().allocate(char, 900.0)
+        assert np.all(alloc.caps_w <= char.monitor_power_w + 1e-9)
+
+    def test_leftover_unallocated_at_generous_budget(self):
+        char = make_char(
+            monitor=[200, 200], needed=[200, 200], boundaries=[0, 2]
+        )
+        alloc = MinimizeWastePolicy().allocate(char, 480.0)
+        assert alloc.unallocated_w == pytest.approx(80.0)
+
+    def test_within_budget(self):
+        char = make_char(
+            monitor=[230, 160, 210, 180],
+            needed=[230, 160, 210, 180],
+            boundaries=[0, 2, 4],
+        )
+        for budget in (560.0, 700.0, 800.0, 1000.0):
+            assert MinimizeWastePolicy().allocate(char, budget).within_budget()
+
+    def test_blind_to_polling_waste(self):
+        """The policy's defining limitation: a poller drawing high power
+        looks power-bound and is NOT trimmed (needed power is invisible
+        without application awareness)."""
+        char = make_char(
+            monitor=[230, 220],  # host 1 polls at high power
+            needed=[230, 140],   # ...but only needs 140 W
+            boundaries=[0, 2],
+        )
+        alloc = MinimizeWastePolicy().allocate(char, 440.0)  # 220/host
+        assert alloc.caps_w[1] == pytest.approx(220.0)
+
+    def test_tight_budget_stays_uniform(self):
+        """When the share is below every host's draw, nothing is trimmed
+        — the paper's 'min caps degenerate to StaticCaps' behaviour."""
+        char = make_char(
+            monitor=[230, 220, 210, 225],
+            needed=[230, 220, 210, 225],
+            boundaries=[0, 2, 4],
+        )
+        alloc = MinimizeWastePolicy().allocate(char, 600.0)  # 150/host
+        np.testing.assert_allclose(alloc.caps_w, 150.0)
+
+    def test_weights_favour_bigger_consumers(self):
+        """Surplus is weighted by assigned-minus-floor: the host trimmed
+        higher receives more of the pool."""
+        char = make_char(
+            monitor=[300, 260, 100, 100],
+            needed=[300, 260, 100, 100],
+            boundaries=[0, 2, 4],
+        )
+        # share 180: hosts 2,3 trimmed to 136 (floor) -> pool 88
+        alloc = MinimizeWastePolicy().allocate(char, 720.0)
+        grant0 = alloc.caps_w[0] - 180.0
+        grant1 = alloc.caps_w[1] - 180.0
+        assert grant0 == pytest.approx(grant1)  # equal weights at equal assignment
+        assert grant0 > 0

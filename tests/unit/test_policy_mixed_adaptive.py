@@ -1,0 +1,124 @@
+"""Unit tests for the MixedAdaptive policy — the paper's §III-A steps."""
+
+import numpy as np
+import pytest
+
+from repro.core.mixed_adaptive import MixedAdaptivePolicy
+from repro.core.job_adaptive import JobAdaptivePolicy
+from tests.unit.test_policies_basic import make_char
+
+
+class TestSteps:
+    def test_step2_trims_to_needed(self):
+        """Hosts above their needed power are trimmed to it."""
+        char = make_char(
+            monitor=[220, 220],
+            needed=[160, 160],
+            boundaries=[0, 2],
+        )
+        alloc = MixedAdaptivePolicy().allocate(char, 400.0)  # 200/host
+        # Needed total 320 < budget 400: trimmed then step-4 surplus
+        # returns, weighted equally -> equal caps.
+        assert alloc.caps_w[0] == pytest.approx(alloc.caps_w[1])
+        assert alloc.caps_w.sum() <= 400.0 + 1e-6
+
+    def test_step3_refills_needy_across_jobs(self):
+        """Deallocated power crosses job boundaries — the capability
+        JobAdaptive lacks."""
+        char = make_char(
+            monitor=[235, 235, 150, 150],
+            needed=[235, 235, 150, 150],
+            boundaries=[0, 2, 4],
+        )
+        budget = 760.0  # 190/host: job 1 donates 2 x 40 W to job 0
+        mixed = MixedAdaptivePolicy().allocate(char, budget)
+        job_silo = JobAdaptivePolicy().allocate(char, budget)
+        assert mixed.caps_w[0] > job_silo.caps_w[0]
+        assert mixed.caps_w[0] == pytest.approx(230.0)  # 190 + 40
+
+    def test_step3_caps_at_needed(self):
+        char = make_char(
+            monitor=[210, 150],
+            needed=[210, 150],
+            boundaries=[0, 1, 2],
+        )
+        alloc = MixedAdaptivePolicy().allocate(char, 360.0)  # 180/host
+        assert alloc.caps_w[0] == pytest.approx(210.0)
+        assert alloc.caps_w[1] == pytest.approx(150.0)
+
+    def test_step4_weighted_surplus(self):
+        """True surplus spreads weighted by distance from the floor."""
+        char = make_char(
+            monitor=[200, 160],
+            needed=[200, 160],
+            boundaries=[0, 1, 2],
+        )
+        alloc = MixedAdaptivePolicy().allocate(char, 400.0)  # 40 W surplus
+        grant_high = alloc.caps_w[0] - 200.0
+        grant_low = alloc.caps_w[1] - 160.0
+        assert grant_high > grant_low > 0
+        # Weights are (needed - floor): 64 vs 24.
+        assert grant_high / grant_low == pytest.approx(64.0 / 24.0, rel=1e-6)
+
+    def test_power_shortage_pool_can_be_zero(self):
+        """Paper: 'If there is a significant enough power shortage, the
+        surplus can be as low as zero watts' — every host needs more than
+        the share, so the allocation stays uniform."""
+        char = make_char(
+            monitor=[230, 230, 235, 235],
+            needed=[230, 230, 235, 235],
+            boundaries=[0, 2, 4],
+        )
+        alloc = MixedAdaptivePolicy().allocate(char, 600.0)  # 150/host
+        np.testing.assert_allclose(alloc.caps_w, 150.0)
+
+    def test_within_budget_always(self):
+        char = make_char(
+            monitor=[230, 200, 180, 150],
+            needed=[230, 180, 160, 140],
+            boundaries=[0, 2, 4],
+        )
+        for budget in (560.0, 680.0, 800.0, 1100.0):
+            assert MixedAdaptivePolicy().allocate(char, budget).within_budget()
+
+    def test_dominates_job_adaptive_on_cross_job_mixes(self):
+        """With cross-job diversity, MixedAdaptive satisfies hungry hosts
+        at least as well as JobAdaptive at every budget."""
+        char = make_char(
+            monitor=[235, 235, 150, 150],
+            needed=[235, 235, 150, 150],
+            boundaries=[0, 2, 4],
+        )
+        for budget in (700.0, 770.0, 850.0):
+            mixed = MixedAdaptivePolicy().allocate(char, budget)
+            silo = JobAdaptivePolicy().allocate(char, budget)
+            hungry_mixed = mixed.caps_w[:2].min()
+            hungry_silo = silo.caps_w[:2].min()
+            assert hungry_mixed >= hungry_silo - 1e-6
+
+    def test_single_job_equals_job_adaptive_needed_distribution(self):
+        """On a single-job mix with a binding budget, both adaptive
+        policies assign the same caps (the HighImbalance observation)."""
+        char = make_char(
+            monitor=[230, 230, 220, 220],
+            needed=[230, 230, 145, 145],
+            boundaries=[0, 4],
+        )
+        budget = 4 * 180.0
+        mixed = MixedAdaptivePolicy().allocate(char, budget)
+        silo = JobAdaptivePolicy().allocate(char, budget)
+        # Both trim the waiting hosts to needed and push the rest to the
+        # critical hosts; the refill paths differ in fine detail (MixedA
+        # water-fills to needed, JobAdaptive scales proportionally), so
+        # agreement is to within a couple of watts.
+        np.testing.assert_allclose(
+            mixed.caps_w[2:], silo.caps_w[2:], atol=2.0
+        )
+
+    def test_notes_expose_internals(self):
+        char = make_char(
+            monitor=[200, 200], needed=[180, 180], boundaries=[0, 2]
+        )
+        alloc = MixedAdaptivePolicy().allocate(char, 400.0)
+        assert "uniform_share_w" in alloc.notes
+        assert alloc.notes["needed_total_w"] == pytest.approx(360.0)

@@ -1,0 +1,108 @@
+"""Unit tests for the RAPL power-limit / energy-counter emulation."""
+
+import pytest
+
+from repro.hardware.cpu import QUARTZ_CPU
+from repro.hardware.msr import MsrFile, MSR_PKG_ENERGY_STATUS
+from repro.hardware.rapl import RaplDomain, RaplPackage
+
+
+@pytest.fixture()
+def domain() -> RaplDomain:
+    return RaplDomain(MsrFile())
+
+
+class TestPowerLimit:
+    def test_default_limit_is_tdp(self, domain):
+        assert domain.power_limit() == pytest.approx(QUARTZ_CPU.tdp_w)
+
+    def test_set_and_read(self, domain):
+        actual = domain.set_power_limit(90.0)
+        assert actual == pytest.approx(90.0)
+        assert domain.power_limit() == pytest.approx(90.0)
+
+    def test_quantisation_to_eighth_watt(self, domain):
+        actual = domain.set_power_limit(90.07)
+        assert actual == pytest.approx(90.125, abs=1e-9)  # nearest 1/8 W
+
+    def test_clamps_below_floor(self, domain):
+        actual = domain.set_power_limit(10.0)
+        assert actual == pytest.approx(QUARTZ_CPU.min_rapl_w)
+
+    def test_clamps_above_tdp(self, domain):
+        actual = domain.set_power_limit(500.0)
+        assert actual == pytest.approx(QUARTZ_CPU.tdp_w)
+
+    def test_rejects_nonpositive(self, domain):
+        with pytest.raises(ValueError):
+            domain.set_power_limit(0.0)
+
+    def test_advertised_range_decodes(self, domain):
+        assert domain.min_power_w == pytest.approx(QUARTZ_CPU.min_rapl_w)
+        assert domain.max_power_w == pytest.approx(QUARTZ_CPU.tdp_w)
+
+
+class TestEnergyCounter:
+    def test_starts_at_zero(self, domain):
+        assert domain.read_energy_j() == pytest.approx(0.0)
+
+    def test_accumulates(self, domain):
+        domain.accumulate_energy(100.0)
+        domain.accumulate_energy(50.0)
+        assert domain.read_energy_j() == pytest.approx(150.0, abs=1e-3)
+
+    def test_quantisation_granularity(self, domain):
+        """Energy units are 2^-16 J; accumulation is quantised but close."""
+        domain.accumulate_energy(0.001)
+        assert domain.read_energy_j() == pytest.approx(0.001, abs=2**-15)
+
+    def test_wraparound_correction(self, domain):
+        """The 32-bit counter wraps every 2^32 * 2^-16 J = 65536 J; the
+        reader must unwrap it."""
+        domain.accumulate_energy(60000.0)
+        assert domain.read_energy_j() == pytest.approx(60000.0, abs=1e-2)
+        domain.accumulate_energy(10000.0)  # crosses the wrap point
+        assert domain.read_energy_j() == pytest.approx(70000.0, abs=1e-2)
+
+    def test_multiple_wraps_with_regular_reads(self, domain):
+        total = 0.0
+        for _ in range(10):
+            domain.accumulate_energy(40000.0)
+            total += 40000.0
+            assert domain.read_energy_j() == pytest.approx(total, rel=1e-6)
+
+    def test_raw_counter_is_32_bit(self, domain):
+        domain.accumulate_energy(70000.0)
+        raw = domain.msr.read(MSR_PKG_ENERGY_STATUS)
+        assert raw < (1 << 32)
+
+    def test_rejects_negative_energy(self, domain):
+        with pytest.raises(ValueError):
+            domain.accumulate_energy(-1.0)
+
+
+class TestRaplPackage:
+    def test_node_limit_splits_evenly(self):
+        pkg = RaplPackage()
+        total = pkg.set_node_power_limit(200.0)
+        assert total == pytest.approx(200.0)
+        for d in pkg.domains:
+            assert d.power_limit() == pytest.approx(100.0)
+
+    def test_node_limit_clamps_per_socket(self):
+        pkg = RaplPackage()
+        total = pkg.set_node_power_limit(1000.0)
+        assert total == pytest.approx(2 * QUARTZ_CPU.tdp_w)
+
+    def test_node_energy_sums_sockets(self):
+        pkg = RaplPackage()
+        pkg.accumulate_node_energy(500.0)
+        assert pkg.read_node_energy_j() == pytest.approx(500.0, abs=1e-2)
+
+    def test_single_socket_package(self):
+        pkg = RaplPackage(sockets=1)
+        assert pkg.set_node_power_limit(100.0) == pytest.approx(100.0)
+
+    def test_rejects_zero_sockets(self):
+        with pytest.raises(ValueError):
+            RaplPackage(sockets=0)

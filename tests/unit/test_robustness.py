@@ -1,0 +1,57 @@
+"""Unit tests for the policy tournament."""
+
+import pytest
+
+from repro.experiments.robustness import policy_tournament
+
+
+class TestTournament:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return policy_tournament(rounds=4, nodes_per_job=5, iterations=15)
+
+    def test_round_count(self, result):
+        assert len(result.rounds) == 4
+
+    def test_rounds_have_all_policies(self, result):
+        for rnd in result.rounds:
+            assert set(rnd.time_savings_pct) == {
+                "MinimizeWaste", "JobAdaptive", "MixedAdaptive",
+            }
+
+    def test_win_counts_sum_to_rounds(self, result):
+        assert sum(result.win_counts("time").values()) == 4
+        assert sum(result.win_counts("energy").values()) == 4
+
+    def test_winner_per_round(self, result):
+        for rnd in result.rounds:
+            winner = rnd.winner("time")
+            assert rnd.time_savings_pct[winner] == max(
+                rnd.time_savings_pct.values()
+            )
+
+    def test_mean_savings_keys(self, result):
+        means = result.mean_savings_pct("energy")
+        assert set(means) == {"MinimizeWaste", "JobAdaptive", "MixedAdaptive"}
+
+    def test_mixed_adaptive_never_strictly_loses_time(self, result):
+        assert result.never_strictly_loses("MixedAdaptive", "time",
+                                           tolerance_pct=0.75)
+
+    def test_deterministic(self):
+        a = policy_tournament(rounds=2, nodes_per_job=5, iterations=10)
+        b = policy_tournament(rounds=2, nodes_per_job=5, iterations=10)
+        assert a.mean_savings_pct("time") == b.mean_savings_pct("time")
+
+    def test_different_seeds_different_mixes(self):
+        a = policy_tournament(rounds=1, nodes_per_job=5, iterations=10,
+                              base_seed=1)
+        b = policy_tournament(rounds=1, nodes_per_job=5, iterations=10,
+                              base_seed=2)
+        assert (
+            a.rounds[0].time_savings_pct != b.rounds[0].time_savings_pct
+        )
+
+    def test_rejects_zero_rounds(self):
+        with pytest.raises(ValueError):
+            policy_tournament(rounds=0)

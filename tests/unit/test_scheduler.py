@@ -1,0 +1,68 @@
+"""Unit tests for the node scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.manager.scheduler import ScheduledMix, Scheduler
+from repro.workload.job import Job, WorkloadMix
+from repro.workload.kernel import KernelConfig
+
+
+def _mix(nodes_per_job=10, jobs=3):
+    return WorkloadMix(
+        name="m",
+        jobs=tuple(
+            Job(name=f"j{i}", config=KernelConfig(intensity=4.0),
+                node_count=nodes_per_job)
+            for i in range(jobs)
+        ),
+    )
+
+
+class TestScheduler:
+    def test_allocates_distinct_nodes(self, small_cluster):
+        scheduled = Scheduler(small_cluster).allocate(_mix())
+        assert np.unique(scheduled.node_ids).size == 30
+
+    def test_efficiencies_match_node_ids(self, small_cluster):
+        scheduled = Scheduler(small_cluster).allocate(_mix())
+        np.testing.assert_array_equal(
+            scheduled.efficiencies, small_cluster.efficiencies[scheduled.node_ids]
+        )
+
+    def test_too_small_partition_rejected(self, small_cluster):
+        big = _mix(nodes_per_job=100, jobs=3)
+        with pytest.raises(ValueError, match="needs 300 nodes"):
+            Scheduler(small_cluster).allocate(big)
+
+    def test_shuffle_seed_deterministic(self, small_cluster):
+        a = Scheduler(small_cluster, shuffle_seed=4).allocate(_mix())
+        b = Scheduler(small_cluster, shuffle_seed=4).allocate(_mix())
+        np.testing.assert_array_equal(a.node_ids, b.node_ids)
+
+    def test_no_shuffle_assigns_in_order(self, small_cluster):
+        scheduled = Scheduler(small_cluster, shuffle_seed=None).allocate(_mix())
+        np.testing.assert_array_equal(scheduled.node_ids, np.arange(30))
+
+    def test_shuffle_changes_layout(self, small_cluster):
+        ordered = Scheduler(small_cluster, shuffle_seed=None).allocate(_mix())
+        shuffled = Scheduler(small_cluster, shuffle_seed=7).allocate(_mix())
+        assert not np.array_equal(ordered.node_ids, shuffled.node_ids)
+
+    def test_job_node_ids(self, small_cluster):
+        scheduled = Scheduler(small_cluster, shuffle_seed=None).allocate(_mix())
+        np.testing.assert_array_equal(scheduled.job_node_ids(1), np.arange(10, 20))
+
+
+class TestScheduledMix:
+    def test_rejects_shape_mismatch(self, small_cluster):
+        mix = _mix()
+        with pytest.raises(ValueError):
+            ScheduledMix(mix=mix, node_ids=np.arange(5), efficiencies=np.ones(5))
+
+    def test_rejects_duplicate_nodes(self, small_cluster):
+        mix = _mix(nodes_per_job=1, jobs=2)
+        with pytest.raises(ValueError, match="two hosts"):
+            ScheduledMix(
+                mix=mix, node_ids=np.array([3, 3]), efficiencies=np.ones(2)
+            )

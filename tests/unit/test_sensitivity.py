@@ -1,0 +1,77 @@
+"""Unit tests for the budget-sweep and variation-sensitivity studies."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.sensitivity import budget_sweep, variation_sensitivity
+
+
+class TestBudgetSweep:
+    @pytest.fixture(scope="class")
+    def points(self, small_grid):
+        return budget_sweep(small_grid, mix_name="WastefulPower", points=5)
+
+    def test_point_count(self, points):
+        assert len(points) == 5 * 4  # levels x policies
+
+    def test_budgets_span_floor_to_tdp(self, points):
+        per_node = sorted({p.budget_per_node_w for p in points})
+        assert per_node[0] == pytest.approx(1.05 * 136.0)
+        assert per_node[-1] == pytest.approx(240.0)
+
+    def test_static_caps_is_zero_baseline(self, points):
+        for p in points:
+            if p.policy_name == "StaticCaps":
+                assert p.time_savings_pct == 0.0
+                assert p.energy_savings_pct == 0.0
+
+    def test_energy_savings_grow_with_budget(self, points):
+        mixed = sorted(
+            (p for p in points if p.policy_name == "MixedAdaptive"),
+            key=lambda p: p.budget_per_node_w,
+        )
+        assert mixed[-1].energy_savings_pct > mixed[0].energy_savings_pct
+
+    def test_utilization_decreases_with_budget(self, points):
+        static = sorted(
+            (p for p in points if p.policy_name == "StaticCaps"),
+            key=lambda p: p.budget_per_node_w,
+        )
+        assert static[-1].utilization < static[0].utilization
+
+    def test_rejects_single_point(self, small_grid):
+        with pytest.raises(ValueError):
+            budget_sweep(small_grid, points=1)
+
+
+class TestVariationSensitivity:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        return variation_sensitivity(
+            nodes_per_job=5, survey_nodes=600, budget_per_node_w=180.0
+        )
+
+    def test_all_partitions_present(self, outcomes):
+        assert set(outcomes) == {"low", "medium", "high", "novariation"}
+
+    def test_inefficient_partition_slower(self, outcomes):
+        assert (
+            outcomes["low"]["mean_elapsed_s"]
+            > outcomes["high"]["mean_elapsed_s"]
+        )
+
+    def test_medium_tracks_ideal(self, outcomes):
+        med = outcomes["medium"]["mean_elapsed_s"]
+        ideal = outcomes["novariation"]["mean_elapsed_s"]
+        assert med == pytest.approx(ideal, rel=0.05)
+
+    def test_efficiency_ordering(self, outcomes):
+        assert (
+            outcomes["high"]["mean_efficiency"]
+            < outcomes["medium"]["mean_efficiency"]
+            < outcomes["low"]["mean_efficiency"]
+        )
+
+    def test_undersized_survey_rejected(self):
+        with pytest.raises(ValueError, match="increase survey_nodes"):
+            variation_sensitivity(nodes_per_job=100, survey_nodes=600)

@@ -1,0 +1,89 @@
+"""Unit tests for JSON serialization of stack artefacts."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.characterization.budgets import PowerBudgets, derive_budgets
+from repro.io.serialize import (
+    budgets_from_dict,
+    budgets_to_dict,
+    characterization_from_dict,
+    characterization_to_dict,
+    load_characterization,
+    save_characterization,
+    save_grid_results,
+)
+from tests.unit.test_policies_basic import make_char
+
+
+@pytest.fixture()
+def char():
+    return make_char(
+        monitor=[230, 210, 190, 170],
+        needed=[230, 180, 160, 150],
+        boundaries=[0, 2, 4],
+    )
+
+
+class TestCharacterizationRoundtrip:
+    def test_dict_roundtrip(self, char):
+        rebuilt = characterization_from_dict(characterization_to_dict(char))
+        np.testing.assert_array_equal(rebuilt.monitor_power_w, char.monitor_power_w)
+        np.testing.assert_array_equal(rebuilt.needed_power_w, char.needed_power_w)
+        np.testing.assert_array_equal(rebuilt.job_boundaries, char.job_boundaries)
+        assert rebuilt.mix_name == char.mix_name
+
+    def test_file_roundtrip(self, char, tmp_path):
+        path = save_characterization(char, tmp_path / "char.json")
+        rebuilt = load_characterization(path)
+        np.testing.assert_array_equal(rebuilt.needed_cap_w, char.needed_cap_w)
+
+    def test_json_is_valid(self, char, tmp_path):
+        path = save_characterization(char, tmp_path / "char.json")
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro.mix-characterization.v1"
+
+    def test_wrong_format_rejected(self, char):
+        data = characterization_to_dict(char)
+        data["format"] = "something.else.v9"
+        with pytest.raises(ValueError, match="unsupported characterization"):
+            characterization_from_dict(data)
+
+    def test_roundtrip_feeds_policies(self, char):
+        """A deserialized characterization produces bit-identical policy
+        allocations — the cacheability guarantee."""
+        from repro.core.registry import create_policy
+
+        rebuilt = characterization_from_dict(characterization_to_dict(char))
+        policy = create_policy("MixedAdaptive")
+        a = policy.allocate(char, 760.0)
+        b = policy.allocate(rebuilt, 760.0)
+        np.testing.assert_array_equal(a.caps_w, b.caps_w)
+
+    def test_derived_budgets_survive_roundtrip(self, char):
+        rebuilt = characterization_from_dict(characterization_to_dict(char))
+        assert derive_budgets(rebuilt).by_level() == derive_budgets(char).by_level()
+
+
+class TestBudgetsRoundtrip:
+    def test_roundtrip(self):
+        budgets = PowerBudgets("m", 100.0, 150.0, 200.0, 240.0)
+        rebuilt = budgets_from_dict(budgets_to_dict(budgets))
+        assert rebuilt == budgets
+
+    def test_wrong_format_rejected(self):
+        data = budgets_to_dict(PowerBudgets("m", 1.0, 2.0, 3.0, 4.0))
+        data["format"] = "nope"
+        with pytest.raises(ValueError, match="unsupported budgets"):
+            budgets_from_dict(data)
+
+
+class TestGridExport:
+    def test_save_grid_results(self, small_grid, tmp_path):
+        results = small_grid.run_all(mixes=["LowPower"], levels=["ideal"])
+        path = save_grid_results(results, tmp_path / "grid.csv")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1 + 5  # header + five policies
+        assert "LowPower" in lines[1]

@@ -1,0 +1,152 @@
+"""Unit tests for the time-stepped site simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import create_policy
+from repro.hardware.cluster import Cluster
+from repro.manager.site_simulation import Arrival, run_site_simulation
+from repro.manager.queue import JobRequest
+from repro.workload.kernel import KernelConfig
+
+
+def _arrival(name, t, nodes=4, intensity=8.0, hint=None):
+    return Arrival(
+        time_s=t,
+        request=JobRequest(
+            name=name,
+            config=KernelConfig(intensity=intensity),
+            node_count=nodes,
+            iterations=5,
+            power_hint_w=hint,
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def site_cluster():
+    return Cluster(node_count=12, variation=None, seed=0)
+
+
+class TestValidation:
+    def test_rejects_empty_arrivals(self, site_cluster):
+        with pytest.raises(ValueError):
+            run_site_simulation([], site_cluster, create_policy("StaticCaps"),
+                                2000.0)
+
+    def test_rejects_negative_arrival_time(self):
+        with pytest.raises(ValueError):
+            _arrival("a", -1.0)
+
+    def test_rejects_bad_budget(self, site_cluster):
+        with pytest.raises(ValueError):
+            run_site_simulation(
+                [_arrival("a", 0.0)], site_cluster,
+                create_policy("StaticCaps"), 0.0,
+            )
+
+
+class TestScheduling:
+    def test_all_jobs_complete(self, site_cluster):
+        arrivals = [_arrival(f"j{i}", 0.0) for i in range(3)]
+        result = run_site_simulation(
+            arrivals, site_cluster, create_policy("MixedAdaptive"),
+            budget_w=12 * 220.0,
+        )
+        assert sorted(result.completed) == ["j0", "j1", "j2"]
+        assert result.never_admitted == ()
+
+    def test_capacity_forces_batching(self, site_cluster):
+        """Three 4-node jobs on 12 nodes with an 8-node power budget run
+        in more than one batch."""
+        arrivals = [_arrival(f"j{i}", 0.0, hint=230.0) for i in range(3)]
+        result = run_site_simulation(
+            arrivals, site_cluster, create_policy("StaticCaps"),
+            budget_w=8 * 235.0,
+        )
+        assert len(result.batches) >= 2
+        assert sorted(result.completed) == ["j0", "j1", "j2"]
+
+    def test_budget_respected_every_batch(self, site_cluster):
+        arrivals = [_arrival(f"j{i}", 0.0) for i in range(3)]
+        budget = 8 * 235.0
+        result = run_site_simulation(
+            arrivals, site_cluster, create_policy("MixedAdaptive"),
+            budget_w=budget,
+        )
+        assert result.peak_power_w() <= budget * 1.001
+
+    def test_late_arrival_waits(self, site_cluster):
+        """A job arriving after the first batch starts runs in a later
+        batch, and its turnaround excludes pre-arrival time."""
+        arrivals = [
+            _arrival("early", 0.0, nodes=8),
+            _arrival("late", 1000.0, nodes=8),
+        ]
+        result = run_site_simulation(
+            arrivals, site_cluster, create_policy("StaticCaps"),
+            budget_w=12 * 235.0,
+        )
+        assert sorted(result.completed) == ["early", "late"]
+        assert len(result.batches) == 2
+        assert result.batches[1].start_s >= 1000.0
+        assert result.job_turnaround_s["late"] < result.batches[1].end_s
+
+    def test_unschedulable_job_reported(self, site_cluster):
+        """A job larger than the cluster never completes but does not
+        hang the simulation."""
+        arrivals = [
+            _arrival("ok", 0.0, nodes=4),
+            _arrival("whale", 0.0, nodes=500),
+        ]
+        result = run_site_simulation(
+            arrivals, site_cluster, create_policy("StaticCaps"),
+            budget_w=12 * 235.0,
+        )
+        assert "ok" in result.completed
+        assert "whale" in result.never_admitted
+
+    def test_turnaround_positive(self, site_cluster):
+        arrivals = [_arrival(f"j{i}", float(i)) for i in range(2)]
+        result = run_site_simulation(
+            arrivals, site_cluster, create_policy("StaticCaps"),
+            budget_w=12 * 235.0,
+        )
+        assert all(t > 0 for t in result.job_turnaround_s.values())
+        assert result.mean_turnaround_s() > 0
+
+    def test_energy_accumulates(self, site_cluster):
+        arrivals = [_arrival(f"j{i}", 0.0) for i in range(2)]
+        result = run_site_simulation(
+            arrivals, site_cluster, create_policy("StaticCaps"),
+            budget_w=12 * 235.0,
+        )
+        assert result.total_energy_j == pytest.approx(
+            sum(b.energy_j for b in result.batches)
+        )
+
+    def test_policy_improves_makespan_under_tight_budget(self, site_cluster):
+        """MixedAdaptive completes the same arrival stream no slower than
+        StaticCaps under a constrained budget."""
+        arrivals = [
+            _arrival("hungry", 0.0, nodes=6, intensity=32.0),
+            Arrival(
+                time_s=0.0,
+                request=JobRequest(
+                    name="waster",
+                    config=KernelConfig(
+                        intensity=8.0, waiting_fraction=0.5, imbalance=3
+                    ),
+                    node_count=6,
+                    iterations=5,
+                ),
+            ),
+        ]
+        budget = 12 * 185.0
+        static = run_site_simulation(
+            arrivals, site_cluster, create_policy("StaticCaps"), budget
+        )
+        mixed = run_site_simulation(
+            arrivals, site_cluster, create_policy("MixedAdaptive"), budget
+        )
+        assert mixed.makespan_s <= static.makespan_s * 1.001

@@ -1,0 +1,140 @@
+"""Unit tests for the SVG chart renderer."""
+
+import xml.dom.minidom
+
+import numpy as np
+import pytest
+
+from repro.analysis.svg import (
+    grouped_bar_chart,
+    heatmap_chart,
+    line_chart,
+    write_svg,
+    _nice_ticks,
+)
+
+
+def _well_formed(svg: str) -> bool:
+    xml.dom.minidom.parseString(svg)
+    return True
+
+
+class TestNiceTicks:
+    def test_simple_range(self):
+        ticks = _nice_ticks(0.0, 10.0)
+        assert ticks[0] >= 0.0
+        assert ticks[-1] <= 10.0 + 1e-9
+        assert len(ticks) >= 3
+
+    def test_degenerate_range(self):
+        ticks = _nice_ticks(5.0, 5.0)
+        assert len(ticks) >= 1
+
+    def test_ticks_increase(self):
+        ticks = _nice_ticks(-3.7, 42.1)
+        assert all(b > a for a, b in zip(ticks, ticks[1:]))
+
+
+class TestLineChart:
+    def test_well_formed(self):
+        svg = line_chart(
+            [0, 1, 2, 3], {"a": [1.0, 2.0, 1.5, 3.0]}, title="t",
+        )
+        assert _well_formed(svg)
+
+    def test_series_and_reference_lines(self):
+        svg = line_chart(
+            [0, 1, 2], {"draw": [0.8, 0.9, 0.85]}, title="Fig1",
+            h_lines={"rating": 1.35},
+        )
+        assert "polyline" in svg
+        assert "rating" in svg
+        assert "stroke-dasharray" in svg
+
+    def test_rejects_short_x(self):
+        with pytest.raises(ValueError):
+            line_chart([1], {"a": [1.0]}, title="t")
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            line_chart([0, 1], {"a": [1.0, 2.0, 3.0]}, title="t")
+
+    def test_escapes_labels(self):
+        svg = line_chart([0, 1], {"a<b>": [1.0, 2.0]}, title='x & "y"')
+        assert "a&lt;b&gt;" in svg
+        assert "x &amp; &quot;y&quot;" in svg
+        assert _well_formed(svg)
+
+
+class TestGroupedBarChart:
+    def test_well_formed(self):
+        svg = grouped_bar_chart(
+            ["min", "ideal", "max"],
+            {"A": [1.0, 2.0, 3.0], "B": [2.0, 1.0, 0.5]},
+            title="bars",
+        )
+        assert _well_formed(svg)
+        assert svg.count("<rect") >= 6
+
+    def test_negative_values_supported(self):
+        svg = grouped_bar_chart(
+            ["g"], {"A": [-2.0], "B": [3.0]}, title="t",
+        )
+        assert _well_formed(svg)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["a", "b"], {"A": [1.0]}, title="t")
+
+    def test_rejects_empty_groups(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart([], {"A": []}, title="t")
+
+
+class TestHeatmapChart:
+    def test_well_formed(self):
+        svg = heatmap_chart(
+            ["1", "8"], ["0%", "50%"],
+            np.array([[209.0, 199.0], [232.0, 205.0]]),
+            title="heat", unit="W",
+        )
+        assert _well_formed(svg)
+        assert svg.count("<rect") >= 5  # 4 cells + background
+
+    def test_values_rendered(self):
+        svg = heatmap_chart(
+            ["r"], ["c"], np.array([[232.0]]), title="t",
+        )
+        assert "232" in svg
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            heatmap_chart(["a"], ["b"], np.ones((2, 2)), title="t")
+
+
+class TestWriteSvg:
+    def test_writes_file(self, tmp_path):
+        svg = line_chart([0, 1], {"a": [1.0, 2.0]}, title="t")
+        path = write_svg(svg, tmp_path / "chart.svg")
+        assert path.read_text().startswith("<svg")
+
+    def test_rejects_non_svg(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_svg("<html></html>", tmp_path / "x.svg")
+
+
+class TestRenderAllFigures:
+    def test_all_figures_written(self, small_grid, small_grid_results, tmp_path):
+        from repro.experiments.svg_figures import render_all_figures
+
+        written = render_all_figures(
+            small_grid, tmp_path, results=small_grid_results, heatmap_nodes=10
+        )
+        assert set(written) == {
+            "fig1", "fig4", "fig5",
+            "fig7_min", "fig7_ideal", "fig7_max",
+            "fig8_time", "fig8_energy",
+        }
+        for path in written.values():
+            assert path.exists()
+            xml.dom.minidom.parse(str(path))

@@ -1,0 +1,41 @@
+"""Unit tests for the takeaway/marker checks."""
+
+import pytest
+
+from repro.experiments.takeaways import check_takeaways
+
+
+class TestTakeawayReport:
+    @pytest.fixture(scope="class")
+    def report(self, small_grid_results):
+        return check_takeaways(small_grid_results)
+
+    def test_all_paper_shapes_hold(self, report):
+        """The headline assertion of the reproduction: every takeaway and
+        marker predicate from the paper holds on the simulated grid."""
+        assert report.all_hold(), report.failed()
+
+    def test_evidence_for_every_check(self, report):
+        for name in report.checks:
+            assert name in report.evidence
+
+    def test_failed_empty_when_all_hold(self, report):
+        assert report.failed() == ()
+
+    def test_expected_check_names(self, report):
+        assert set(report.checks) == {
+            "t1_energy_savings_grow_with_budget",
+            "t2_app_awareness_increases_energy_savings",
+            "t3_combined_beats_either_alone",
+            "t4_needusedpower_no_energy_opportunity",
+            "marker_a_less_power_at_max",
+            "marker_b_jobadaptive_underutilises_at_ideal",
+            "marker_e_time_savings_at_constrained_budgets",
+        }
+
+
+class TestPartialGrid:
+    def test_requires_all_levels(self, small_grid):
+        partial = small_grid.run_all(mixes=["LowPower"], levels=["min"])
+        with pytest.raises(ValueError, match="three budget levels"):
+            check_takeaways(partial)

@@ -1,0 +1,120 @@
+"""Unit tests for :mod:`repro.units`."""
+
+import numpy as np
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_watts_to_kilowatts(self):
+        assert units.watts_to_kilowatts(1500.0) == pytest.approx(1.5)
+
+    def test_kilowatts_to_watts(self):
+        assert units.kilowatts_to_watts(1.35) == pytest.approx(1350.0)
+
+    def test_watt_roundtrip(self):
+        assert units.kilowatts_to_watts(units.watts_to_kilowatts(777.0)) == pytest.approx(777.0)
+
+    def test_joules_to_kwh(self):
+        assert units.joules_to_kwh(3.6e6) == pytest.approx(1.0)
+
+    def test_seconds_per_day(self):
+        assert units.SECONDS_PER_DAY == 24 * units.SECONDS_PER_HOUR
+
+
+class TestEnsurePositive:
+    def test_accepts_positive_scalar(self):
+        assert units.ensure_positive(3.0, "x") == 3.0
+
+    def test_accepts_positive_array(self):
+        arr = np.array([1.0, 2.0])
+        assert units.ensure_positive(arr, "x") is arr
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            units.ensure_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            units.ensure_positive(-1.0, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            units.ensure_positive(float("nan"), "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            units.ensure_positive(float("inf"), "x")
+
+    def test_rejects_array_with_one_bad_element(self):
+        with pytest.raises(ValueError):
+            units.ensure_positive(np.array([1.0, 0.0]), "x")
+
+    def test_error_names_the_parameter(self):
+        with pytest.raises(ValueError, match="tdp_w"):
+            units.ensure_positive(-5, "tdp_w")
+
+
+class TestEnsureNonNegative:
+    def test_accepts_zero(self):
+        assert units.ensure_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            units.ensure_non_negative(-0.1, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            units.ensure_non_negative(float("nan"), "x")
+
+
+class TestEnsureFraction:
+    def test_accepts_bounds(self):
+        assert units.ensure_fraction(0.0, "x") == 0.0
+        assert units.ensure_fraction(1.0, "x") == 1.0
+
+    def test_accepts_interior(self):
+        assert units.ensure_fraction(0.25, "x") == 0.25
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            units.ensure_fraction(1.01, "x")
+
+    def test_rejects_below_zero(self):
+        with pytest.raises(ValueError):
+            units.ensure_fraction(-0.01, "x")
+
+    def test_array_support(self):
+        arr = np.array([0.0, 0.5, 1.0])
+        assert units.ensure_fraction(arr, "x") is arr
+
+
+class TestEnsureInRange:
+    def test_accepts_in_range(self):
+        assert units.ensure_in_range(5.0, 0.0, 10.0, "x") == 5.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            units.ensure_in_range(11.0, 0.0, 10.0, "x")
+
+    def test_rejects_invalid_range(self):
+        with pytest.raises(ValueError, match="invalid range"):
+            units.ensure_in_range(5.0, 10.0, 0.0, "x")
+
+
+class TestEnsureMonotonic:
+    def test_accepts_increasing(self):
+        assert units.ensure_monotonic_increasing([1, 2, 3], "x") == [1, 2, 3]
+
+    def test_rejects_equal_neighbours(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            units.ensure_monotonic_increasing([1, 1, 2], "x")
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ValueError):
+            units.ensure_monotonic_increasing([3, 2], "x")
+
+    def test_empty_and_singleton_ok(self):
+        assert units.ensure_monotonic_increasing([], "x") == []
+        assert units.ensure_monotonic_increasing([7], "x") == [7]
