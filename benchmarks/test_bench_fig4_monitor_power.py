@@ -7,7 +7,6 @@ checks the calibration against the paper's printed cells.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis.render import render_heatmap
 from repro.experiments.figures import fig4_monitor_heatmap

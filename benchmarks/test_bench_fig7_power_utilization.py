@@ -8,7 +8,6 @@ relaxed limits — and marker (b) — JobAdaptive under-utilises the ideal
 budget where system-aware policies fill it.
 """
 
-import pytest
 
 from repro.analysis.render import render_table
 from repro.core.registry import POLICY_NAMES

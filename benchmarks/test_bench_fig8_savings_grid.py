@@ -7,7 +7,6 @@ and the abstract's "up to 7 % time / up to 11 % energy" headlines.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis.render import render_table
 from repro.experiments.figures import fig8_savings_grid

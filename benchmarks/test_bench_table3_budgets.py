@@ -9,7 +9,6 @@ import pytest
 
 from repro.analysis.render import render_table
 from repro.experiments.tables import table3_budgets
-from repro.workload.mixes import MIX_NAMES
 
 #: The paper's Table III (kW).
 PAPER_TABLE3 = {

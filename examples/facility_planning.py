@@ -12,7 +12,6 @@ Run with::
     python examples/facility_planning.py
 """
 
-import numpy as np
 
 from repro.analysis.render import render_table
 from repro.experiments.grid import ExperimentConfig, ExperimentGrid

@@ -20,7 +20,7 @@ import argparse
 import numpy as np
 
 from repro.analysis.render import render_table
-from repro.core.registry import POLICY_NAMES, create_policy
+from repro.core.registry import POLICY_NAMES
 from repro.experiments.grid import ExperimentConfig, ExperimentGrid
 from repro.experiments.metrics import savings_vs_baseline
 from repro.workload.mixes import MIX_NAMES

@@ -16,7 +16,6 @@ Run with::
     python examples/site_operations.py
 """
 
-import numpy as np
 
 from repro.analysis.render import render_table
 from repro.core.registry import create_policy

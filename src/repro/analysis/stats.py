@@ -11,7 +11,7 @@ normal approximation on the actual noise model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict
 
 import numpy as np
 

@@ -11,11 +11,12 @@ policy layer depends on nothing else.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from repro.sim.engine import ExecutionModel
+from repro.telemetry import emit, timed
 from repro.workload.job import HostLayout, WorkloadMix
 
 __all__ = ["MixCharacterization", "characterize_mix", "DEFAULT_HARVEST_FRACTION"]
@@ -111,6 +112,7 @@ class MixCharacterization:
         return np.maximum(self.monitor_power_w - self.needed_power_w, 0.0)
 
 
+@timed("characterization.characterize_mix_s")
 def characterize_mix(
     mix: WorkloadMix,
     efficiencies: np.ndarray,
@@ -168,6 +170,14 @@ def characterize_mix(
     needed_power = monitor_power - harvest_fraction * (monitor_power - theoretical)
     needed_cap = pm.clamp_cap(needed_power)
 
+    emit(
+        "characterization.mix", "mix_characterized",
+        mix=mix.name, hosts=layout.host_count,
+        jobs=int(layout.job_boundaries.size - 1),
+        mean_monitor_w=float(np.mean(monitor_power)),
+        mean_needed_w=float(np.mean(needed_power)),
+        harvest_fraction=harvest_fraction,
+    )
     return MixCharacterization(
         mix_name=mix.name,
         job_boundaries=layout.job_boundaries.copy(),

@@ -16,8 +16,8 @@ Three studies that probe the design decisions DESIGN.md calls out:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -29,7 +29,7 @@ from repro.characterization.mix_characterization import (
 from repro.core.allocation import PowerAllocation, distribute_uniform
 from repro.core.mixed_adaptive import MixedAdaptivePolicy
 from repro.core.registry import create_policy
-from repro.experiments.grid import ExperimentConfig, ExperimentGrid
+from repro.experiments.grid import ExperimentGrid
 from repro.experiments.metrics import savings_vs_baseline
 from repro.manager.power_manager import PowerManager
 from repro.sim.execution import SimulationOptions

@@ -8,17 +8,20 @@ renders them with :mod:`repro.analysis.render`.  Keeping figures as *data*
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.characterization.balancer_runs import balancer_heatmap
 from repro.characterization.monitor_runs import HeatmapGrid, monitor_heatmap
-from repro.experiments.grid import BUDGET_LEVELS, ExperimentGrid, GridResults
+from repro.experiments.grid import ExperimentGrid, GridResults
 from repro.experiments.metrics import PolicySavings, savings_grid
 from repro.hardware.roofline import ADVISOR_SINGLE_CORE_ROOFLINE, RooflineModel
 from repro.sim.engine import ExecutionModel
-from repro.workload.facility import FacilityTrace, FacilityTraceConfig, generate_facility_trace
+from repro.workload.facility import (
+    FacilityTraceConfig,
+    generate_facility_trace,
+)
 from repro.workload.kernel import KernelConfig, VectorWidth
 
 __all__ = [

@@ -18,9 +18,8 @@ normalised, so shapes are scale-stable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.characterization.budgets import PowerBudgets, derive_budgets
 from repro.characterization.clustering import FrequencySurvey, survey_and_cluster
@@ -29,13 +28,13 @@ from repro.characterization.mix_characterization import (
     MixCharacterization,
     characterize_mix,
 )
-from repro.core.policy import Policy
 from repro.core.registry import POLICY_NAMES, create_policy
 from repro.hardware.cluster import Cluster
 from repro.manager.power_manager import ManagedRun, PowerManager
 from repro.manager.scheduler import ScheduledMix, Scheduler
 from repro.sim.engine import ExecutionModel
 from repro.sim.execution import SimulationOptions
+from repro.telemetry import ScopedTimer, emit, enabled, get_registry
 from repro.workload.mixes import MIX_NAMES, MixBuilder
 
 __all__ = [
@@ -242,13 +241,22 @@ class ExperimentGrid:
         cell_tag = f"{self.config.run_seed}/{mix_name}/{budget_level}/{policy_name}"
         seed = zlib.crc32(cell_tag.encode("utf-8"))
         options = SimulationOptions(noise_std=self.config.noise_std, seed=seed)
-        run = manager.launch(
-            prepared.scheduled,
-            policy,
-            budget_w,
-            characterization=prepared.characterization,
-            options=options,
-        )
+        with ScopedTimer("experiments.grid.cell_s") as timer:
+            run = manager.launch(
+                prepared.scheduled,
+                policy,
+                budget_w,
+                characterization=prepared.characterization,
+                options=options,
+            )
+        if enabled():
+            get_registry().counter("experiments.grid.cells").inc()
+            emit(
+                "experiments.grid", "cell_complete",
+                mix=mix_name, budget_level=budget_level, policy=policy_name,
+                wall_s=timer.elapsed_s,
+                mean_power_w=float(run.result.mean_system_power_w),
+            )
         return CellResult(
             mix_name=mix_name,
             budget_level=budget_level,
@@ -270,10 +278,18 @@ class ExperimentGrid:
             survey=self.survey,
             prepared={name: self.prepare_mix(name) for name in mixes},
         )
-        for mix_name in mixes:
-            for level in levels:
-                for policy_name in policies:
-                    results.cells[(mix_name, level, policy_name)] = self.run_cell(
-                        mix_name, level, policy_name
-                    )
+        with ScopedTimer("experiments.grid.run_all_s") as timer:
+            for mix_name in mixes:
+                for level in levels:
+                    for policy_name in policies:
+                        results.cells[(mix_name, level, policy_name)] = self.run_cell(
+                            mix_name, level, policy_name
+                        )
+        if enabled():
+            emit(
+                "experiments.grid", "grid_complete",
+                mixes=len(mixes), levels=len(list(levels)),
+                policies=len(policies), cells=len(results.cells),
+                wall_s=timer.elapsed_s,
+            )
         return results

@@ -18,12 +18,12 @@ match (same mix), so the pairing is exact.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
 from repro.analysis.stats import ConfidenceInterval, mean_ci95
-from repro.experiments.grid import BUDGET_LEVELS, CellResult, GridResults
+from repro.experiments.grid import BUDGET_LEVELS, GridResults
 from repro.sim.results import MixRunResult
 
 __all__ = ["BUDGET_LEVELS", "PolicySavings", "savings_vs_baseline", "savings_grid"]

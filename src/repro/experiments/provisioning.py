@@ -29,7 +29,7 @@ need exactly the budget-enforcing policies the paper proposes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

@@ -12,7 +12,6 @@ from __future__ import annotations
 from pathlib import Path
 from typing import List, Optional, Union
 
-import numpy as np
 
 from repro.analysis.render import render_table
 from repro.experiments.grid import ExperimentGrid, GridResults
@@ -23,6 +22,7 @@ from repro.experiments.tables import (
     table3_budgets,
 )
 from repro.experiments.takeaways import check_takeaways
+from repro.telemetry import TelemetrySummary
 from repro.workload.mixes import MIX_NAMES
 
 __all__ = ["build_report", "write_report"]
@@ -148,6 +148,10 @@ def build_report(grid: ExperimentGrid,
         "(paper: up to 11 %)\n"
         f"* All takeaway checks hold: **{report.all_hold()}**\n"
     )
+
+    # Telemetry of the run that produced this report.
+    summary = TelemetrySummary.capture()
+    parts.append(_section("Telemetry", summary.render()))
     return "\n".join(parts)
 
 

@@ -12,7 +12,7 @@ policies against StaticCaps at each mix's ideal budget, and tallies wins.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 

@@ -17,7 +17,7 @@ Two analyses that extend the paper's three-point budget grid:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 import numpy as np
 

@@ -12,7 +12,6 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-import numpy as np
 
 from repro.analysis.svg import (
     grouped_bar_chart,

@@ -22,14 +22,15 @@ characterization estimates:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.characterization.mix_characterization import characterize_mix
 from repro.manager.queue import JobQueue, JobRequest, JobState
 from repro.sim.engine import ExecutionModel
+from repro.telemetry import emit, enabled, get_registry
 from repro.units import ensure_positive
 from repro.workload.job import WorkloadMix
 
@@ -128,6 +129,7 @@ class PowerAwareAdmission:
         if nodes_available < 0:
             raise ValueError("nodes_available must be non-negative")
 
+        queue_depth = len(queue.pending())
         usable_w = (1.0 - self.safety_margin) * budget_w
         admitted: List[str] = []
         deferred: List[str] = []
@@ -163,4 +165,17 @@ class PowerAwareAdmission:
             nodes_available=nodes_available,
         )
         object.__setattr__(decision, "_admitted_nodes", nodes_used)
+        if enabled():
+            registry = get_registry()
+            registry.gauge("manager.admission.queue_depth").set(queue_depth)
+            registry.counter("manager.admission.passes").inc()
+            registry.counter("manager.admission.admitted").inc(len(admitted))
+            registry.counter("manager.admission.deferred").inc(len(deferred))
+            emit(
+                "manager.admission", "admission_decision",
+                admitted=len(admitted), deferred=len(deferred),
+                queue_depth=queue_depth, budget_w=float(budget_w),
+                admitted_power_w=power_used, nodes_used=nodes_used,
+                nodes_available=nodes_available, dry_run=not mark,
+            )
         return decision

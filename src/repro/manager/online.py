@@ -34,6 +34,7 @@ from repro.manager.scheduler import ScheduledMix
 from repro.sim.engine import ExecutionModel
 from repro.sim.execution import SimulationOptions, simulate_mix
 from repro.sim.results import MixRunResult
+from repro.telemetry import ScopedTimer, emit, enabled, get_registry
 from repro.units import ensure_positive
 
 __all__ = ["OnlineEpoch", "OnlineRun", "OnlinePowerManager"]
@@ -169,17 +170,38 @@ class OnlinePowerManager:
         n = scheduled.mix.total_nodes
         caps = self.model.power_model.clamp_cap(np.full(n, budget_w / n))
         history: List[OnlineEpoch] = []
-        for epoch in range(epochs):
-            observed = self._observe(scheduled, caps, epoch, noise_std)
-            history.append(OnlineEpoch(index=epoch, caps_w=caps.copy(), result=observed))
-            char = self._characterize_from_telemetry(scheduled, observed)
-            allocation = policy.allocate(char, budget_w)
-            caps = allocation.caps_w
-            if policy.application_aware:
-                caps = apply_job_runtime(char, caps)
-            caps = self.model.power_model.clamp_cap(caps)
-        return OnlineRun(
+        with ScopedTimer("manager.online.run_s") as run_timer:
+            for epoch in range(epochs):
+                observed = self._observe(scheduled, caps, epoch, noise_std)
+                history.append(
+                    OnlineEpoch(index=epoch, caps_w=caps.copy(), result=observed)
+                )
+                with ScopedTimer("manager.online.characterize_s") as char_timer:
+                    char = self._characterize_from_telemetry(scheduled, observed)
+                allocation = policy.allocate(char, budget_w)
+                previous_caps = caps
+                caps = allocation.caps_w
+                if policy.application_aware:
+                    caps = apply_job_runtime(char, caps)
+                caps = self.model.power_model.clamp_cap(caps)
+                if enabled():
+                    get_registry().counter("manager.online.replan_rounds").inc()
+                    emit(
+                        "manager.online", "replan",
+                        epoch=epoch, policy=policy.name,
+                        mean_power_w=float(observed.mean_system_power_w),
+                        caps_moved_w=float(np.max(np.abs(caps - previous_caps))),
+                        characterize_s=char_timer.elapsed_s,
+                    )
+        run = OnlineRun(
             policy_name=policy.name,
             budget_w=float(budget_w),
             epochs=tuple(history),
         )
+        if enabled():
+            emit(
+                "manager.online", "run_complete",
+                policy=policy.name, epochs=epochs,
+                converged=run.caps_converged(), wall_s=run_timer.elapsed_s,
+            )
+        return run

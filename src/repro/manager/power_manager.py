@@ -29,6 +29,7 @@ from repro.manager.scheduler import ScheduledMix
 from repro.sim.engine import ExecutionModel
 from repro.sim.execution import SimulationOptions, simulate_mix
 from repro.sim.results import MixRunResult
+from repro.telemetry import ScopedTimer, emit, enabled, get_registry
 from repro.units import ensure_positive
 
 __all__ = ["ManagedRun", "PowerManager", "apply_job_runtime"]
@@ -133,26 +134,38 @@ class PowerManager:
         options: SimulationOptions = SimulationOptions(),
     ) -> ManagedRun:
         """Characterize, plan, program caps, and execute the mix."""
-        char = characterization if characterization is not None \
-            else self.characterize(scheduled)
-        allocation = self.plan(scheduled, policy, budget_w, char)
-        # Application-aware policies launch their jobs under the GEOPM
-        # power balancer, which redistributes each job's total allocation
-        # internally toward the balancer steady state during execution.
-        # Application-agnostic policies launch under the monitor/governor
-        # agents, so hosts draw up to their programmed caps.
-        effective_caps = allocation.caps_w
-        if policy.application_aware:
-            effective_caps = apply_job_runtime(char, effective_caps)
-        result = simulate_mix(
-            scheduled.mix,
-            effective_caps,
-            scheduled.efficiencies,
-            self.model,
-            options,
-            policy_name=policy.name,
-            budget_w=budget_w,
-        )
+        with ScopedTimer("manager.power_manager.launch_s") as timer:
+            char = characterization if characterization is not None \
+                else self.characterize(scheduled)
+            allocation = self.plan(scheduled, policy, budget_w, char)
+            # Application-aware policies launch their jobs under the GEOPM
+            # power balancer, which redistributes each job's total allocation
+            # internally toward the balancer steady state during execution.
+            # Application-agnostic policies launch under the monitor/governor
+            # agents, so hosts draw up to their programmed caps.
+            effective_caps = allocation.caps_w
+            if policy.application_aware:
+                effective_caps = apply_job_runtime(char, effective_caps)
+            result = simulate_mix(
+                scheduled.mix,
+                effective_caps,
+                scheduled.efficiencies,
+                self.model,
+                options,
+                policy_name=policy.name,
+                budget_w=budget_w,
+            )
+        if enabled():
+            get_registry().counter("manager.power_manager.launches").inc()
+            emit(
+                "manager.power_manager", "launch_complete",
+                mix=scheduled.mix.name, policy=policy.name,
+                budget_w=float(budget_w),
+                allocated_w=float(allocation.total_allocated_w),
+                unallocated_w=float(allocation.unallocated_w),
+                mean_power_w=float(result.mean_system_power_w),
+                wall_s=timer.elapsed_s,
+            )
         return ManagedRun(
             scheduled=scheduled,
             characterization=char,

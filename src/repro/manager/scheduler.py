@@ -15,7 +15,7 @@ characterization and the execution engine need.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

@@ -19,7 +19,7 @@ policies define.)
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -32,6 +32,7 @@ from repro.manager.queue import JobQueue, JobRequest, JobState
 from repro.manager.scheduler import Scheduler
 from repro.hardware.cluster import Cluster
 from repro.sim.execution import SimulationOptions
+from repro.telemetry import emit, enabled, get_registry
 from repro.units import ensure_positive
 from repro.workload.job import WorkloadMix
 
@@ -177,6 +178,24 @@ def run_site_simulation(
                 energy_j=run.result.total_energy_j,
             )
         )
+        if enabled():
+            registry = get_registry()
+            utilization = run.result.mean_system_power_w / budget_w
+            registry.gauge("manager.site.utilization").set(utilization)
+            registry.histogram("manager.site.batch_duration_s").observe(duration)
+            registry.counter("manager.site.batches").inc()
+            registry.counter("manager.site.jobs_completed").inc(
+                len(run.result.job_names)
+            )
+            emit(
+                "manager.site", "batch_complete",
+                batch=len(batches) - 1, policy=policy.name,
+                admitted=len(decision.admitted),
+                deferred=len(decision.deferred),
+                duration_s=duration,
+                mean_power_w=float(run.result.mean_system_power_w),
+                utilization=utilization,
+            )
         for name, elapsed in zip(run.result.job_names, run.result.job_elapsed_s):
             queue.mark(name, JobState.RUNNING)
             queue.mark(name, JobState.COMPLETED)
@@ -191,7 +210,7 @@ def run_site_simulation(
         name for name in arrival_time
         if name not in completed and name not in never
     )
-    return SiteSimulationResult(
+    result = SiteSimulationResult(
         policy_name=policy.name,
         budget_w=float(budget_w),
         batches=tuple(batches),
@@ -199,3 +218,14 @@ def run_site_simulation(
         never_admitted=never + failed,
         job_turnaround_s=turnaround,
     )
+    if enabled():
+        registry = get_registry()
+        registry.histogram("manager.site.makespan_s").observe(result.makespan_s)
+        emit(
+            "manager.site", "simulation_complete",
+            policy=policy.name, batches=len(batches),
+            completed=len(completed), never_admitted=len(result.never_admitted),
+            makespan_s=result.makespan_s,
+            mean_turnaround_s=result.mean_turnaround_s(),
+        )
+    return result

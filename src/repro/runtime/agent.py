@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Type
+from typing import Dict, Type
 
 import numpy as np
 

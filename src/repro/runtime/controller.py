@@ -16,13 +16,14 @@ balancer's feedback loop converges to the analytic steady state.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
 from repro.runtime.agent import Agent, PlatformSample
 from repro.runtime.reports import HostReport, JobReport
 from repro.sim.engine import ExecutionModel
+from repro.telemetry import ScopedTimer, emit, enabled, get_registry
 from repro.workload.job import Job, WorkloadMix
 
 __all__ = ["EpochResult", "Controller"]
@@ -133,13 +134,36 @@ class Controller:
                 raise ValueError(f"initial limits must have shape ({n},)")
 
         self.history.clear()
-        for epoch in range(max_epochs):
-            sample = self._run_epoch(epoch, limits)
-            limits = self.agent.adjust(sample)
-            self.history.append(EpochResult(epoch, sample, limits.copy()))
-            if epoch + 1 >= min_epochs and self.agent.converged():
-                break
-        return self._build_report()
+        with ScopedTimer("runtime.controller.run_s") as timer:
+            for epoch in range(max_epochs):
+                sample = self._run_epoch(epoch, limits)
+                limits = self.agent.adjust(sample)
+                self.history.append(EpochResult(epoch, sample, limits.copy()))
+                if epoch + 1 >= min_epochs and self.agent.converged():
+                    break
+        converged = self.agent.converged()
+        report = self._build_report()
+        if enabled():
+            registry = get_registry()
+            registry.counter("runtime.controller.runs").inc()
+            registry.histogram("runtime.controller.epochs").observe(
+                len(self.history)
+            )
+            if converged:
+                registry.counter("runtime.controller.converged").inc()
+            emit(
+                "runtime.controller", "run_complete",
+                job=self.job.name, agent=self.agent.name,
+                epochs=len(self.history), converged=converged,
+                wall_s=timer.elapsed_s,
+            )
+            report.telemetry.update({
+                "run_wall_s": timer.elapsed_s,
+                "epochs": float(len(self.history)),
+                "epoch_wall_s_mean": timer.elapsed_s / len(self.history),
+                "converged": 1.0 if converged else 0.0,
+            })
+        return report
 
     # ------------------------------------------------------------------
     def steady_state_sample(self) -> PlatformSample:

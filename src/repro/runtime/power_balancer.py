@@ -34,6 +34,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.runtime.agent import Agent, DEFAULT_REGISTRY, PlatformSample
+from repro.telemetry import emit, enabled, get_registry
 from repro.units import ensure_positive, ensure_fraction
 
 __all__ = ["BalancerOptions", "PowerBalancerAgent"]
@@ -112,6 +113,10 @@ class PowerBalancerAgent(Agent):
         self._pool_w = 0.0
         self._last_step_w = np.inf
         self._cut_floor_w: np.ndarray | None = None
+        self._steps = 0
+        self._harvested_w = 0.0
+        self._redistributed_w = 0.0
+        self._convergence_recorded = False
 
     # ------------------------------------------------------------------
     def _initial_limits(self, hosts: int) -> np.ndarray:
@@ -161,10 +166,15 @@ class PowerBalancerAgent(Agent):
         cut = np.maximum(cut, 0.0)
         new_limits = np.maximum(limits - cut, cut_floor)
         cut = limits - new_limits
+        # Entries go negative when the cut floor sits above the current
+        # limit (the floor *raised* that host); only positive entries are
+        # power actually harvested from donors.
+        harvested = float(np.sum(np.maximum(cut, 0.0)))
         pool = self._pool_w + float(np.sum(cut))
 
         # --- receivers: near-critical hosts with headroom ---------------
         receivers = (slack_frac <= opts.margin) & (new_limits < opts.max_limit_w - 1e-9)
+        grant_total = 0.0
         if pool > 0 and np.any(receivers):
             headroom = opts.max_limit_w - new_limits[receivers]
             grant_total = min(pool, float(np.sum(headroom)))
@@ -175,17 +185,47 @@ class PowerBalancerAgent(Agent):
         self._pool_w = pool
         self._last_step_w = float(np.max(np.abs(new_limits - limits)))
         self._limits = new_limits
+        self._steps += 1
+        self._harvested_w += harvested
+        self._redistributed_w += grant_total
+        if enabled():
+            registry = get_registry()
+            registry.counter("runtime.balancer.steps").inc()
+            registry.counter("runtime.balancer.harvested_w").inc(harvested)
+            registry.counter("runtime.balancer.redistributed_w").inc(grant_total)
         return new_limits.copy()
 
     def converged(self) -> bool:
-        """Limits stopped moving (relative to the settable range width)."""
+        """Limits stopped moving (relative to the settable range width).
+
+        The first positive answer also records the feedback loop's
+        steps-to-converge and cumulative power moved into the telemetry
+        registry (once per agent instance).
+        """
         span = self.options.max_limit_w - self.options.min_limit_w
-        return self._last_step_w < self.options.tolerance * span
+        is_converged = self._last_step_w < self.options.tolerance * span
+        if is_converged and not self._convergence_recorded and enabled():
+            self._convergence_recorded = True
+            get_registry().histogram(
+                "runtime.balancer.steps_to_converge"
+            ).observe(self._steps)
+            emit(
+                "runtime.balancer", "converged",
+                steps=self._steps,
+                harvested_w=self._harvested_w,
+                redistributed_w=self._redistributed_w,
+                unallocated_w=self._pool_w,
+            )
+        return is_converged
 
     def describe(self):
-        """Budget, carried pool, and last step size for report metadata."""
+        """Budget, pool, step size, and shifting totals for report
+        metadata."""
         return {
             "job_budget_w": self.job_budget_w,
             "unallocated_w": self._pool_w,
             "last_step_w": self._last_step_w if np.isfinite(self._last_step_w) else -1.0,
+            "steps": float(self._steps),
+            "harvested_w": self._harvested_w,
+            "redistributed_w": self._redistributed_w,
         }

@@ -68,6 +68,10 @@ class JobReport:
     hosts: Tuple[HostReport, ...]
     figure_of_merit: float = 0.0
     metadata: Dict[str, float] = field(default_factory=dict)
+    #: Telemetry summary of the run that produced the report (controller
+    #: wall time, epochs, convergence flag, ...), rendered as its own
+    #: report section.  Empty when the producer recorded none.
+    telemetry: Dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.hosts:
@@ -144,6 +148,10 @@ class JobReport:
             lines.append("Policy:")
             for key in sorted(self.metadata):
                 lines.append(f"  {key}: {self.metadata[key]:.6f}")
+        if self.telemetry:
+            lines.append("Telemetry:")
+            for key in sorted(self.telemetry):
+                lines.append(f"  {key}: {self.telemetry[key]:.6f}")
         lines.append("Hosts:")
         for host in self.hosts:
             lines.extend(

@@ -7,6 +7,13 @@ papers plot time series from.  :class:`TraceWriter` collects
 :class:`~repro.runtime.agent.PlatformSample` objects from a controller
 run into a columnar trace with CSV export, and :func:`attach_tracer`
 wires one into a controller non-invasively.
+
+Traces ride the unified telemetry pipeline: :meth:`TraceWriter.record`
+*publishes* each sample as a ``runtime.trace`` event on an
+:class:`~repro.telemetry.events.EventBus` (the global bus by default)
+and builds its :class:`JobTrace` from a subscription to those same
+events — so any other subscriber (a live dashboard, the JSONL event
+log) sees exactly what the trace file will contain.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from repro.runtime.agent import PlatformSample
+from repro.telemetry import Event, EventBus, get_bus
 
 __all__ = ["TraceRecord", "JobTrace", "TraceWriter", "attach_tracer"]
 
@@ -109,38 +117,88 @@ class JobTrace:
         return out
 
     def to_csv(self, path: Union[str, Path]) -> Path:
-        """Write the trace as CSV; returns the path written."""
+        """Write the trace as CSV; returns the path written.
+
+        An empty trace (a zero-epoch run) still produces a well-formed
+        file: the header row alone, so downstream CSV readers see the
+        schema instead of a zero-byte file.
+        """
         from repro.analysis.export import write_csv
 
+        if not self.records:
+            path = Path(path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(",".join(TRACE_COLUMNS) + "\r\n", encoding="utf-8")
+            return path
         return write_csv([r.row() for r in self.records], path)
 
 
 class TraceWriter:
-    """Collects platform samples into a :class:`JobTrace`.
+    """Collects platform samples into a :class:`JobTrace` via the bus.
 
     Call :meth:`record` once per epoch with the sample the controller
-    produced; hosts are numbered by array position.
+    produced; hosts are numbered by array position.  Each call publishes
+    one ``runtime.trace`` / ``epoch_sample`` event carrying the per-host
+    columns; the writer's own subscription turns those events into
+    :class:`TraceRecord` rows, so traces and the event log share one
+    pipeline.  Publishing is unconditional — an explicitly attached
+    tracer is a request for data, not subject to the global telemetry
+    switch.
+
+    Parameters
+    ----------
+    job_name:
+        Job the trace belongs to (filters this writer's subscription,
+        so concurrent writers on a shared bus do not cross-collect).
+    bus:
+        Event bus to publish on; defaults to the global telemetry bus.
     """
 
-    def __init__(self, job_name: str) -> None:
+    def __init__(self, job_name: str, bus: Optional[EventBus] = None) -> None:
         self.trace = JobTrace(job_name=job_name)
+        self.bus = bus if bus is not None else get_bus()
+        self._token: Optional[int] = self.bus.subscribe(
+            self._on_event, kinds=["epoch_sample"], sources=["runtime.trace"]
+        )
 
     def record(self, sample: PlatformSample) -> None:
-        """Append one epoch's telemetry for every host."""
-        n = sample.host_time_s.size
-        for host in range(n):
+        """Publish one epoch's telemetry (every host) as a trace event."""
+        self.bus.publish(
+            "runtime.trace", "epoch_sample",
+            job=self.trace.job_name,
+            epoch=int(sample.epoch),
+            epoch_time_s=float(sample.epoch_time_s),
+            host_time_s=[float(v) for v in sample.host_time_s],
+            power_w=[float(v) for v in sample.host_power_w],
+            power_limit_w=[float(v) for v in sample.power_limit_w],
+            energy_j=[float(v) for v in sample.host_energy_j],
+            frequency_ghz=[float(v) for v in sample.mean_freq_ghz],
+        )
+
+    def _on_event(self, event: Event) -> None:
+        """Expand one epoch_sample event into per-host trace rows."""
+        payload = event.payload
+        if payload.get("job") != self.trace.job_name:
+            return
+        for host, host_time in enumerate(payload["host_time_s"]):
             self.trace.records.append(
                 TraceRecord(
-                    epoch=sample.epoch,
+                    epoch=payload["epoch"],
                     host=host,
-                    epoch_time_s=float(sample.epoch_time_s),
-                    host_time_s=float(sample.host_time_s[host]),
-                    power_w=float(sample.host_power_w[host]),
-                    power_limit_w=float(sample.power_limit_w[host]),
-                    energy_j=float(sample.host_energy_j[host]),
-                    frequency_ghz=float(sample.mean_freq_ghz[host]),
+                    epoch_time_s=payload["epoch_time_s"],
+                    host_time_s=host_time,
+                    power_w=payload["power_w"][host],
+                    power_limit_w=payload["power_limit_w"][host],
+                    energy_j=payload["energy_j"][host],
+                    frequency_ghz=payload["frequency_ghz"][host],
                 )
             )
+
+    def close(self) -> None:
+        """Detach from the bus (the collected trace stays readable)."""
+        if self._token is not None:
+            self.bus.unsubscribe(self._token)
+            self._token = None
 
 
 def attach_tracer(controller) -> TraceWriter:

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.sim.engine import ExecutionModel
 from repro.sim.results import MixRunResult
+from repro.telemetry import ScopedTimer, emit, enabled, get_registry
 from repro.units import ensure_non_negative
 from repro.workload.job import WorkloadMix
 
@@ -87,6 +88,37 @@ def simulate_mix(
     MixRunResult
         Per-iteration job times, per-host energy and mean power, FLOPs.
     """
+    with ScopedTimer("sim.execution.simulate_mix_s") as timer:
+        result = _simulate_mix_impl(
+            mix, caps_w, efficiencies, model, options, policy_name, budget_w
+        )
+    if enabled():
+        registry = get_registry()
+        registry.counter("sim.execution.runs").inc()
+        sim_s = float(np.max(result.job_elapsed_s))
+        if timer.elapsed_s > 0:
+            registry.gauge("sim.execution.sim_seconds_per_wall_second").set(
+                sim_s / timer.elapsed_s
+            )
+        emit(
+            "sim.execution", "mix_simulated",
+            mix=mix.name, hosts=mix.total_nodes,
+            iterations=int(mix.iterations_array()[0]),
+            policy=policy_name, wall_s=timer.elapsed_s, sim_s=sim_s,
+        )
+    return result
+
+
+def _simulate_mix_impl(
+    mix: WorkloadMix,
+    caps_w: np.ndarray,
+    efficiencies: np.ndarray,
+    model: Optional[ExecutionModel],
+    options: SimulationOptions,
+    policy_name: str,
+    budget_w: float,
+) -> MixRunResult:
+    """The uninstrumented engine body (see :func:`simulate_mix`)."""
     model = model if model is not None else ExecutionModel()
     layout = mix.layout()
     caps = model.power_model.clamp_cap(np.asarray(caps_w, dtype=float))

@@ -1,0 +1,74 @@
+"""Unified telemetry: structured events, metrics, and scoped timers.
+
+The paper's central claim is that power-management quality is a function
+of *what telemetry a layer can see*; this subsystem makes the
+reproduction itself observable with the same discipline.  Three pieces,
+one pipeline:
+
+* :mod:`repro.telemetry.events` — a structured :class:`EventBus`
+  (``Event(ts, source, kind, payload)``, subscriber API, ring buffer,
+  JSONL/CSV export) in the spirit of NRM's upstream pub/sub API;
+* :mod:`repro.telemetry.metrics` — a :class:`MetricsRegistry` of
+  counters, gauges, and streaming histograms (reservoir quantiles, no
+  dependencies beyond the standard library);
+* :mod:`repro.telemetry.timers` — :class:`ScopedTimer` / :func:`timed`
+  profiling hooks over ``time.perf_counter`` that feed the registry.
+
+Every layer records through the process-global context
+(:func:`get_registry` / :func:`get_bus` / :func:`emit`), switchable with
+:func:`set_enabled`; :class:`TelemetrySummary` rolls the state up for
+reports and the CLI.  Metric names follow ``layer.component.metric``;
+event sources follow ``layer.component``.
+
+Quick tour::
+
+    from repro import telemetry
+
+    telemetry.reset()
+    token = telemetry.get_bus().subscribe(print, kinds=["cell_complete"])
+    ...  # run anything in the stack
+    print(telemetry.TelemetrySummary.capture().render())
+    telemetry.get_bus().unsubscribe(token)
+"""
+
+from repro.telemetry.context import (
+    disabled,
+    emit,
+    enabled,
+    get_bus,
+    get_registry,
+    reset,
+    set_enabled,
+)
+from repro.telemetry.events import Event, EventBus
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    metric_key,
+)
+from repro.telemetry.summary import TelemetrySummary
+from repro.telemetry.timers import ScopedTimer, timed
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "metric_key",
+    "ScopedTimer",
+    "timed",
+    "TelemetrySummary",
+    "enabled",
+    "set_enabled",
+    "disabled",
+    "get_registry",
+    "get_bus",
+    "emit",
+    "reset",
+]

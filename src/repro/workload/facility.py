@@ -21,7 +21,7 @@ from typing import Dict
 
 import numpy as np
 
-from repro.units import SECONDS_PER_DAY, ensure_positive
+from repro.units import ensure_positive
 
 __all__ = ["FacilityTraceConfig", "FacilityTrace", "generate_facility_trace", "moving_average"]
 

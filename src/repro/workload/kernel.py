@@ -33,7 +33,6 @@ core power.
 from __future__ import annotations
 
 import enum
-import math
 from dataclasses import dataclass
 from typing import Tuple
 

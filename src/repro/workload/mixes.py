@@ -30,7 +30,7 @@ reproduce the qualitative power spreads each mix was designed to exhibit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.workload.catalog import ConfigCatalog, build_catalog
 from repro.workload.job import Job, WorkloadMix

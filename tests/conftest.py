@@ -14,8 +14,6 @@ from repro.experiments.grid import ExperimentConfig, ExperimentGrid
 from repro.hardware.cluster import Cluster
 from repro.hardware.cpu import QUARTZ_CPU, SocketPowerModel
 from repro.hardware.node import NodePowerModel
-from repro.manager.power_manager import PowerManager
-from repro.manager.scheduler import Scheduler
 from repro.sim.engine import ExecutionModel
 from repro.workload.catalog import build_catalog
 from repro.workload.mixes import MixBuilder

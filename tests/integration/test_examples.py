@@ -21,6 +21,7 @@ EXPECTED = {
     "facility_planning.py": "stranded",
     "online_replanning.py": "Caps converged: True",
     "site_operations.py": "Admission against",
+    "telemetry_tour.py": "Metrics snapshot",
 }
 
 

@@ -9,7 +9,7 @@ behaviour (clamping, validation errors, graceful degradation).
 import numpy as np
 import pytest
 
-from repro.core.registry import create_policy, default_policies
+from repro.core.registry import default_policies
 from repro.runtime.agent import Agent
 from repro.runtime.controller import Controller
 from repro.sim.execution import SimulationOptions, simulate_mix

@@ -1,7 +1,5 @@
 """Property-based tests: admission-control invariants over random queues."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -4,7 +4,6 @@ The policies assume monotone, invertible physics; hypothesis hammers the
 model across the whole parameter space to guarantee it.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

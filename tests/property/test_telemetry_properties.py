@@ -1,0 +1,60 @@
+"""Property-based tests: the streaming histogram's quantile guarantees.
+
+The reservoir holds real observations, never synthetic interpolants
+outside the data, so every quantile estimate must lie within the true
+``[min, max]`` of the stream — for any stream, any length, any reservoir
+size.  Hypothesis hunts for counterexamples.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import Histogram
+
+finite = st.floats(-1e12, 1e12, allow_nan=False, allow_infinity=False)
+streams = st.lists(finite, min_size=1, max_size=300)
+
+
+class TestHistogramProperties:
+    @given(xs=streams, q=st.floats(0.0, 1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_quantile_within_true_range(self, xs, q):
+        h = Histogram(reservoir_size=16)
+        for x in xs:
+            h.observe(x)
+        assert min(xs) <= h.quantile(q) <= max(xs)
+
+    @given(xs=streams)
+    @settings(max_examples=200, deadline=None)
+    def test_snapshot_within_true_range(self, xs):
+        h = Histogram(reservoir_size=16)
+        for x in xs:
+            h.observe(x)
+        snap = h.snapshot()
+        assert snap.count == len(xs)
+        assert snap.min == min(xs)
+        assert snap.max == max(xs)
+        assert snap.min <= snap.p50 <= snap.p95 or np.isclose(
+            snap.p50, snap.p95
+        )
+        assert snap.min <= snap.p50 <= snap.max
+        assert snap.min <= snap.p95 <= snap.max
+
+    @given(xs=streams)
+    @settings(max_examples=150, deadline=None)
+    def test_mean_matches_numpy(self, xs):
+        h = Histogram()
+        for x in xs:
+            h.observe(x)
+        np.testing.assert_allclose(h.mean, np.mean(xs), rtol=1e-9, atol=1e-6)
+
+    @given(xs=st.lists(finite, min_size=1, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_quantiles_monotone_in_q(self, xs):
+        h = Histogram(reservoir_size=32)
+        for x in xs:
+            h.observe(x)
+        qs = [0.0, 0.25, 0.5, 0.75, 0.95, 1.0]
+        values = [h.quantile(q) for q in qs]
+        assert values == sorted(values)

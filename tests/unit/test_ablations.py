@@ -1,6 +1,5 @@
 """Unit tests for the ablation studies."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.ablations import (

@@ -1,10 +1,9 @@
 """Unit tests for the configuration catalog and its rankings."""
 
-import numpy as np
 import pytest
 
-from repro.workload.catalog import ConfigCatalog, build_catalog
-from repro.workload.kernel import KernelConfig, VectorWidth
+from repro.workload.catalog import ConfigCatalog
+from repro.workload.kernel import VectorWidth
 
 
 class TestBuild:

@@ -20,6 +20,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["characterize", "NotAMix"])
 
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_help_epilog_shows_examples(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        out = capsys.readouterr().out
+        assert "examples:" in out
+        assert "telemetry" in out
+
 
 class TestCommands:
     def test_survey(self, capsys):
@@ -72,6 +87,34 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "[PASS]" in out
         assert "[FAIL]" not in out
+
+    def test_telemetry_command(self, capsys):
+        assert main(["--scale", "4", "telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert "Metrics snapshot" in out
+        assert "runtime.controller.run_s" in out
+        assert "Events by source" in out
+
+    def test_telemetry_command_with_out_dir(self, capsys, tmp_path):
+        out_dir = tmp_path / "telemetry"
+        assert main(["--scale", "4", "telemetry", "-o", str(out_dir)]) == 0
+        assert (out_dir / "metrics.txt").exists()
+        lines = (out_dir / "events.jsonl").read_text().strip().splitlines()
+        rows = [json.loads(line) for line in lines]
+        layers = {row["source"].split(".")[0] for row in rows}
+        # The probe + grid cell + site pass cover all three stack layers.
+        assert {"runtime", "manager", "experiments"} <= layers
+
+    def test_grid_telemetry_out(self, capsys, tmp_path):
+        out_dir = tmp_path / "t"
+        assert main(
+            ["--scale", "4", "grid", "--mix", "LowPower",
+             "--telemetry-out", str(out_dir)]
+        ) == 0
+        metrics = (out_dir / "metrics.txt").read_text()
+        assert "runtime.controller.run_s" in metrics
+        assert "sim.execution.simulate_mix_s" in metrics
+        assert (out_dir / "events.csv").exists()
 
     def test_figures_command(self, capsys, tmp_path):
         from repro.cli import main

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.hardware.cpu import CpuSpec, QUARTZ_CPU, SocketPowerModel
+from repro.hardware.cpu import CpuSpec, QUARTZ_CPU
 
 
 class TestCpuSpec:

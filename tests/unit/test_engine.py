@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.sim.engine import ExecutionModel
 from repro.workload.job import Job, WorkloadMix
 from repro.workload.kernel import KernelConfig, VectorWidth
 

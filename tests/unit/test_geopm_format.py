@@ -1,7 +1,6 @@
 """Unit tests for the GEOPM-style report emitter."""
 
 import numpy as np
-import pytest
 
 from repro.runtime.controller import Controller
 from repro.runtime.power_balancer import PowerBalancerAgent

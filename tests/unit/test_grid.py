@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.experiments.grid import BUDGET_LEVELS, ExperimentConfig, ExperimentGrid
+from repro.experiments.grid import ExperimentConfig
 
 
 class TestConfig:

@@ -5,7 +5,6 @@ import pytest
 
 from repro.experiments.metrics import savings_grid, savings_vs_baseline
 from repro.sim.execution import SimulationOptions, simulate_mix
-from repro.sim.results import MixRunResult
 from repro.workload.job import Job, WorkloadMix
 from repro.workload.kernel import KernelConfig
 

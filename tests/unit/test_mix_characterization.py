@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.characterization.mix_characterization import (
-    DEFAULT_HARVEST_FRACTION,
     MixCharacterization,
     characterize_mix,
 )

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.hardware.cpu import QUARTZ_CPU
 from repro.hardware.node import Node, NodePowerModel
 
 

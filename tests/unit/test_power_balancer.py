@@ -130,4 +130,7 @@ class TestFeedback:
     def test_describe_keys(self):
         agent = PowerBalancerAgent(job_budget_w=500.0)
         info = agent.describe()
-        assert set(info) == {"job_budget_w", "unallocated_w", "last_step_w"}
+        assert set(info) == {
+            "job_budget_w", "unallocated_w", "last_step_w",
+            "steps", "harvested_w", "redistributed_w",
+        }

@@ -1,6 +1,5 @@
 """Unit tests for the budget-sweep and variation-sensitivity studies."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.sensitivity import budget_sweep, variation_sensitivity

@@ -1,6 +1,5 @@
 """Unit tests for the time-stepped site simulation."""
 
-import numpy as np
 import pytest
 
 from repro.core.registry import create_policy

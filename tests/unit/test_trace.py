@@ -71,6 +71,13 @@ class TestJobTrace:
         assert len(lines) == 1 + 12
         assert lines[0].startswith("epoch,host,")
 
+    def test_to_csv_empty_trace_writes_header_only(self, tmp_path):
+        """Regression: an empty trace used to export an empty file."""
+        path = JobTrace(job_name="idle").to_csv(tmp_path / "empty.csv")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        assert lines[0].startswith("epoch,host,")
+
 
 class TestAttachTracer:
     def test_captures_controller_run(self, execution_model):
