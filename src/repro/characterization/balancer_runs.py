@@ -67,7 +67,7 @@ def balancer_power_for_config(
     cluster: Cluster,
     node_ids: Sequence[int],
     model: Optional[ExecutionModel] = None,
-    options: BalancerOptions = BalancerOptions(),
+    options: Optional[BalancerOptions] = None,
     max_epochs: int = 300,
 ) -> Tuple[float, np.ndarray]:
     """Run the real balancer feedback loop for one configuration.
@@ -77,6 +77,7 @@ def balancer_power_for_config(
     """
     ids = np.asarray(node_ids, dtype=int)
     model = model if model is not None else ExecutionModel()
+    options = options if options is not None else BalancerOptions()
     job = Job(name=f"balance-{config.label()}", config=config,
               node_count=int(ids.size), iterations=max_epochs)
     budget = model.power_model.tdp_w * ids.size

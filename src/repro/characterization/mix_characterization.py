@@ -136,10 +136,29 @@ def characterize_mix(
     Needed power is bounded above by the observed power (a host never
     *needs* more than it draws unconstrained) and below by what the node
     consumes at the RAPL floor.
+
+    When a :func:`~repro.parallel.cache.active_cache` is installed, the
+    characterization is memoized under a content hash of (mix spec,
+    efficiencies, model parameters, harvest fraction); repeated grid
+    cells and online re-planning rounds then skip the physics entirely.
     """
     if not 0.0 < harvest_fraction <= 1.0:
         raise ValueError("harvest_fraction must be in (0, 1]")
     model = model if model is not None else ExecutionModel()
+    from repro.parallel.cache import active_cache
+
+    cache = active_cache()
+    cache_key = None
+    if cache is not None:
+        cache_key = cache.key(
+            "char", mix, np.asarray(efficiencies, dtype=float), model,
+            float(harvest_fraction),
+        )
+        payload = cache.get(cache_key)
+        if payload is not None:
+            from repro.io.serialize import characterization_from_dict
+
+            return characterization_from_dict(payload)
     layout: HostLayout = mix.layout()
     eff = np.asarray(efficiencies, dtype=float)
     if eff.shape != (layout.host_count,):
@@ -178,7 +197,7 @@ def characterize_mix(
         mean_needed_w=float(np.mean(needed_power)),
         harvest_fraction=harvest_fraction,
     )
-    return MixCharacterization(
+    char = MixCharacterization(
         mix_name=mix.name,
         job_boundaries=layout.job_boundaries.copy(),
         monitor_power_w=monitor_power,
@@ -187,3 +206,8 @@ def characterize_mix(
         min_cap_w=pm.min_cap_w,
         tdp_w=pm.tdp_w,
     )
+    if cache is not None and cache_key is not None:
+        from repro.io.serialize import characterization_to_dict
+
+        cache.put(cache_key, characterization_to_dict(char))
+    return char

@@ -21,10 +21,16 @@ Subcommands covering the workflows a site operator runs:
     Exercise every instrumented layer and dump the metrics snapshot and
     event log — the observability smoke test.
 
+``site``
+    The arrival-driven site simulation, replayed under independent
+    noise seeds for confidence intervals.
+
 Every command accepts ``--scale`` (nodes per job; 100 = paper scale) so
 the same invocations work on a laptop and at full size.  ``grid`` and
 ``characterize`` accept ``--telemetry-out DIR`` to save the run's
-metrics snapshot plus JSONL/CSV event logs.
+metrics snapshot plus JSONL/CSV event logs.  ``--workers N`` fans the
+grid cells and site replays over a process pool, and ``--cache-dir DIR``
+persists the characterization cache between invocations.
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ import numpy as np
 
 from repro import __version__
 from repro.analysis.render import render_table
+from repro.core.registry import POLICY_NAMES
 from repro.experiments.grid import ExperimentConfig, ExperimentGrid
 from repro.experiments.metrics import savings_grid
 from repro.experiments.takeaways import check_takeaways
@@ -50,12 +57,47 @@ examples:
   repro --scale 5 survey                    quick variation survey
   repro characterize HighPower --save c.json
   repro --scale 10 grid --csv cells.csv --check
+  repro --scale 10 --workers 4 grid         fan cells over 4 processes
+  repro --cache-dir ~/.cache/repro grid     reuse physics between runs
   repro --scale 4 grid --telemetry-out /tmp/telemetry
+  repro --workers 4 site --replays 8        replayed site simulation
   repro telemetry                           observability smoke test
   repro report -o report.md                 full reproduction report
 
 Scale 100 reproduces the paper (2000-node survey, 900-node mixes).
+REPRO_WORKERS in the environment sets the default for --workers.
 """
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer (clear error otherwise)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid positive int value: {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (got {value})"
+        )
+    return value
+
+
+def _writable_dir(text: str) -> str:
+    """argparse type: a directory we can create files in."""
+    path = Path(text).expanduser()
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+        probe = path / ".repro-write-probe"
+        probe.touch()
+        probe.unlink()
+    except OSError as exc:
+        detail = exc.strerror or str(exc)
+        raise argparse.ArgumentTypeError(
+            f"directory {text!r} is not writable: {detail}"
+        ) from None
+    return str(path)
 
 
 def _make_config(args: argparse.Namespace) -> ExperimentConfig:
@@ -76,8 +118,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--version", action="version",
                         version=f"%(prog)s {__version__}")
-    parser.add_argument("--scale", type=int, default=10, metavar="NODES",
+    parser.add_argument("--scale", type=_positive_int, default=10,
+                        metavar="NODES",
                         help="nodes per job (100 = paper scale; default 10)")
+    parser.add_argument("--workers", type=_positive_int, default=None,
+                        metavar="N",
+                        help="worker processes for grid cells / site replays "
+                             "(default: $REPRO_WORKERS or 1)")
+    parser.add_argument("--cache-dir", type=_writable_dir, default=None,
+                        metavar="DIR",
+                        help="persist the characterization cache here "
+                             "(memoizes characterize/simulate physics)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("survey", help="Fig. 6 hardware-variation survey")
@@ -106,6 +157,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "(also runs the runtime-layer probe)")
 
     sub.add_parser("facility", help="Fig. 1 facility-trace statistics")
+
+    p_site = sub.add_parser(
+        "site", help="arrival-driven site simulation with noise replays"
+    )
+    p_site.add_argument("--policy", default="MixedAdaptive",
+                        choices=POLICY_NAMES, help="allocation policy")
+    p_site.add_argument("--jobs", type=_positive_int, default=6,
+                        metavar="N", help="arriving jobs (default 6)")
+    p_site.add_argument("--replays", type=_positive_int, default=4,
+                        metavar="N",
+                        help="independent noise replays (default 4)")
 
     p_tel = sub.add_parser(
         "telemetry",
@@ -278,12 +340,13 @@ def _cmd_budgets(grid: ExperimentGrid, mix: Optional[str]) -> int:
 
 def _cmd_grid(grid: ExperimentGrid, mixes: Optional[List[str]],
               csv: Optional[str], check: bool,
-              telemetry_out: Optional[str] = None) -> int:
+              telemetry_out: Optional[str] = None,
+              workers: Optional[int] = None) -> int:
     if telemetry_out:
         # Cover the runtime layer too: the grid itself characterizes
         # analytically and never runs the per-job controller.
         _run_runtime_probe(grid)
-    results = grid.run_all(mixes=mixes)
+    results = grid.run_all(mixes=mixes, workers=workers)
     savings = savings_grid(results)
     rows = []
     for (mix, level, policy) in sorted(savings):
@@ -317,6 +380,55 @@ def _cmd_grid(grid: ExperimentGrid, mixes: Optional[List[str]],
     return 0
 
 
+def _cmd_site(grid: ExperimentGrid, policy: str, jobs: int, replays: int,
+              workers: Optional[int]) -> int:
+    """Replay one arrival stream under independent noise seeds."""
+    from repro.manager.queue import JobRequest
+    from repro.manager.site_simulation import Arrival
+    from repro.parallel.tasks import site_replays
+    from repro.workload.kernel import KernelConfig
+
+    nodes = max(2, grid.config.nodes_per_job)
+    cluster = grid.partition.subset(np.arange(3 * nodes))
+    arrivals = [
+        Arrival(
+            time_s=float(i),
+            request=JobRequest(
+                f"site-job-{i}",
+                KernelConfig(
+                    intensity=float(2 ** (1 + i % 4)),
+                    waiting_fraction=0.25 * (i % 3),
+                    imbalance=1 + i % 3,
+                ),
+                node_count=nodes,
+                iterations=grid.config.iterations,
+            ),
+        )
+        for i in range(jobs)
+    ]
+    budget_w = 3 * nodes * 0.85 * grid.model.power_model.tdp_w
+    results = site_replays(
+        arrivals, cluster, policy, budget_w,
+        replays=replays, workers=workers,
+    )
+    results = [r for r in results if r is not None]
+    rows = [
+        [i, len(r.batches), f"{r.makespan_s:.1f}",
+         f"{r.mean_turnaround_s():.1f}", f"{r.peak_power_w() / 1000:.2f}"]
+        for i, r in enumerate(results)
+    ]
+    print(render_table(
+        ["replay", "batches", "makespan s", "turnaround s", "peak kW"], rows,
+        title=f"Site simulation: {policy}, {jobs} jobs, "
+              f"{budget_w / 1000:.1f} kW budget",
+    ))
+    makespans = np.array([r.makespan_s for r in results])
+    turnarounds = np.array([r.mean_turnaround_s() for r in results])
+    print(f"\nmakespan   {makespans.mean():.1f} +/- {makespans.std():.1f} s")
+    print(f"turnaround {turnarounds.mean():.1f} +/- {turnarounds.std():.1f} s")
+    return 0
+
+
 def _cmd_facility() -> int:
     from repro.workload.facility import generate_facility_trace
 
@@ -330,6 +442,10 @@ def _cmd_facility() -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.cache_dir:
+        from repro.parallel import activate_cache
+
+        activate_cache(cache_dir=args.cache_dir)
     if args.command == "facility":
         return _cmd_facility()
     grid = ExperimentGrid(_make_config(args))
@@ -341,7 +457,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_budgets(grid, args.mix)
     if args.command == "grid":
         return _cmd_grid(grid, args.mixes, args.csv, args.check,
-                         args.telemetry_out)
+                         args.telemetry_out, workers=args.workers)
+    if args.command == "site":
+        return _cmd_site(grid, args.policy, args.jobs, args.replays,
+                         args.workers)
     if args.command == "telemetry":
         return _cmd_telemetry(grid, args.out)
     if args.command == "report":

@@ -39,7 +39,9 @@ __all__ = [
 # ----------------------------------------------------------------------
 # Fig. 1 — facility power over a year vs the 1.35 MW rating
 # ----------------------------------------------------------------------
-def fig1_facility_data(config: FacilityTraceConfig = FacilityTraceConfig()) -> Dict[str, object]:
+def fig1_facility_data(
+    config: Optional[FacilityTraceConfig] = None,
+) -> Dict[str, object]:
     """Trace, moving average, and the utilisation statistics of Fig. 1."""
     trace = generate_facility_trace(config)
     return {

@@ -43,10 +43,75 @@ __all__ = [
     "CellResult",
     "GridResults",
     "ExperimentGrid",
+    "cell_seed",
+    "run_grid_cell",
 ]
 
 #: Budget level names in presentation order.
 BUDGET_LEVELS: Tuple[str, ...] = ("min", "ideal", "max")
+
+
+def cell_seed(run_seed: int, mix_name: str, budget_level: str,
+              policy_name: str) -> int:
+    """The deterministic noise seed for one grid cell.
+
+    Content-addressed through ``np.random.SeedSequence`` (see
+    :mod:`repro.parallel.seeding`): the seed is a pure function of the
+    run seed and the cell's identity, never a draw from a parent RNG —
+    so noise differs across cells, every rerun is bit-identical, and
+    serial and parallel sweeps agree no matter how cells are ordered or
+    chunked.  (Python's ``hash()`` is salted per process and would break
+    all three properties.)
+    """
+    from repro.parallel.seeding import child_seed
+
+    return child_seed(run_seed, mix_name, budget_level, policy_name)
+
+
+def run_grid_cell(
+    config: ExperimentConfig,
+    model: ExecutionModel,
+    prepared: PreparedMix,
+    mix_name: str,
+    budget_level: str,
+    policy_name: str,
+) -> "CellResult":
+    """Run one (mix, budget, policy) cell from prepared inputs.
+
+    A pure module-level function of picklable arguments — the single
+    code path behind both :meth:`ExperimentGrid.run_cell` and the
+    process-pool workers, which is what guarantees parallel grids are
+    byte-identical to serial ones.
+    """
+    if budget_level not in BUDGET_LEVELS:
+        raise ValueError(f"budget_level must be one of {BUDGET_LEVELS}")
+    budget_w = prepared.budgets.by_level()[budget_level]
+    policy = create_policy(policy_name)
+    manager = PowerManager(model)
+    seed = cell_seed(config.run_seed, mix_name, budget_level, policy_name)
+    options = SimulationOptions(noise_std=config.noise_std, seed=seed)
+    with ScopedTimer("experiments.grid.cell_s") as timer:
+        run = manager.launch(
+            prepared.scheduled,
+            policy,
+            budget_w,
+            characterization=prepared.characterization,
+            options=options,
+        )
+    if enabled():
+        get_registry().counter("experiments.grid.cells").inc()
+        emit(
+            "experiments.grid", "cell_complete",
+            mix=mix_name, budget_level=budget_level, policy=policy_name,
+            wall_s=timer.elapsed_s,
+            mean_power_w=float(run.result.mean_system_power_w),
+        )
+    return CellResult(
+        mix_name=mix_name,
+        budget_level=budget_level,
+        policy_name=policy_name,
+        run=run,
+    )
 
 
 @dataclass(frozen=True)
@@ -157,9 +222,9 @@ class GridResults:
 class ExperimentGrid:
     """Builds the environment and runs the evaluation grid."""
 
-    def __init__(self, config: ExperimentConfig = ExperimentConfig(),
+    def __init__(self, config: Optional[ExperimentConfig] = None,
                  model: Optional[ExecutionModel] = None) -> None:
-        self.config = config
+        self.config = config if config is not None else ExperimentConfig()
         self.model = model if model is not None else ExecutionModel()
         self._survey: Optional[FrequencySurvey] = None
         self._partition: Optional[Cluster] = None
@@ -227,41 +292,10 @@ class ExperimentGrid:
     # ------------------------------------------------------------------
     def run_cell(self, mix_name: str, budget_level: str, policy_name: str) -> CellResult:
         """Run one (mix, budget, policy) cell."""
-        if budget_level not in BUDGET_LEVELS:
-            raise ValueError(f"budget_level must be one of {BUDGET_LEVELS}")
         prepared = self.prepare_mix(mix_name)
-        budget_w = prepared.budgets.by_level()[budget_level]
-        policy = create_policy(policy_name)
-        manager = PowerManager(self.model)
-        # One seed per cell, derived via a stable digest (Python's hash()
-        # is salted per process), so noise differs across cells but every
-        # rerun of the grid is bit-identical.
-        import zlib
-
-        cell_tag = f"{self.config.run_seed}/{mix_name}/{budget_level}/{policy_name}"
-        seed = zlib.crc32(cell_tag.encode("utf-8"))
-        options = SimulationOptions(noise_std=self.config.noise_std, seed=seed)
-        with ScopedTimer("experiments.grid.cell_s") as timer:
-            run = manager.launch(
-                prepared.scheduled,
-                policy,
-                budget_w,
-                characterization=prepared.characterization,
-                options=options,
-            )
-        if enabled():
-            get_registry().counter("experiments.grid.cells").inc()
-            emit(
-                "experiments.grid", "cell_complete",
-                mix=mix_name, budget_level=budget_level, policy=policy_name,
-                wall_s=timer.elapsed_s,
-                mean_power_w=float(run.result.mean_system_power_w),
-            )
-        return CellResult(
-            mix_name=mix_name,
-            budget_level=budget_level,
-            policy_name=policy_name,
-            run=run,
+        return run_grid_cell(
+            self.config, self.model, prepared, mix_name, budget_level,
+            policy_name,
         )
 
     def run_all(
@@ -269,27 +303,59 @@ class ExperimentGrid:
         mixes: Optional[Sequence[str]] = None,
         levels: Sequence[str] = BUDGET_LEVELS,
         policies: Optional[Sequence[str]] = None,
+        workers: Optional[int] = None,
     ) -> GridResults:
-        """Run the full grid (or a sub-grid) and collect results."""
+        """Run the full grid (or a sub-grid) and collect results.
+
+        ``workers`` selects the execution mode: 1 (or ``None`` without
+        ``$REPRO_WORKERS`` set) runs cells serially in-process; above 1
+        the independent cells fan out over a process pool via
+        :class:`~repro.parallel.ParallelRunner`.  Per-cell seeds are
+        content-addressed (:func:`cell_seed`), so both modes produce
+        bit-identical :class:`GridResults`.  The environment (survey,
+        partition, characterizations) is always prepared serially in
+        this process and shipped to the workers.
+        """
+        from repro.parallel.runner import resolve_workers
+
+        workers = resolve_workers(workers)
         mixes = list(mixes if mixes is not None else self.config.mixes)
+        levels = list(levels)
         policies = list(policies if policies is not None else self.config.policies)
         results = GridResults(
             config=self.config,
             survey=self.survey,
             prepared={name: self.prepare_mix(name) for name in mixes},
         )
+        keys = [
+            (mix_name, level, policy_name)
+            for mix_name in mixes
+            for level in levels
+            for policy_name in policies
+        ]
         with ScopedTimer("experiments.grid.run_all_s") as timer:
-            for mix_name in mixes:
-                for level in levels:
-                    for policy_name in policies:
-                        results.cells[(mix_name, level, policy_name)] = self.run_cell(
-                            mix_name, level, policy_name
-                        )
+            if workers == 1:
+                for mix_name, level, policy_name in keys:
+                    results.cells[(mix_name, level, policy_name)] = self.run_cell(
+                        mix_name, level, policy_name
+                    )
+            else:
+                from repro.parallel.runner import ParallelRunner
+                from repro.parallel.tasks import grid_cell_task, init_grid_worker
+
+                runner = ParallelRunner(
+                    workers,
+                    initializer=init_grid_worker,
+                    initargs=(self.config, self.model, results.prepared),
+                )
+                for key, cell in zip(keys, runner.map(grid_cell_task, keys)):
+                    results.cells[key] = cell
         if enabled():
             emit(
                 "experiments.grid", "grid_complete",
-                mixes=len(mixes), levels=len(list(levels)),
+                mixes=len(mixes), levels=len(levels),
                 policies=len(policies), cells=len(results.cells),
+                workers=workers,
                 wall_s=timer.elapsed_s,
             )
         return results

@@ -100,7 +100,7 @@ def respond_to_budget_drop(
     old_budget_w: float,
     new_budget_w: float,
     model: Optional[ExecutionModel] = None,
-    options: SimulationOptions = SimulationOptions(),
+    options: Optional[SimulationOptions] = None,
 ) -> EmergencyResponse:
     """Simulate the emergency: baseline, stage-1 clamp, stage-2 re-plan.
 
@@ -113,6 +113,7 @@ def respond_to_budget_drop(
     if new_budget_w >= old_budget_w:
         raise ValueError("an emergency is a budget *drop*")
     model = model if model is not None else ExecutionModel()
+    options = options if options is not None else SimulationOptions()
 
     def run(caps: np.ndarray, budget: float) -> MixRunResult:
         return simulate_mix(

@@ -131,9 +131,11 @@ class PowerManager:
         policy: Policy,
         budget_w: float,
         characterization: Optional[MixCharacterization] = None,
-        options: SimulationOptions = SimulationOptions(),
+        options: Optional[SimulationOptions] = None,
     ) -> ManagedRun:
         """Characterize, plan, program caps, and execute the mix."""
+        if options is None:
+            options = SimulationOptions()
         with ScopedTimer("manager.power_manager.launch_s") as timer:
             char = characterization if characterization is not None \
                 else self.characterize(scheduled)

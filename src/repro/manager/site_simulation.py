@@ -19,6 +19,7 @@ policies define.)
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -109,17 +110,30 @@ def run_site_simulation(
     manager: Optional[PowerManager] = None,
     noise_std: float = 0.004,
     max_batches: int = 100,
+    run_seed: Optional[int] = None,
 ) -> SiteSimulationResult:
     """Run the arrival stream to completion (or the batch limit).
 
     Jobs are admitted in batches whenever the cluster is free; a job that
     can never fit (its own estimate exceeds the budget or the cluster) is
     reported in ``never_admitted`` rather than looping forever.
+
+    ``run_seed`` selects the noise stream for the whole shift: ``None``
+    keeps the legacy per-batch seeds (the batch index), while an integer
+    derives each batch's seed from ``(run_seed, batch index)`` via
+    ``SeedSequence`` — the knob :func:`repro.parallel.tasks.site_replays`
+    uses to replay one arrival stream under independent noise.
     """
     ensure_positive(budget_w, "budget_w")
     if not arrivals:
         raise ValueError("need at least one arrival")
-    arrivals = sorted(arrivals, key=lambda a: a.time_s)
+    # JobRequest carries its lifecycle state, so submitting the caller's
+    # objects would leave them COMPLETED afterwards and a replay of the
+    # same arrival stream would see nothing pending.  Submit fresh copies.
+    arrivals = [
+        dataclasses.replace(a, request=dataclasses.replace(a.request))
+        for a in sorted(arrivals, key=lambda a: a.time_s)
+    ]
     manager = manager if manager is not None else PowerManager()
     admission = admission if admission is not None else PowerAwareAdmission(
         model=manager.model
@@ -163,9 +177,15 @@ def run_site_simulation(
         )
         scheduled = Scheduler(cluster, shuffle_seed=len(batches)).allocate(mix)
         char = characterize_mix(mix, scheduled.efficiencies, manager.model)
+        if run_seed is None:
+            batch_seed = len(batches)
+        else:
+            from repro.parallel.seeding import child_seed
+
+            batch_seed = child_seed(run_seed, "site-batch", len(batches))
         run = manager.launch(
             scheduled, policy, budget_w, characterization=char,
-            options=SimulationOptions(noise_std=noise_std, seed=len(batches)),
+            options=SimulationOptions(noise_std=noise_std, seed=batch_seed),
         )
         duration = float(np.max(run.result.job_elapsed_s))
         batches.append(

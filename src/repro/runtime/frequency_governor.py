@@ -60,10 +60,11 @@ class FrequencyGovernorAgent(Agent):
     name = "frequency_governor"
 
     def __init__(self, target_freq_ghz: float,
-                 options: FrequencyGovernorOptions = FrequencyGovernorOptions()) -> None:
+                 options: "FrequencyGovernorOptions | None" = None) -> None:
         ensure_positive(target_freq_ghz, "target_freq_ghz")
         self.target_freq_ghz = float(target_freq_ghz)
-        self.options = options
+        self.options = (options if options is not None
+                        else FrequencyGovernorOptions())
         self._limits: np.ndarray | None = None
         self._prev_freq: np.ndarray | None = None
         self._prev_limits: np.ndarray | None = None

@@ -105,10 +105,11 @@ class PowerBalancerAgent(Agent):
 
     name = "power_balancer"
 
-    def __init__(self, job_budget_w: float, options: BalancerOptions = BalancerOptions()) -> None:
+    def __init__(self, job_budget_w: float,
+                 options: "BalancerOptions | None" = None) -> None:
         ensure_positive(job_budget_w, "job_budget_w")
         self.job_budget_w = float(job_budget_w)
-        self.options = options
+        self.options = options if options is not None else BalancerOptions()
         self._limits: np.ndarray | None = None
         self._pool_w = 0.0
         self._last_step_w = np.inf

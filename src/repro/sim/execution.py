@@ -29,6 +29,18 @@ from repro.workload.job import WorkloadMix
 __all__ = ["SimulationOptions", "simulate_mix"]
 
 
+def _active_cache():
+    """The process-global characterization cache, if one is installed.
+
+    Imported lazily: the parallel package is an optional consumer of
+    this module, and a hot path must not pay for it unless caching is
+    actually activated somewhere in the process.
+    """
+    from repro.parallel.cache import active_cache
+
+    return active_cache()
+
+
 @dataclass(frozen=True)
 class SimulationOptions:
     """Knobs of the execution simulation.
@@ -60,7 +72,7 @@ def simulate_mix(
     caps_w: np.ndarray,
     efficiencies: np.ndarray,
     model: Optional[ExecutionModel] = None,
-    options: SimulationOptions = SimulationOptions(),
+    options: Optional[SimulationOptions] = None,
     policy_name: str = "unmanaged",
     budget_w: float = 0.0,
 ) -> MixRunResult:
@@ -79,19 +91,46 @@ def simulate_mix(
     model:
         Physics bundle; defaults to the Quartz node model.
     options:
-        Noise/seed settings.
+        Noise/seed settings (``None`` means fresh defaults; never pass a
+        shared module-level instance as a dataclass default — see the
+        mutable-default regression test).
     policy_name / budget_w:
         Metadata recorded on the result.
+
+    When a :func:`~repro.parallel.cache.active_cache` is installed, the
+    result is memoized under a content hash of every physics input; a
+    hit skips the execution loop entirely and decodes the stored result
+    (bit-identical to a fresh computation).
 
     Returns
     -------
     MixRunResult
         Per-iteration job times, per-host energy and mean power, FLOPs.
     """
+    if options is None:
+        options = SimulationOptions()
+    cache = _active_cache()
+    cache_key = None
+    if cache is not None:
+        cache_key = cache.key(
+            "simulate", mix, np.asarray(caps_w, dtype=float),
+            np.asarray(efficiencies, dtype=float),
+            model if model is not None else ExecutionModel(),
+            options, policy_name, float(budget_w),
+        )
+        payload = cache.get(cache_key)
+        if payload is not None:
+            from repro.io.serialize import result_from_dict
+
+            return result_from_dict(payload)
     with ScopedTimer("sim.execution.simulate_mix_s") as timer:
         result = _simulate_mix_impl(
             mix, caps_w, efficiencies, model, options, policy_name, budget_w
         )
+    if cache is not None and cache_key is not None:
+        from repro.io.serialize import result_to_dict
+
+        cache.put(cache_key, result_to_dict(result))
     if enabled():
         registry = get_registry()
         registry.counter("sim.execution.runs").inc()

@@ -17,7 +17,7 @@ import numpy as np
 __all__ = ["MixRunResult"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class MixRunResult:
     """Outcome of one simulated execution of a workload mix.
 
@@ -59,6 +59,35 @@ class MixRunResult:
     total_gflop: float
 
     # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        """Bit-exact value equality.
+
+        The dataclass-generated ``__eq__`` is unusable here: comparing
+        ndarray fields yields elementwise arrays (ambiguous truth
+        value), and it would tie equality to field *identity* rather
+        than content.  This comparison is exact — every scalar and every
+        array element must match bit-for-bit — which is what the
+        cached-vs-computed and parallel-vs-serial guarantees are pinned
+        against.  Shapes and dtypes are compared through
+        ``np.array_equal``; no tolerance is applied on purpose.
+        """
+        if not isinstance(other, MixRunResult):
+            return NotImplemented
+        return (
+            self.mix_name == other.mix_name
+            and self.policy_name == other.policy_name
+            and self.budget_w == other.budget_w
+            and self.job_names == other.job_names
+            and self.total_gflop == other.total_gflop
+            and np.array_equal(self.iteration_times_s, other.iteration_times_s)
+            and np.array_equal(self.iteration_energy_j, other.iteration_energy_j)
+            and np.array_equal(self.host_energy_j, other.host_energy_j)
+            and np.array_equal(self.host_mean_power_w, other.host_mean_power_w)
+            and np.array_equal(self.host_job_index, other.host_job_index)
+        )
+
+    __hash__ = None  # value-equal results are mutable-array holders
+
     @property
     def job_count(self) -> int:
         """Number of jobs in the mix."""

@@ -37,6 +37,7 @@ from repro.telemetry.context import (
     enabled,
     get_bus,
     get_registry,
+    isolate,
     reset,
     set_enabled,
 )
@@ -71,4 +72,5 @@ __all__ = [
     "get_bus",
     "emit",
     "reset",
+    "isolate",
 ]

@@ -29,6 +29,7 @@ __all__ = [
     "get_bus",
     "emit",
     "reset",
+    "isolate",
     "disabled",
 ]
 
@@ -86,3 +87,16 @@ def reset() -> None:
     """Clear the global registry and event buffer (switch unchanged)."""
     _registry.reset()
     _bus.clear()
+
+
+def isolate() -> None:
+    """Replace the global registry and bus with fresh instances.
+
+    Unlike :func:`reset`, this also discards subscribers — which is what
+    a forked worker process needs: subscriptions (and any file handles
+    they close over, e.g. a trace writer) belong to the parent and must
+    not fire in the child.
+    """
+    global _registry, _bus
+    _registry = MetricsRegistry()
+    _bus = EventBus()

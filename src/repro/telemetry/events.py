@@ -161,6 +161,22 @@ class EventBus:
             counts[event.source] = counts.get(event.source, 0) + 1
         return counts
 
+    def replay(self, events: Sequence[Event]) -> None:
+        """Append already-stamped events (e.g. shipped from a worker
+        process) preserving their original timestamps, and fan them out
+        to subscribers like a live publish."""
+        with self._lock:
+            for event in events:
+                self._buffer.append(event)
+            subscribers = list(self._subscribers.values())
+        for event in events:
+            for callback, kinds, sources in subscribers:
+                if kinds is not None and event.kind not in kinds:
+                    continue
+                if sources is not None and event.source not in sources:
+                    continue
+                callback(event)
+
     def clear(self) -> None:
         """Drop all buffered events (subscriptions are kept)."""
         with self._lock:

@@ -189,6 +189,50 @@ class Histogram:
             max=self._max,
         )
 
+    # -- cross-process merging -----------------------------------------
+    def state(self) -> Dict[str, object]:
+        """Full mergeable state (exact stats + the reservoir sample).
+
+        Unlike :meth:`snapshot` this is lossless enough to combine two
+        histograms: worker processes ship their state to the parent and
+        :meth:`merge_state` folds it in.
+        """
+        with self._lock:
+            return {
+                "count": self._count,
+                "total": self._total,
+                "min": self._min if self._count else None,
+                "max": self._max if self._count else None,
+                "reservoir": list(self._reservoir),
+            }
+
+    def merge_state(self, state: Mapping[str, object]) -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        Count, total, min, and max merge exactly.  The reservoirs are
+        concatenated; when the union overflows the capacity it is
+        down-sampled to evenly spaced order statistics (deterministic,
+        quantile-preserving), so merged p50/p95 estimates remain within
+        the true observed range.
+        """
+        count = int(state["count"])
+        if count == 0:
+            return
+        with self._lock:
+            self._count += count
+            self._total += float(state["total"])
+            self._min = min(self._min, float(state["min"]))
+            self._max = max(self._max, float(state["max"]))
+            combined = self._reservoir + [float(v) for v in state["reservoir"]]
+            if len(combined) > self._reservoir_size:
+                combined.sort()
+                positions = [
+                    round(i * (len(combined) - 1) / (self._reservoir_size - 1))
+                    for i in range(self._reservoir_size)
+                ]
+                combined = [combined[p] for p in positions]
+            self._reservoir = combined
+
 
 class MetricsRegistry:
     """Get-or-create home for every metric family in the process.
@@ -240,6 +284,46 @@ class MetricsRegistry:
     def __len__(self) -> int:
         """Total metric families registered."""
         return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # -- cross-process merging -----------------------------------------
+    def state(self) -> Dict[str, Dict[str, object]]:
+        """Mergeable dump of every metric (see :meth:`merge_state`).
+
+        Counters and gauges export their values; histograms export the
+        lossless :meth:`Histogram.state` including the reservoir.  The
+        result is picklable/JSON-able, so worker processes can ship it
+        back to the parent.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {k: c.value for k, c in counters.items()},
+            "gauges": {k: g.value for k, g in gauges.items()},
+            "histograms": {k: h.state() for k, h in histograms.items()},
+        }
+
+    def merge_state(self, state: Mapping[str, Mapping[str, object]]) -> None:
+        """Fold another registry's :meth:`state` into this one.
+
+        Counters add, gauges take the incoming (latest) level, and
+        histograms merge count/total/min/max exactly with reservoir
+        union.  Used by the parallel runner to surface per-worker
+        telemetry in the parent process.
+        """
+        for key, value in state.get("counters", {}).items():
+            with self._lock:
+                counter = self._counters.setdefault(key, Counter())
+            counter.inc(float(value))
+        for key, value in state.get("gauges", {}).items():
+            with self._lock:
+                gauge = self._gauges.setdefault(key, Gauge())
+            gauge.set(float(value))
+        for key, hist_state in state.get("histograms", {}).items():
+            with self._lock:
+                histogram = self._histograms.setdefault(key, Histogram())
+            histogram.merge_state(hist_state)
 
     # -- reading back --------------------------------------------------
     def snapshot(self) -> Dict[str, Dict[str, object]]:

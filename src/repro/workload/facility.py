@@ -104,7 +104,9 @@ def moving_average(values: np.ndarray, window: int) -> np.ndarray:
     return out
 
 
-def generate_facility_trace(config: FacilityTraceConfig = FacilityTraceConfig()) -> FacilityTrace:
+def generate_facility_trace(
+    config: "FacilityTraceConfig | None" = None,
+) -> FacilityTrace:
     """Generate the synthetic year-long facility power trace.
 
     The construction sums deterministic cycles (seasonal, weekly, diurnal)
@@ -112,6 +114,7 @@ def generate_facility_trace(config: FacilityTraceConfig = FacilityTraceConfig())
     the mean onto ``mean_draw_mw``, and clips at 97 % of the rating — the
     real system's draw approaches but never reaches its rating (Fig. 1).
     """
+    config = config if config is not None else FacilityTraceConfig()
     rng = np.random.default_rng(config.seed)
     n = config.days * config.samples_per_day
     t_days = np.arange(n) / config.samples_per_day

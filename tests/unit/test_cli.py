@@ -124,3 +124,88 @@ class TestCommands:
         assert (out_dir / "fig1_facility.svg").exists()
         listed = capsys.readouterr().out
         assert "fig8_energy" in listed
+
+
+class TestWorkersAndCacheFlags:
+    def test_workers_default_is_none(self):
+        args = build_parser().parse_args(["survey"])
+        assert args.workers is None
+        assert args.cache_dir is None
+
+    def test_workers_parses_positive(self):
+        args = build_parser().parse_args(["--workers", "4", "survey"])
+        assert args.workers == 4
+
+    @pytest.mark.parametrize("value", ["0", "-3", "two"])
+    def test_workers_rejects_bad_values_with_exit_2(self, value, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--workers", value, "survey"])
+        assert exc.value.code == 2
+        assert "positive int" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["0", "-1"])
+    def test_scale_rejects_nonpositive_with_exit_2(self, value, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--scale", value, "survey"])
+        assert exc.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_cache_dir_accepts_and_creates_directory(self, tmp_path):
+        target = tmp_path / "made" / "by" / "argparse"
+        args = build_parser().parse_args(
+            ["--cache-dir", str(target), "survey"]
+        )
+        assert args.cache_dir == str(target)
+        assert target.is_dir()
+
+    def test_cache_dir_rejects_unwritable_with_exit_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(
+                ["--cache-dir", "/proc/definitely/not/writable", "survey"]
+            )
+        assert exc.value.code == 2
+        assert "not writable" in capsys.readouterr().err
+
+    def test_grid_with_workers_runs(self, capsys):
+        assert main(
+            ["--scale", "4", "--workers", "2", "grid", "--mix", "LowPower"]
+        ) == 0
+        assert "Savings vs StaticCaps" in capsys.readouterr().out
+
+    def test_grid_with_cache_dir_populates_store(self, capsys, tmp_path):
+        from repro.parallel import deactivate_cache
+
+        try:
+            assert main(
+                ["--scale", "4", "--cache-dir", str(tmp_path),
+                 "grid", "--mix", "LowPower"]
+            ) == 0
+        finally:
+            deactivate_cache()
+        assert list(tmp_path.glob("char-*.json"))
+        assert list(tmp_path.glob("simulate-*.json"))
+
+
+class TestSiteCommand:
+    def test_site_defaults(self):
+        args = build_parser().parse_args(["site"])
+        assert args.policy == "MixedAdaptive"
+        assert args.jobs == 6
+        assert args.replays == 4
+
+    def test_site_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["site", "--policy", "NotAPolicy"])
+
+    def test_site_rejects_zero_replays(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["site", "--replays", "0"])
+        assert exc.value.code == 2
+
+    def test_site_runs_and_reports(self, capsys):
+        assert main(
+            ["--scale", "4", "site", "--jobs", "3", "--replays", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Site simulation" in out
+        assert "makespan" in out

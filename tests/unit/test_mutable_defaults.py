@@ -1,0 +1,93 @@
+"""Regression: no function may default an argument to a dataclass instance.
+
+``def simulate_mix(..., options=SimulationOptions())`` evaluates the
+default ONCE at import; every caller then shares that single anonymous
+object, and anything that mutates or identity-compares it couples
+unrelated call sites.  The fixed idiom is ``options=None`` plus an
+in-body default.  This test walks every function and method in the
+package and fails on any anonymous dataclass-instance (or plainly
+mutable list/dict/set) default so the pattern cannot creep back in.
+
+Defaults that *are* a declared UPPERCASE module constant (``QUARTZ_CPU``,
+``NODE_LEVEL_ROOFLINE``, ...) are allowed: those are intentional,
+documented shared singletons, which is a different thing from an
+instance conjured in a ``def`` line.
+"""
+
+import dataclasses
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+
+def _iter_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+def _named_constant_ids():
+    """ids of every UPPERCASE module-level object in the package."""
+    ids = set()
+    for module in _iter_modules():
+        for name, value in vars(module).items():
+            if name.isupper():
+                ids.add(id(value))
+    return ids
+
+
+def _iter_callables(module):
+    for _, obj in inspect.getmembers(module, inspect.isfunction):
+        if obj.__module__ == module.__name__:
+            yield obj
+    for _, cls in inspect.getmembers(module, inspect.isclass):
+        if cls.__module__ != module.__name__:
+            continue
+        for _, method in inspect.getmembers(cls, inspect.isfunction):
+            yield method
+
+
+def _shared_mutable_defaults(func, allowed_ids=frozenset()):
+    try:
+        signature = inspect.signature(func)
+    except (ValueError, TypeError):
+        return []
+    offending = []
+    for name, parameter in signature.parameters.items():
+        default = parameter.default
+        if default is inspect.Parameter.empty or id(default) in allowed_ids:
+            continue
+        if dataclasses.is_dataclass(default) and not isinstance(default, type):
+            offending.append((name, type(default).__name__))
+        elif isinstance(default, (list, dict, set)):
+            offending.append((name, type(default).__name__))
+    return offending
+
+
+class TestNoSharedMutableDefaults:
+    def test_package_wide(self):
+        allowed = _named_constant_ids()
+        violations = []
+        for module in _iter_modules():
+            for func in _iter_callables(module):
+                for name, type_name in _shared_mutable_defaults(func, allowed):
+                    violations.append(
+                        f"{func.__module__}.{func.__qualname__}"
+                        f"({name}={type_name}())"
+                    )
+        assert not violations, (
+            "shared mutable default arguments found (use None + in-body "
+            "default instead):\n  " + "\n  ".join(sorted(set(violations)))
+        )
+
+    def test_detector_catches_the_original_bug(self):
+        """The detector itself must flag the pattern this suite pins."""
+        from repro.sim.execution import SimulationOptions
+
+        def bad(options=SimulationOptions()):  # the pre-fix signature
+            return options
+
+        assert _shared_mutable_defaults(bad) == [
+            ("options", "SimulationOptions")
+        ]

@@ -87,3 +87,79 @@ class TestGridExport:
         lines = path.read_text().strip().splitlines()
         assert len(lines) == 1 + 5  # header + five policies
         assert "LowPower" in lines[1]
+
+
+def _run_result():
+    """A small MixRunResult with awkward float values (simulated noise)."""
+    from repro.sim.results import MixRunResult
+
+    rng = np.random.default_rng(11)
+    iteration_times = rng.uniform(0.01, 0.2, size=(5, 4))
+    host_energy = rng.uniform(50.0, 900.0, size=4)
+    return MixRunResult(
+        mix_name="RoundTrip",
+        policy_name="MixedAdaptive",
+        budget_w=0.1 + 0.2,  # deliberately not representable as 0.3
+        job_names=("j0", "j1"),
+        iteration_times_s=iteration_times,
+        iteration_energy_j=rng.uniform(10.0, 40.0, size=5),
+        host_energy_j=host_energy,
+        host_mean_power_w=host_energy / iteration_times.sum(axis=0),
+        host_job_index=np.array([0, 0, 1, 1]),
+        total_gflop=1234.5678,
+    )
+
+
+class TestResultRoundtrip:
+    """Bit-exactness through dict and JSON-file forms.
+
+    This is the guarantee the characterization cache rests on: a result
+    decoded from the disk store must compare equal — exact float bits,
+    exact array contents — to the freshly computed one.
+    """
+
+    def test_dict_roundtrip_is_equal(self):
+        from repro.io.serialize import result_from_dict, result_to_dict
+
+        original = _run_result()
+        rebuilt = result_from_dict(result_to_dict(original))
+        assert rebuilt == original  # MixRunResult.__eq__ is bit-exact
+
+    def test_json_file_roundtrip_is_equal(self, tmp_path):
+        from repro.io.serialize import load_result, save_result
+
+        original = _run_result()
+        path = save_result(original, tmp_path / "result.json")
+        rebuilt = load_result(path)
+        assert rebuilt == original
+        assert rebuilt.budget_w == 0.1 + 0.2  # float bits survived repr
+
+    def test_dtypes_restored(self):
+        from repro.io.serialize import result_from_dict, result_to_dict
+
+        rebuilt = result_from_dict(result_to_dict(_run_result()))
+        assert rebuilt.host_job_index.dtype.kind == "i"
+        assert rebuilt.iteration_times_s.dtype == np.float64
+        assert isinstance(rebuilt.job_names, tuple)
+
+    def test_wrong_format_rejected(self):
+        from repro.io.serialize import result_from_dict, result_to_dict
+
+        data = result_to_dict(_run_result())
+        data["format"] = "nope.v0"
+        with pytest.raises(ValueError, match="unsupported"):
+            result_from_dict(data)
+
+    def test_equality_is_sensitive_to_a_single_bit(self):
+        import dataclasses as _dc
+
+        original = _run_result()
+        nudged = _dc.replace(
+            original,
+            budget_w=np.nextafter(original.budget_w, np.inf),
+        )
+        assert original == original
+        assert original != nudged
+
+    def test_equality_ignores_other_types(self):
+        assert _run_result() != "not a result"
