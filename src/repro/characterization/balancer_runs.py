@@ -108,17 +108,27 @@ def balancer_heatmap(
     power balancer with a TDP-level budget: critical-path hosts draw their
     unconstrained power, waiting hosts draw the minimum that preserves the
     iteration time (plus barrier polling at the reduced limit).
+
+    All cells are evaluated as one batch: the per-cell layouts stack into
+    an ``(S, hosts)`` :class:`~repro.sim.batch.LayoutBatch`, both
+    characterization passes and the deterministic cap execution run once
+    over the scenario axis, and each cell value is bit-identical to the
+    former per-cell ``characterize_mix`` + ``simulate_mix`` loop.
     """
-    from repro.characterization.mix_characterization import characterize_mix
-    from repro.sim.execution import SimulationOptions, simulate_mix
+    from repro.characterization.mix_characterization import (
+        DEFAULT_HARVEST_FRACTION,
+        _apply_harvest,
+        _characterization_arrays,
+    )
+    from repro.sim.batch import stack_layouts
+    from repro.sim.execution import DEFAULT_OPTIONS, _execute_scenarios
 
     model = model if model is not None else ExecutionModel()
     ids = np.asarray(node_ids, dtype=int)
     eff = cluster.efficiencies[ids]
-    values = np.empty((len(intensities), len(columns)))
-    quiet = SimulationOptions(noise_std=0.0)
-    for r, intensity in enumerate(intensities):
-        for c, (waiting, imbalance) in enumerate(columns):
+    layouts = []
+    for intensity in intensities:
+        for waiting, imbalance in columns:
             config = KernelConfig(
                 intensity=intensity,
                 vector=vector,
@@ -127,12 +137,22 @@ def balancer_heatmap(
                 imbalance=imbalance,
             )
             job = Job(name="cell", config=config, node_count=int(ids.size), iterations=1)
-            mix = WorkloadMix(name="cell", jobs=(job,))
-            char = characterize_mix(mix, eff, model)
-            # Measured power under the balancer's converged caps: run the
-            # deterministic execution with needed caps applied.
-            result = simulate_mix(mix, char.needed_cap_w, eff, model, quiet)
-            values[r, c] = float(np.mean(result.host_mean_power_w))
+            layouts.append(WorkloadMix(name="cell", jobs=(job,)).layout())
+    batch = stack_layouts(layouts)
+    monitor_power, theoretical = _characterization_arrays(model, batch, eff)
+    _, needed_cap = _apply_harvest(
+        monitor_power, theoretical, DEFAULT_HARVEST_FRACTION, model.power_model
+    )
+    # Measured power under the balancer's converged caps: run the
+    # deterministic execution with needed caps applied.
+    out = _execute_scenarios(
+        batch, needed_cap, eff, model, n_iter=1, noise_std=0.0,
+        barrier_overhead_s=DEFAULT_OPTIONS.barrier_overhead_s,
+        seeds=[0] * batch.scenario_count,
+    )
+    values = np.mean(out.host_mean_power, axis=1).reshape(
+        len(intensities), len(columns)
+    )
     return HeatmapGrid(
         title=f"Needed CPU power per node ({vector.value}, power balancer agent)",
         intensities=tuple(intensities),

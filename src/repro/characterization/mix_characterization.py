@@ -11,7 +11,7 @@ policy layer depends on nothing else.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,7 +19,12 @@ from repro.sim.engine import ExecutionModel
 from repro.telemetry import emit, timed
 from repro.workload.job import HostLayout, WorkloadMix
 
-__all__ = ["MixCharacterization", "characterize_mix", "DEFAULT_HARVEST_FRACTION"]
+__all__ = [
+    "MixCharacterization",
+    "characterize_mix",
+    "characterize_mix_batch",
+    "DEFAULT_HARVEST_FRACTION",
+]
 
 #: Fraction of the theoretical slack (observed power minus the power that
 #: just preserves the critical path) the balancer actually harvests.
@@ -112,6 +117,56 @@ class MixCharacterization:
         return np.maximum(self.monitor_power_w - self.needed_power_w, 0.0)
 
 
+def _characterization_arrays(
+    model: ExecutionModel, layout, eff: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Both characterization physics passes for one layout.
+
+    Returns ``(monitor_power, theoretical)``: the unconstrained observed
+    power per host (metric (a)) and the minimum power that preserves each
+    job's critical path, clipped into the feasible band (the idealised
+    metric (b) before harvest-fraction conservatism is applied).
+
+    ``layout`` may be a :class:`~repro.workload.job.HostLayout` or a
+    :class:`~repro.sim.batch.LayoutBatch`; every step broadcasts over
+    leading scenario axes, so ``(S, hosts)`` layouts yield ``(S, hosts)``
+    arrays bit-identical per scenario slice to the serial computation.
+    """
+    pm = model.power_model
+
+    # --- metric (a): unconstrained observed power ----------------------
+    tdp_caps = np.full(layout.kappa.shape, pm.tdp_w)
+    freq_unc = model.frequencies(tdp_caps, layout, eff)
+    t_unc = model.compute_time(freq_unc, layout)
+    p_compute_unc = pm.power_at_freq(freq_unc, layout.kappa, eff)
+    p_poll_unc = model.poll_power(tdp_caps, layout, eff)
+    t_crit = np.maximum.reduceat(t_unc, layout.job_boundaries[:-1], axis=-1)
+    t_crit_per_host = t_crit[..., layout.job_index]
+    slack = np.maximum(t_crit_per_host - t_unc, 0.0)
+    monitor_power = (p_compute_unc * t_unc + p_poll_unc * slack) / t_crit_per_host
+
+    # --- metric (b): minimum power preserving the critical path --------
+    needed_compute_power = model.required_power(layout, t_crit_per_host, eff)
+    floor_caps = np.full(layout.kappa.shape, pm.min_cap_w)
+    floor_freq = model.frequencies(floor_caps, layout, eff)
+    floor_power = pm.power_at_freq(floor_freq, layout.kappa, eff)
+    theoretical = np.clip(needed_compute_power, floor_power, monitor_power)
+    return monitor_power, theoretical
+
+
+def _apply_harvest(
+    monitor_power: np.ndarray, theoretical: np.ndarray,
+    harvest_fraction: float, pm,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Conservative harvest: ``(needed_power, needed_cap)`` for one fraction.
+
+    The balancer recovers only a calibrated fraction of the
+    observed-minus-theoretical slack (see :data:`DEFAULT_HARVEST_FRACTION`).
+    """
+    needed_power = monitor_power - harvest_fraction * (monitor_power - theoretical)
+    return needed_power, pm.clamp_cap(needed_power)
+
+
 @timed("characterization.characterize_mix_s")
 def characterize_mix(
     mix: WorkloadMix,
@@ -166,28 +221,10 @@ def characterize_mix(
             f"efficiencies must have shape ({layout.host_count},), got {eff.shape}"
         )
     pm = model.power_model
-    tdp_caps = np.full(layout.host_count, pm.tdp_w)
-
-    # --- metric (a): unconstrained observed power ----------------------
-    freq_unc = model.frequencies(tdp_caps, layout, eff)
-    t_unc = model.compute_time(freq_unc, layout)
-    p_compute_unc = pm.power_at_freq(freq_unc, layout.kappa, eff)
-    p_poll_unc = model.poll_power(tdp_caps, layout, eff)
-    t_crit = np.maximum.reduceat(t_unc, layout.job_boundaries[:-1])
-    t_crit_per_host = t_crit[layout.job_index]
-    slack = np.maximum(t_crit_per_host - t_unc, 0.0)
-    monitor_power = (p_compute_unc * t_unc + p_poll_unc * slack) / t_crit_per_host
-
-    # --- metric (b): minimum power preserving the critical path --------
-    needed_compute_power = model.required_power(layout, t_crit_per_host, eff)
-    floor_caps = np.full(layout.host_count, pm.min_cap_w)
-    floor_freq = model.frequencies(floor_caps, layout, eff)
-    floor_power = pm.power_at_freq(floor_freq, layout.kappa, eff)
-    theoretical = np.clip(needed_compute_power, floor_power, monitor_power)
-    # Conservative harvest: the balancer recovers only a calibrated
-    # fraction of the observed-minus-theoretical slack.
-    needed_power = monitor_power - harvest_fraction * (monitor_power - theoretical)
-    needed_cap = pm.clamp_cap(needed_power)
+    monitor_power, theoretical = _characterization_arrays(model, layout, eff)
+    needed_power, needed_cap = _apply_harvest(
+        monitor_power, theoretical, harvest_fraction, pm
+    )
 
     emit(
         "characterization.mix", "mix_characterized",
@@ -211,3 +248,80 @@ def characterize_mix(
 
         cache.put(cache_key, characterization_to_dict(char))
     return char
+
+
+@timed("characterization.characterize_mix_batch_s")
+def characterize_mix_batch(
+    mix: WorkloadMix,
+    efficiencies: np.ndarray,
+    harvest_fractions: Sequence[float],
+    model: Optional[ExecutionModel] = None,
+) -> List[MixCharacterization]:
+    """Characterize one mix at a ladder of harvest fractions in one pass.
+
+    The two physics passes (monitor observation and the critical-path
+    minimum) do not depend on the harvest fraction, so a fraction ladder
+    needs them exactly once; each rung then applies its conservatism
+    factor to the shared arrays.  Rung ``i`` is bit-identical to
+    ``characterize_mix(mix, efficiencies, model, harvest_fractions[i])``.
+
+    Per-rung cache entries are looked up and stored under the same keys
+    the serial path uses, so batched and serial characterizations share
+    the content-addressed cache.
+    """
+    fractions = [float(f) for f in harvest_fractions]
+    for fraction in fractions:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("harvest_fraction must be in (0, 1]")
+    model = model if model is not None else ExecutionModel()
+    layout: HostLayout = mix.layout()
+    eff = np.asarray(efficiencies, dtype=float)
+    if eff.shape != (layout.host_count,):
+        raise ValueError(
+            f"efficiencies must have shape ({layout.host_count},), got {eff.shape}"
+        )
+    from repro.parallel.cache import active_cache
+
+    cache = active_cache()
+    results: List[Optional[MixCharacterization]] = [None] * len(fractions)
+    keys: List[Optional[str]] = [None] * len(fractions)
+    misses = list(range(len(fractions)))
+    if cache is not None:
+        from repro.io.serialize import characterization_from_dict
+
+        misses = []
+        for i, fraction in enumerate(fractions):
+            keys[i] = cache.key("char", mix, eff, model, fraction)
+            payload = cache.get(keys[i])
+            if payload is not None:
+                results[i] = characterization_from_dict(payload)
+            else:
+                misses.append(i)
+
+    if misses:
+        pm = model.power_model
+        monitor_power, theoretical = _characterization_arrays(model, layout, eff)
+        for i in misses:
+            needed_power, needed_cap = _apply_harvest(
+                monitor_power, theoretical, fractions[i], pm
+            )
+            results[i] = MixCharacterization(
+                mix_name=mix.name,
+                job_boundaries=layout.job_boundaries.copy(),
+                monitor_power_w=monitor_power.copy(),
+                needed_power_w=needed_power,
+                needed_cap_w=needed_cap,
+                min_cap_w=pm.min_cap_w,
+                tdp_w=pm.tdp_w,
+            )
+        if cache is not None:
+            from repro.io.serialize import characterization_to_dict
+
+            for i in misses:
+                cache.put(keys[i], characterization_to_dict(results[i]))
+    emit(
+        "characterization.mix", "mix_batch_characterized",
+        mix=mix.name, hosts=layout.host_count,
+        rungs=len(fractions), cache_hits=len(fractions) - len(misses),
+    )
+    return results  # type: ignore[return-value]

@@ -109,21 +109,22 @@ def overprovisioning_curve(
     layout = WorkloadMix(name="prov", jobs=(job,)).layout()
     eff = np.ones(1)
 
-    curve: List[ProvisioningPoint] = []
-    for n in node_counts:
-        cap = min(facility_budget_w / int(n), tdp)
-        caps = np.array([cap])
-        freq = model.frequencies(caps, layout, eff)
-        t = float(model.compute_time(freq, layout)[0])
-        gflops = float(layout.gflop[0]) / t if layout.gflop[0] > 0 else 1.0 / t
-        curve.append(
-            ProvisioningPoint(
-                nodes=int(n),
-                cap_per_node_w=float(cap),
-                per_node_gflops=gflops,
-                fleet_gflops=gflops * int(n),
-            )
+    # The node-count sweep is one batched physics pass: every fleet size
+    # is a scenario row of an (S, 1) cap matrix through the engine's
+    # broadcasting maps (identical per-point values to a scalar loop).
+    caps = np.minimum(facility_budget_w / node_counts.astype(float), tdp)
+    freq = model.frequencies(caps[:, np.newaxis], layout, eff)
+    t = model.compute_time(freq, layout)[:, 0]
+    gflops = layout.gflop[0] / t if layout.gflop[0] > 0 else 1.0 / t
+    curve: List[ProvisioningPoint] = [
+        ProvisioningPoint(
+            nodes=int(n),
+            cap_per_node_w=float(cap),
+            per_node_gflops=float(rate),
+            fleet_gflops=float(rate) * int(n),
         )
+        for n, cap, rate in zip(node_counts, caps, gflops)
+    ]
     return ProvisioningCurve(
         workload_label=config.label(),
         facility_budget_w=float(facility_budget_w),

@@ -120,18 +120,21 @@ def policy_tournament(
         char = characterize_mix(mix, scheduled.efficiencies, model)
         budget = derive_budgets(char).by_level()[budget_level]
         options = SimulationOptions(noise_std=0.004, seed=seed)
-        base = manager.launch(
-            scheduled, create_policy("StaticCaps"), budget,
-            characterization=char, options=options,
-        ).result
+        # All four scenarios of a round (the StaticCaps baseline plus the
+        # three contenders) share one mix and one noise seed, so the round
+        # runs as a single batched engine pass.
+        specs = [
+            (create_policy(name), budget)
+            for name in ("StaticCaps",) + _POLICIES
+        ]
+        runs = manager.launch_batch(
+            scheduled, specs, characterization=char, options=options
+        )
+        base = runs[0].result
         time_table: Dict[str, float] = {}
         energy_table: Dict[str, float] = {}
-        for name in _POLICIES:
-            run = manager.launch(
-                scheduled, create_policy(name), budget,
-                characterization=char, options=options,
-            ).result
-            savings = savings_vs_baseline(run, base)
+        for name, run in zip(_POLICIES, runs[1:]):
+            savings = savings_vs_baseline(run.result, base)
             time_table[name] = 100.0 * savings.time_savings.mean
             energy_table[name] = 100.0 * savings.energy_savings.mean
         results.append(

@@ -59,6 +59,11 @@ def budget_sweep(
     Budgets are evenly spaced between ``1.05 x floor`` and TDP per node.
     Savings at each point are against StaticCaps *at the same budget*
     (the paper's normalisation).
+
+    The whole sweep — every (budget level, policy) cell plus the
+    StaticCaps baseline at each level — executes as one batched engine
+    pass via :meth:`~repro.manager.power_manager.PowerManager.launch_batch`,
+    with results bit-identical to per-cell serial launches.
     """
     if points < 2:
         raise ValueError("a sweep needs at least two points")
@@ -67,24 +72,35 @@ def budget_sweep(
     hosts = char.host_count
     manager = PowerManager(grid.model)
     per_node_levels = np.linspace(1.05 * char.min_cap_w, char.tdp_w, points)
+    options = SimulationOptions(noise_std=grid.config.noise_std, seed=23)
+
+    # One scenario per (level, policy), the baseline first at each level.
+    names_per_level = ("StaticCaps",) + tuple(
+        name for name in policies if name != "StaticCaps"
+    )
+    specs = [
+        (create_policy(name), float(per_node) * hosts)
+        for per_node in per_node_levels
+        for name in names_per_level
+    ]
+    runs = manager.launch_batch(
+        prepared.scheduled, specs, characterization=char, options=options
+    )
 
     out: List[BudgetSweepPoint] = []
-    for per_node in per_node_levels:
+    stride = len(names_per_level)
+    for level, per_node in enumerate(per_node_levels):
         budget = float(per_node) * hosts
-        options = SimulationOptions(noise_std=grid.config.noise_std, seed=23)
-        base = manager.launch(
-            prepared.scheduled, create_policy("StaticCaps"), budget,
-            characterization=char, options=options,
-        ).result
+        by_name = {
+            name: runs[level * stride + offset].result
+            for offset, name in enumerate(names_per_level)
+        }
+        base = by_name["StaticCaps"]
         for name in policies:
+            result = by_name[name]
             if name == "StaticCaps":
-                result = base
                 time_pct = energy_pct = 0.0
             else:
-                result = manager.launch(
-                    prepared.scheduled, create_policy(name), budget,
-                    characterization=char, options=options,
-                ).result
                 s = savings_vs_baseline(result, base)
                 time_pct = 100.0 * s.time_savings.mean
                 energy_pct = 100.0 * s.energy_savings.mean

@@ -15,7 +15,7 @@ data, not via competing RAPL writes).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -174,3 +174,64 @@ class PowerManager:
             allocation=allocation,
             result=result,
         )
+
+    def launch_batch(
+        self,
+        scheduled: ScheduledMix,
+        specs: Sequence[Tuple[Policy, float]],
+        characterization: Optional[MixCharacterization] = None,
+        options: Optional[SimulationOptions] = None,
+    ) -> List[ManagedRun]:
+        """Plan and execute many ``(policy, budget)`` scenarios in one pass.
+
+        Every spec is planned exactly as :meth:`launch` would (budget
+        validation and the job-runtime redistribution included), then all
+        effective cap vectors run through one
+        :func:`~repro.sim.batch.simulate_cap_batch` engine call.  Result
+        ``i`` is bit-identical to ``launch(scheduled, *specs[i], ...)``
+        with the same options — this is the sweep primitive behind
+        :func:`~repro.experiments.sensitivity.budget_sweep` and the
+        policy tournament.
+        """
+        from repro.sim.batch import simulate_cap_batch
+
+        if not specs:
+            raise ValueError("launch_batch needs at least one (policy, budget)")
+        with ScopedTimer("manager.power_manager.launch_batch_s") as timer:
+            char = characterization if characterization is not None \
+                else self.characterize(scheduled)
+            allocations: List[PowerAllocation] = []
+            caps_rows: List[np.ndarray] = []
+            for policy, budget_w in specs:
+                allocation = self.plan(scheduled, policy, budget_w, char)
+                effective_caps = allocation.caps_w
+                if policy.application_aware:
+                    effective_caps = apply_job_runtime(char, effective_caps)
+                allocations.append(allocation)
+                caps_rows.append(effective_caps)
+            results = simulate_cap_batch(
+                scheduled.mix,
+                np.stack(caps_rows),
+                scheduled.efficiencies,
+                self.model,
+                options,
+                policy_names=[policy.name for policy, _ in specs],
+                budgets_w=[float(budget_w) for _, budget_w in specs],
+            )
+        if enabled():
+            get_registry().counter("manager.power_manager.launches").inc(len(specs))
+            emit(
+                "manager.power_manager", "launch_batch_complete",
+                mix=scheduled.mix.name, scenarios=len(specs),
+                policies=sorted({policy.name for policy, _ in specs}),
+                wall_s=timer.elapsed_s,
+            )
+        return [
+            ManagedRun(
+                scheduled=scheduled,
+                characterization=char,
+                allocation=allocation,
+                result=result,
+            )
+            for allocation, result in zip(allocations, results)
+        ]

@@ -72,13 +72,19 @@ def grid_cell_task(key: Tuple[str, str, str]):
 # ----------------------------------------------------------------------
 # characterization ladders
 # ----------------------------------------------------------------------
-def _characterize_rung(payload):
-    from repro.characterization.mix_characterization import characterize_mix
+def _chunk_indices(count: int, chunks: int) -> List[range]:
+    """Split ``range(count)`` into at most ``chunks`` contiguous ranges."""
+    chunks = max(1, min(chunks, count))
+    bounds = np.linspace(0, count, chunks + 1).astype(int)
+    return [range(int(lo), int(hi))
+            for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
 
-    mix, efficiencies, model, harvest_fraction = payload
-    return characterize_mix(
-        mix, efficiencies, model, harvest_fraction=harvest_fraction
-    )
+
+def _characterize_chunk(payload):
+    from repro.characterization.mix_characterization import characterize_mix_batch
+
+    mix, efficiencies, model, fractions = payload
+    return characterize_mix_batch(mix, efficiencies, fractions, model)
 
 
 def characterize_ladder(
@@ -90,26 +96,39 @@ def characterize_ladder(
 ) -> List:
     """Characterize one mix at a ladder of harvest fractions.
 
-    Returns one :class:`MixCharacterization` per rung, in rung order —
-    the input of the harvest-fraction ablation, fanned out because every
-    rung is an independent analytic run.
+    Returns one :class:`MixCharacterization` per rung, in rung order.
+    Rungs are split into one contiguous chunk per pool worker and each
+    worker evaluates its chunk through
+    :func:`~repro.characterization.mix_characterization.characterize_mix_batch`
+    — the physics passes run once per *chunk*, not once per rung, and the
+    batched results are bit-identical to per-rung serial runs at any
+    worker count.
     """
     runner = ParallelRunner(workers)
+    fractions = [float(fraction) for fraction in harvest_fractions]
+    ranges = _chunk_indices(len(fractions), runner.workers)
     payloads = [
-        (mix, efficiencies, model, float(fraction))
-        for fraction in harvest_fractions
+        (mix, efficiencies, model, [fractions[i] for i in chunk])
+        for chunk in ranges
     ]
-    return runner.map(_characterize_rung, payloads)
+    chunked = runner.map(_characterize_chunk, payloads)
+    return [result for chunk in chunked for result in chunk]
 
 
-def _simulate_rung(payload):
-    from repro.sim.execution import SimulationOptions, simulate_mix
+def _simulate_chunk(payload):
+    from repro.sim.batch import simulate_cap_batch
+    from repro.sim.execution import SimulationOptions
 
-    mix, efficiencies, model, cap_w, noise_std, seed = payload
-    caps = np.full(mix.total_nodes, float(cap_w))
-    options = SimulationOptions(noise_std=noise_std, seed=seed)
-    return simulate_mix(mix, caps, efficiencies, model, options,
-                        policy_name="cap_ladder", budget_w=cap_w * mix.total_nodes)
+    mix, efficiencies, model, rungs, noise_std = payload
+    caps_col = np.array([cap for cap, _ in rungs], dtype=float)[:, np.newaxis]
+    caps_sw = np.broadcast_to(caps_col, (len(rungs), mix.total_nodes))
+    options = SimulationOptions(noise_std=noise_std)
+    return simulate_cap_batch(
+        mix, caps_sw, efficiencies, model, options,
+        seeds=[seed for _, seed in rungs],
+        policy_names="cap_ladder",
+        budgets_w=[cap * mix.total_nodes for cap, _ in rungs],
+    )
 
 
 def simulate_cap_ladder(
@@ -126,15 +145,23 @@ def simulate_cap_ladder(
     One :class:`MixRunResult` per rung, in rung order.  Each rung's
     noise seed is content-addressed from ``(run_seed, rung index)`` via
     ``SeedSequence``, so the ladder is bit-identical at any worker
-    count.
+    count.  Rungs are split into one contiguous chunk per pool worker
+    and each worker runs its chunk as one
+    :func:`~repro.sim.batch.simulate_cap_batch` engine pass — batching
+    inside the process, parallelism across processes.
     """
     runner = ParallelRunner(workers)
-    payloads = [
-        (mix, efficiencies, model, float(cap), noise_std,
-         child_seed(run_seed, index, f"{float(cap)!r}"))
+    rungs = [
+        (float(cap), child_seed(run_seed, index, f"{float(cap)!r}"))
         for index, cap in enumerate(caps_w)
     ]
-    return runner.map(_simulate_rung, payloads)
+    ranges = _chunk_indices(len(rungs), runner.workers)
+    payloads = [
+        (mix, efficiencies, model, [rungs[i] for i in chunk], noise_std)
+        for chunk in ranges
+    ]
+    chunked = runner.map(_simulate_chunk, payloads)
+    return [result for chunk in chunked for result in chunk]
 
 
 # ----------------------------------------------------------------------

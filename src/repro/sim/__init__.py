@@ -11,12 +11,23 @@ keeps the full policy x mix x budget evaluation grid of the paper's Figs.
 * :mod:`repro.sim.execution` — the BSP loop: per-iteration job times via
   segmented maxima, barrier slack, per-host energy accounting, measurement
   noise for confidence intervals.
+* :mod:`repro.sim.batch` — the scenario axis: an ``(S, hosts)`` cap matrix
+  evaluated in one engine pass, bit-identical to ``S`` serial runs.
 * :mod:`repro.sim.results` — result containers with derived metrics
   (elapsed time, energy, EDP, FLOPS/W, per-host mean power).
 """
 
+from repro.sim.batch import LayoutBatch, simulate_cap_batch, stack_layouts
 from repro.sim.engine import ExecutionModel
 from repro.sim.execution import simulate_mix, SimulationOptions
 from repro.sim.results import MixRunResult
 
-__all__ = ["ExecutionModel", "simulate_mix", "SimulationOptions", "MixRunResult"]
+__all__ = [
+    "ExecutionModel",
+    "simulate_mix",
+    "simulate_cap_batch",
+    "stack_layouts",
+    "LayoutBatch",
+    "SimulationOptions",
+    "MixRunResult",
+]

@@ -1,0 +1,270 @@
+"""Batched scenario evaluation: many cap vectors through one engine pass.
+
+Every headline experiment in the paper is a *sweep* — the Fig. 5 balancer
+heat map, the Table III budget ladders, Fig. 8's mix x budget x policy
+grid.  Evaluating a sweep one :func:`~repro.sim.execution.simulate_mix`
+call at a time pays full per-call overhead per scenario even though the
+physics is a pure ufunc chain that broadcasts.  This module adds the
+*scenario axis*: an ``(S, hosts)`` cap matrix runs through one pass of the
+shared engine body (:func:`repro.sim.execution._execute_scenarios`) as
+``(S, iterations, hosts)`` tensors.
+
+Determinism contract
+--------------------
+``simulate_cap_batch(mix, caps_sw, ...)[s]`` is **bit-identical** to
+``simulate_mix(mix, caps_sw[s], ...)`` with the matching per-scenario
+seed — not merely close.  Both entry points share one implementation, the
+noise stream is drawn per scenario from its own ``default_rng(seed)``, and
+the reductions are arranged so each scenario slice sees the exact
+floating-point operation order of a serial run.  The property is pinned by
+``tests/property/test_batch_properties.py``.
+
+Batch vs pool
+-------------
+Batching removes *per-call* overhead inside one process; the
+:mod:`repro.parallel` pool removes *wall-clock* by using more processes.
+They compose: ladder helpers chunk their rungs across pool workers and
+each worker evaluates its chunk as one batch.  Batched runs also share
+the content-addressed result cache with serial runs — per-scenario cache
+keys are identical, so a batch can be partially served from cache and a
+later serial call hits entries a batch stored.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.sim.engine import ExecutionModel
+from repro.sim.execution import (
+    DEFAULT_OPTIONS,
+    SimulationOptions,
+    _execute_scenarios,
+)
+from repro.sim.results import MixRunResult
+from repro.telemetry import ScopedTimer, emit, enabled, get_registry
+from repro.workload.job import HostLayout, WorkloadMix
+
+__all__ = ["LayoutBatch", "stack_layouts", "simulate_cap_batch"]
+
+
+@dataclass(frozen=True)
+class LayoutBatch:
+    """A stack of per-scenario host layouts sharing one job structure.
+
+    The engine body treats this interchangeably with a
+    :class:`~repro.workload.job.HostLayout`: per-host physics arrays carry
+    a leading scenario axis ``(S, hosts)`` while the job index structure
+    (``job_index``, ``job_boundaries``) stays one-dimensional and common
+    to every scenario.  Built via :func:`stack_layouts` from layouts whose
+    *workloads* differ (the heat-map case: every cell is a different
+    kernel configuration over the same hosts).
+    """
+
+    job_index: np.ndarray             # (hosts,)
+    job_boundaries: np.ndarray        # (jobs + 1,)
+    critical: np.ndarray              # (S, hosts)
+    kappa: np.ndarray                 # (S, hosts)
+    poll_kappa: np.ndarray            # (S, hosts)
+    traffic_gb: np.ndarray            # (S, hosts)
+    gflop: np.ndarray                 # (S, hosts)
+    compute_ceiling_index: np.ndarray  # (S, hosts)
+    ceiling_names: Tuple[str, ...]
+
+    @property
+    def host_count(self) -> int:
+        """Hosts per scenario."""
+        return int(self.job_index.size)
+
+    @property
+    def scenario_count(self) -> int:
+        """Scenarios stacked in this batch."""
+        return int(self.kappa.shape[0])
+
+
+def stack_layouts(layouts: Sequence[HostLayout]) -> LayoutBatch:
+    """Stack per-scenario layouts into one :class:`LayoutBatch`.
+
+    All layouts must share the same host count and job block structure
+    (``job_index`` / ``job_boundaries``); their physics arrays may differ
+    freely.  Compute-ceiling indices are remapped onto the union of the
+    ceiling-name vocabularies, so layouts built from different kernel
+    configurations stack without renaming.
+    """
+    if not layouts:
+        raise ValueError("stack_layouts needs at least one layout")
+    first = layouts[0]
+    names: List[str] = []
+    lookup = {}
+    remapped = []
+    for layout in layouts:
+        if not np.array_equal(layout.job_index, first.job_index) or \
+                not np.array_equal(layout.job_boundaries, first.job_boundaries):
+            raise ValueError(
+                "all layouts in a batch must share one job block structure"
+            )
+        for name in layout.ceiling_names:
+            if name not in lookup:
+                lookup[name] = len(names)
+                names.append(name)
+        table = np.array([lookup[n] for n in layout.ceiling_names], dtype=int)
+        remapped.append(table[layout.compute_ceiling_index])
+    return LayoutBatch(
+        job_index=first.job_index,
+        job_boundaries=first.job_boundaries,
+        critical=np.stack([la.critical for la in layouts]),
+        kappa=np.stack([la.kappa for la in layouts]),
+        poll_kappa=np.stack([la.poll_kappa for la in layouts]),
+        traffic_gb=np.stack([la.traffic_gb for la in layouts]),
+        gflop=np.stack([la.gflop for la in layouts]),
+        compute_ceiling_index=np.stack(remapped),
+        ceiling_names=tuple(names),
+    )
+
+
+def _per_scenario(value, scenarios: int, name: str, kind) -> list:
+    """Broadcast a scalar-or-sequence argument to one value per scenario."""
+    if isinstance(value, (str, float, int)) and not isinstance(value, bool):
+        return [kind(value)] * scenarios
+    values = [kind(v) for v in value]
+    if len(values) != scenarios:
+        raise ValueError(
+            f"{name} must be a scalar or length-{scenarios} sequence, "
+            f"got length {len(values)}"
+        )
+    return values
+
+
+def simulate_cap_batch(
+    mix: WorkloadMix,
+    caps_sw: np.ndarray,
+    efficiencies: np.ndarray,
+    model: Optional[ExecutionModel] = None,
+    options: Optional[SimulationOptions] = None,
+    seeds: Optional[Sequence[int]] = None,
+    policy_names: Union[str, Sequence[str]] = "unmanaged",
+    budgets_w: Union[float, Sequence[float]] = 0.0,
+) -> List[MixRunResult]:
+    """Simulate ``S`` cap scenarios against one mix in a single pass.
+
+    Parameters
+    ----------
+    mix / efficiencies:
+        As in :func:`~repro.sim.execution.simulate_mix` — one workload on
+        one host allocation, shared by every scenario.
+    caps_sw:
+        Cap matrix of shape ``(S, hosts)``; row ``s`` is scenario ``s``'s
+        per-host node caps.
+    options:
+        Noise/barrier settings shared by all scenarios (``None`` means
+        :data:`~repro.sim.execution.DEFAULT_OPTIONS`).
+    seeds:
+        Per-scenario noise seeds, length ``S``.  ``None`` replicates
+        ``options.seed`` — all scenarios then share one noise stream,
+        exactly as ``S`` serial calls with the same options would.
+    policy_names / budgets_w:
+        Result metadata, scalar (shared) or per-scenario sequences.
+
+    Returns
+    -------
+    list of MixRunResult
+        One result per scenario, in row order; element ``s`` is
+        bit-identical to the corresponding serial ``simulate_mix`` call.
+
+    When a :func:`~repro.parallel.cache.active_cache` is installed, each
+    scenario is looked up under the *serial* cache key; only the missing
+    rows go through the engine, and their results are stored for later
+    serial or batched runs to hit.
+    """
+    if options is None:
+        options = DEFAULT_OPTIONS
+    model = model if model is not None else ExecutionModel()
+    layout = mix.layout()
+    caps = np.asarray(caps_sw, dtype=float)
+    eff = np.asarray(efficiencies, dtype=float)
+    if caps.ndim != 2 or caps.shape[1] != layout.host_count:
+        raise ValueError(
+            f"caps_sw must have shape (S, {layout.host_count}), got {caps.shape}"
+        )
+    if eff.shape != (layout.host_count,):
+        raise ValueError(
+            f"efficiencies must have shape ({layout.host_count},), got {eff.shape}"
+        )
+    scenarios = caps.shape[0]
+    if seeds is None:
+        seed_list = [int(options.seed)] * scenarios
+    else:
+        seed_list = [int(s) for s in seeds]
+        if len(seed_list) != scenarios:
+            raise ValueError(
+                f"seeds must have length {scenarios}, got {len(seed_list)}"
+            )
+    names = _per_scenario(policy_names, scenarios, "policy_names", str)
+    budgets = _per_scenario(budgets_w, scenarios, "budgets_w", float)
+    n_iter = mix.common_iterations()
+
+    from repro.parallel.cache import active_cache
+
+    cache = active_cache()
+    results: List[Optional[MixRunResult]] = [None] * scenarios
+    keys: List[Optional[str]] = [None] * scenarios
+    misses = list(range(scenarios))
+    if cache is not None:
+        from repro.io.serialize import result_from_dict
+
+        misses = []
+        for s in range(scenarios):
+            opts_s = dataclasses.replace(options, seed=seed_list[s])
+            keys[s] = cache.key(
+                "simulate", mix, caps[s], eff, model, opts_s,
+                names[s], budgets[s],
+            )
+            payload = cache.get(keys[s])
+            if payload is not None:
+                results[s] = result_from_dict(payload)
+            else:
+                misses.append(s)
+    hits = scenarios - len(misses)
+
+    with ScopedTimer("sim.execution.simulate_cap_batch_s") as timer:
+        if misses:
+            out = _execute_scenarios(
+                layout, caps[misses], eff, model, n_iter,
+                options.noise_std, options.barrier_overhead_s,
+                [seed_list[s] for s in misses],
+            )
+            for row, s in enumerate(misses):
+                results[s] = MixRunResult(
+                    mix_name=mix.name,
+                    policy_name=names[s],
+                    budget_w=budgets[s],
+                    job_names=mix.job_names,
+                    iteration_times_s=out.job_iter_times[row],
+                    iteration_energy_j=out.iteration_energy[row],
+                    host_energy_j=out.host_energy[row],
+                    host_mean_power_w=out.host_mean_power[row],
+                    host_job_index=layout.job_index,
+                    total_gflop=float(out.total_gflop[row]),
+                )
+    if cache is not None and misses:
+        from repro.io.serialize import result_to_dict
+
+        for s in misses:
+            cache.put(keys[s], result_to_dict(results[s]))
+
+    if enabled():
+        registry = get_registry()
+        registry.counter("sim.execution.batch_runs").inc()
+        if misses:
+            registry.counter("sim.execution.runs").inc(len(misses))
+        if hits:
+            registry.counter("sim.execution.cache_hits").inc(hits)
+        emit(
+            "sim.execution", "mix_batch_simulated",
+            mix=mix.name, hosts=layout.host_count, scenarios=scenarios,
+            cache_hits=hits, iterations=n_iter, wall_s=timer.elapsed_s,
+        )
+    return results  # type: ignore[return-value]

@@ -16,6 +16,16 @@ inverse
     analytic core of the GEOPM power balancer (paper §IV-B): power can be
     removed from a host exactly down to the point where its compute phase
     stretches to the job's critical-path time.
+
+Batch dimensions
+----------------
+Every map is a pure ufunc chain and broadcasts over *leading* axes: pass
+caps of shape ``(S, hosts)`` (or a layout-like object whose per-host
+arrays are ``(S, hosts)``, see :mod:`repro.sim.batch`) and each method
+returns ``(S, hosts)`` — ``S`` independent scenarios evaluated in one
+pass.  Per-job reductions use ``axis=-1`` so the host axis is always the
+last one.  :func:`repro.sim.batch.simulate_cap_batch` builds on exactly
+this property.
 """
 
 from __future__ import annotations
@@ -138,7 +148,11 @@ class ExecutionModel:
 
     def job_critical_time(self, caps_w: np.ndarray, layout: HostLayout,
                           efficiencies: np.ndarray) -> np.ndarray:
-        """Noise-free per-job iteration time (segmented max over hosts)."""
+        """Noise-free per-job iteration time (segmented max over hosts).
+
+        Broadcasts over leading scenario axes: ``(S, hosts)`` caps yield
+        ``(S, jobs)`` critical times.
+        """
         f = self.frequencies(caps_w, layout, efficiencies)
         t = self.compute_time(f, layout)
-        return np.maximum.reduceat(t, layout.job_boundaries[:-1])
+        return np.maximum.reduceat(t, layout.job_boundaries[:-1], axis=-1)

@@ -11,12 +11,21 @@ noise per host-iteration (OS jitter, DRAM refresh, cache state), which is
 what gives repeated iterations the spread behind the paper's 95 %
 confidence intervals.  Work amounts are deterministic — noise stretches
 time, not FLOPs.
+
+The engine body (:func:`_execute_scenarios`) carries a leading *scenario*
+axis: it evaluates an ``(S, hosts)`` cap matrix as ``S`` independent
+executions in one pass over ``(S, iterations, hosts)`` tensors.
+:func:`simulate_mix` is the single-scenario entry point (``S = 1``);
+:func:`repro.sim.batch.simulate_cap_batch` exposes the full batch.  Both
+paths share this one implementation, so batched results are bit-identical
+to serial ones by construction — the property pinned by
+``tests/property/test_batch_properties.py``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -26,7 +35,7 @@ from repro.telemetry import ScopedTimer, emit, enabled, get_registry
 from repro.units import ensure_non_negative
 from repro.workload.job import WorkloadMix
 
-__all__ = ["SimulationOptions", "simulate_mix"]
+__all__ = ["SimulationOptions", "DEFAULT_OPTIONS", "simulate_mix"]
 
 
 def _active_cache():
@@ -67,6 +76,132 @@ class SimulationOptions:
         ensure_non_negative(self.barrier_overhead_s, "barrier_overhead_s")
 
 
+#: Shared default options.  The dataclass is frozen, so one instance can
+#: safely serve every ``options=None`` call — constructing (and
+#: re-validating) fresh defaults per simulation was measurable on sweep
+#: hot paths.  Never use this as a *def-line* default (see the
+#: mutable-default regression test); functions take ``options=None`` and
+#: substitute this in the body.
+DEFAULT_OPTIONS = SimulationOptions()
+
+
+@dataclass(frozen=True)
+class _ScenarioTensors:
+    """Stacked outputs of the batched engine core (leading axis = S)."""
+
+    job_iter_times: np.ndarray      # (S, iterations, jobs)
+    iteration_energy: np.ndarray    # (S, iterations)
+    host_energy: np.ndarray         # (S, hosts)
+    host_mean_power: np.ndarray     # (S, hosts)
+    total_gflop: np.ndarray         # (S,)
+
+
+def _execute_scenarios(
+    layout,
+    caps_sw: np.ndarray,
+    efficiencies: np.ndarray,
+    model: ExecutionModel,
+    n_iter: int,
+    noise_std: float,
+    barrier_overhead_s: float,
+    seeds: Sequence[int],
+) -> _ScenarioTensors:
+    """The uninstrumented engine body, batched over a scenario axis.
+
+    Parameters
+    ----------
+    layout:
+        A :class:`~repro.workload.job.HostLayout` (per-host arrays of
+        shape ``(hosts,)``) or a layout-like object whose per-host arrays
+        carry a leading scenario axis ``(S, hosts)`` (see
+        :class:`repro.sim.batch.LayoutBatch`).  ``job_index`` and
+        ``job_boundaries`` are always one-dimensional.
+    caps_sw:
+        Cap matrix of shape ``(S, hosts)``; clamped into the RAPL range
+        here, exactly as the serial path does.
+    seeds:
+        One noise seed per scenario (ignored when ``noise_std == 0``).
+
+    Determinism contract: scenario ``s`` of the returned tensors is
+    bit-identical to a serial run with ``caps_sw[s]`` and ``seeds[s]`` —
+    the physics is an elementwise ufunc chain (exact per element under
+    broadcasting), segmented reductions use exact ``max``, axis sums
+    accumulate in the same order per scenario slice, and the energy dot
+    products run per-scenario on contiguous slices so the same BLAS
+    routine sees the same operands.
+    """
+    caps = model.power_model.clamp_cap(caps_sw)
+    scenarios = caps.shape[0]
+    hosts = layout.host_count
+
+    # --- deterministic per-host physics (S, hosts) --------------------
+    freq = model.frequencies(caps, layout, efficiencies)
+    t_compute = model.compute_time(freq, layout)
+    p_compute = model.power_model.power_at_freq(freq, layout.kappa, efficiencies)
+    p_poll = model.poll_power(caps, layout, efficiencies)
+    p_compute = np.ascontiguousarray(np.broadcast_to(p_compute, (scenarios, hosts)))
+    p_poll = np.ascontiguousarray(np.broadcast_to(p_poll, (scenarios, hosts)))
+
+    # --- noisy iterations (S, iterations, hosts) ----------------------
+    if noise_std > 0:
+        # The noise tensor doubles as the time tensor: each scenario's
+        # lognormal draw lands in its slab, then the deterministic times
+        # scale it in place (multiplication commutes bitwise).
+        host_times = np.empty((scenarios, n_iter, hosts))
+        for s in range(scenarios):
+            rng = np.random.default_rng(seeds[s])
+            host_times[s] = rng.lognormal(mean=0.0, sigma=noise_std,
+                                          size=(n_iter, hosts))
+        host_times *= t_compute[:, np.newaxis, :]
+    else:
+        # Noise-free times repeat the deterministic row; a broadcast view
+        # stands in for the former (n_iter, hosts) ones-matrix multiply.
+        host_times = np.broadcast_to(
+            t_compute[:, np.newaxis, :], (scenarios, n_iter, hosts)
+        )
+
+    starts = layout.job_boundaries[:-1]
+    # Segmented max per iteration row: reduceat along the host axis.
+    job_iter_times = np.maximum.reduceat(host_times, starts, axis=2)
+    job_iter_times = job_iter_times + barrier_overhead_s
+
+    # --- energy accounting ---------------------------------------------
+    # Slack per host-iteration = job iteration time - own compute time
+    # (barrier overhead is spent polling too), with tiny negatives from
+    # the shared barrier overhead handling clamped to zero.  The gather
+    # along the host axis is not C-contiguous, so the subtraction lands
+    # in a fresh contiguous buffer — the reductions and matvecs below
+    # must see the same memory order as a serial run.
+    slack = np.empty(host_times.shape)
+    np.subtract(job_iter_times[:, :, layout.job_index], host_times, out=slack)
+    np.maximum(slack, 0.0, out=slack)
+
+    host_compute_s = host_times.sum(axis=1)
+    host_slack_s = slack.sum(axis=1)
+    host_energy = p_compute * host_compute_s + p_poll * host_slack_s
+    # Per-scenario matvecs on contiguous slices: a stacked matmul may pick
+    # a different BLAS kernel than the serial path and break bit-identity.
+    iteration_energy = np.empty((scenarios, n_iter))
+    for s in range(scenarios):
+        iteration_energy[s] = host_times[s] @ p_compute[s] + slack[s] @ p_poll[s]
+    host_elapsed = host_compute_s + host_slack_s
+    with np.errstate(invalid="ignore", divide="ignore"):
+        host_mean_power = np.where(host_elapsed > 0, host_energy / host_elapsed, 0.0)
+
+    total_gflop = np.sum(layout.gflop, axis=-1) * float(n_iter)
+    total_gflop = np.ascontiguousarray(
+        np.broadcast_to(np.asarray(total_gflop, dtype=float), (scenarios,))
+    )
+
+    return _ScenarioTensors(
+        job_iter_times=job_iter_times,
+        iteration_energy=iteration_energy,
+        host_energy=host_energy,
+        host_mean_power=host_mean_power,
+        total_gflop=total_gflop,
+    )
+
+
 def simulate_mix(
     mix: WorkloadMix,
     caps_w: np.ndarray,
@@ -91,9 +226,9 @@ def simulate_mix(
     model:
         Physics bundle; defaults to the Quartz node model.
     options:
-        Noise/seed settings (``None`` means fresh defaults; never pass a
-        shared module-level instance as a dataclass default — see the
-        mutable-default regression test).
+        Noise/seed settings (``None`` means the shared frozen
+        :data:`DEFAULT_OPTIONS`; never pass a dataclass instance as a
+        def-line default — see the mutable-default regression test).
     policy_name / budget_w:
         Metadata recorded on the result.
 
@@ -102,13 +237,17 @@ def simulate_mix(
     hit skips the execution loop entirely and decodes the stored result
     (bit-identical to a fresh computation).
 
+    To evaluate many cap vectors against one mix, prefer
+    :func:`repro.sim.batch.simulate_cap_batch`, which runs the whole
+    scenario set through one pass of the same engine body.
+
     Returns
     -------
     MixRunResult
         Per-iteration job times, per-host energy and mean power, FLOPs.
     """
     if options is None:
-        options = SimulationOptions()
+        options = DEFAULT_OPTIONS
     cache = _active_cache()
     cache_key = None
     if cache is not None:
@@ -122,6 +261,13 @@ def simulate_mix(
         if payload is not None:
             from repro.io.serialize import result_from_dict
 
+            if enabled():
+                get_registry().counter("sim.execution.cache_hits").inc()
+                emit(
+                    "sim.execution", "mix_simulated_cached",
+                    mix=mix.name, hosts=mix.total_nodes,
+                    policy=policy_name,
+                )
             return result_from_dict(payload)
     with ScopedTimer("sim.execution.simulate_mix_s") as timer:
         result = _simulate_mix_impl(
@@ -142,7 +288,7 @@ def simulate_mix(
         emit(
             "sim.execution", "mix_simulated",
             mix=mix.name, hosts=mix.total_nodes,
-            iterations=int(mix.iterations_array()[0]),
+            iterations=mix.common_iterations(),
             policy=policy_name, wall_s=timer.elapsed_s, sim_s=sim_s,
         )
     return result
@@ -157,10 +303,10 @@ def _simulate_mix_impl(
     policy_name: str,
     budget_w: float,
 ) -> MixRunResult:
-    """The uninstrumented engine body (see :func:`simulate_mix`)."""
+    """The uninstrumented single-scenario body (see :func:`simulate_mix`)."""
     model = model if model is not None else ExecutionModel()
     layout = mix.layout()
-    caps = model.power_model.clamp_cap(np.asarray(caps_w, dtype=float))
+    caps = np.asarray(caps_w, dtype=float)
     eff = np.asarray(efficiencies, dtype=float)
     if caps.shape != (layout.host_count,):
         raise ValueError(
@@ -170,62 +316,22 @@ def _simulate_mix_impl(
         raise ValueError(
             f"efficiencies must have shape ({layout.host_count},), got {eff.shape}"
         )
+    n_iter = mix.common_iterations()
 
-    iters = mix.iterations_array()
-    if np.any(iters != iters[0]):
-        raise ValueError(
-            "all jobs in a mix must run the same iteration count "
-            f"(got {dict(zip(mix.job_names, iters.tolist()))})"
-        )
-    n_iter = int(iters[0])
-
-    # --- deterministic per-host physics -------------------------------
-    freq = model.frequencies(caps, layout, eff)
-    t_compute = model.compute_time(freq, layout)
-    p_compute = model.power_model.power_at_freq(freq, layout.kappa, eff)
-    p_poll = model.poll_power(caps, layout, eff)
-
-    # --- noisy iterations ---------------------------------------------
-    rng = np.random.default_rng(options.seed)
-    if options.noise_std > 0:
-        noise = rng.lognormal(mean=0.0, sigma=options.noise_std,
-                              size=(n_iter, layout.host_count))
-    else:
-        noise = np.ones((n_iter, layout.host_count))
-    host_times = t_compute[np.newaxis, :] * noise  # (iters, hosts)
-
-    starts = layout.job_boundaries[:-1]
-    # Segmented max per iteration row: reduceat along the host axis.
-    job_iter_times = np.maximum.reduceat(host_times, starts, axis=1)
-    job_iter_times = job_iter_times + options.barrier_overhead_s
-
-    # --- energy accounting ---------------------------------------------
-    # Slack per host-iteration = job iteration time - own compute time
-    # (barrier overhead is spent polling too).
-    iter_time_per_host = job_iter_times[:, layout.job_index]
-    slack = iter_time_per_host - host_times
-    # Guard tiny negative values from the shared barrier overhead handling.
-    slack = np.maximum(slack, 0.0)
-
-    host_compute_s = host_times.sum(axis=0)
-    host_slack_s = slack.sum(axis=0)
-    host_energy = p_compute * host_compute_s + p_poll * host_slack_s
-    iteration_energy = host_times @ p_compute + slack @ p_poll
-    host_elapsed = host_compute_s + host_slack_s
-    with np.errstate(invalid="ignore", divide="ignore"):
-        host_mean_power = np.where(host_elapsed > 0, host_energy / host_elapsed, 0.0)
-
-    total_gflop = float(np.sum(layout.gflop) * n_iter)
+    out = _execute_scenarios(
+        layout, caps[np.newaxis, :], eff, model, n_iter,
+        options.noise_std, options.barrier_overhead_s, (options.seed,),
+    )
 
     return MixRunResult(
         mix_name=mix.name,
         policy_name=policy_name,
         budget_w=float(budget_w),
         job_names=mix.job_names,
-        iteration_times_s=job_iter_times,
-        iteration_energy_j=iteration_energy,
-        host_energy_j=host_energy,
-        host_mean_power_w=host_mean_power,
+        iteration_times_s=out.job_iter_times[0],
+        iteration_energy_j=out.iteration_energy[0],
+        host_energy_j=out.host_energy[0],
+        host_mean_power_w=out.host_mean_power[0],
         host_job_index=layout.job_index,
-        total_gflop=total_gflop,
+        total_gflop=float(out.total_gflop[0]),
     )

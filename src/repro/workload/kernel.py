@@ -173,12 +173,20 @@ class KernelConfig:
             raise ValueError(
                 "imbalance > 1 requires waiting_fraction > 0 (someone must wait)"
             )
+        # The activity factor is a pure function of the (frozen) config;
+        # computing it here keeps the interpolation and its input
+        # validation off the per-epoch hot paths.
+        object.__setattr__(
+            self,
+            "_kappa",
+            float(activity_factor(self.intensity, self.vector, self.precision)),
+        )
 
     # ------------------------------------------------------------------
     @property
     def kappa(self) -> float:
         """Compute-phase activity factor for the socket power model."""
-        return float(activity_factor(self.intensity, self.vector, self.precision))
+        return self._kappa
 
     @property
     def compute_ceiling(self) -> str:

@@ -1,0 +1,119 @@
+"""Property-based tests: batched scenario evaluation == serial, bitwise.
+
+The batched engine's whole contract is that ``simulate_cap_batch`` row
+``s`` is *bit-identical* — not merely close — to the corresponding serial
+``simulate_mix`` call.  ``MixRunResult.__eq__`` is exact bitwise array
+equality, so these tests assert with ``==`` across random cap matrices,
+noise levels (including the noise-free path), scenario counts (including
+S=1), and mix shapes (including single-job mixes).
+"""
+
+import dataclasses
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.batch import simulate_cap_batch
+from repro.sim.execution import SimulationOptions, simulate_mix
+from repro.workload.job import Job, WorkloadMix
+from repro.workload.kernel import INTENSITY_GRID, KernelConfig
+
+
+@st.composite
+def kernel_configs(draw):
+    intensity = draw(st.sampled_from(INTENSITY_GRID))
+    if draw(st.booleans()):
+        waiting = draw(st.sampled_from([0.25, 0.5, 0.75]))
+        imbalance = draw(st.sampled_from([2, 3]))
+    else:
+        waiting, imbalance = 0.0, 1
+    return KernelConfig(
+        intensity=intensity, waiting_fraction=waiting, imbalance=imbalance
+    )
+
+
+@st.composite
+def batch_cases(draw):
+    """A mix (1-3 jobs), an (S, hosts) cap matrix, seeds, and options."""
+    n_jobs = draw(st.integers(1, 3))
+    jobs = tuple(
+        Job(
+            name=f"j{i}",
+            config=draw(kernel_configs()),
+            node_count=draw(st.integers(1, 5)),
+            iterations=draw(st.integers(1, 4)),
+        )
+        for i in range(n_jobs)
+    )
+    iters = min(j.iterations for j in jobs)
+    jobs = tuple(dataclasses.replace(j, iterations=iters) for j in jobs)
+    mix = WorkloadMix(name="batch-prop", jobs=jobs)
+    hosts = mix.total_nodes
+    scenarios = draw(st.integers(1, 5))
+    caps = np.array(
+        draw(
+            st.lists(
+                st.lists(
+                    st.floats(100.0, 260.0, allow_nan=False),
+                    min_size=hosts, max_size=hosts,
+                ),
+                min_size=scenarios, max_size=scenarios,
+            )
+        )
+    )
+    effs = np.array(
+        draw(
+            st.lists(
+                st.floats(0.85, 1.15, allow_nan=False),
+                min_size=hosts, max_size=hosts,
+            )
+        )
+    )
+    noise_std = draw(st.sampled_from([0.0, 0.008, 0.02]))
+    seeds = draw(
+        st.lists(
+            st.integers(0, 2**32 - 1),
+            min_size=scenarios, max_size=scenarios,
+        )
+    )
+    options = SimulationOptions(noise_std=noise_std, seed=draw(st.integers(0, 99)))
+    return mix, caps, effs, options, seeds
+
+
+class TestBatchedEqualsSerial:
+    @given(case=batch_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_bit_identical_with_explicit_seeds(self, case):
+        mix, caps, effs, options, seeds = case
+        batch = simulate_cap_batch(mix, caps, effs, options=options, seeds=seeds)
+        for s in range(caps.shape[0]):
+            serial = simulate_mix(
+                mix, caps[s], effs,
+                options=dataclasses.replace(options, seed=seeds[s]),
+            )
+            assert batch[s] == serial
+
+    @given(case=batch_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_default_seeds_replicate_options_seed(self, case):
+        mix, caps, effs, options, _ = case
+        batch = simulate_cap_batch(mix, caps, effs, options=options)
+        for s in range(caps.shape[0]):
+            assert batch[s] == simulate_mix(mix, caps[s], effs, options=options)
+
+    @given(case=batch_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_metadata_rows_carry_through(self, case):
+        mix, caps, effs, options, seeds = case
+        scenarios = caps.shape[0]
+        names = [f"policy-{s}" for s in range(scenarios)]
+        budgets = [float(100 + s) for s in range(scenarios)]
+        batch = simulate_cap_batch(
+            mix, caps, effs, options=options, seeds=seeds,
+            policy_names=names, budgets_w=budgets,
+        )
+        for s, result in enumerate(batch):
+            assert result.policy_name == names[s]
+            assert result.budget_w == budgets[s]
+            assert result.mix_name == mix.name
