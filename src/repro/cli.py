@@ -24,6 +24,12 @@ Subcommands covering the workflows a site operator runs:
 ``site``
     The arrival-driven site simulation, replayed under independent
     noise seeds for confidence intervals.
+``faults``
+    Replay the named fault scenarios (budget drops, node loss, sensor
+    blackouts, stuck caps) against the policies and report QoS loss and
+    budget-overshoot watt-seconds; ``--check`` gates on zero planned
+    overshoot (the CI resilience smoke).  ``REPRO_SMOKE=1`` shrinks the
+    suite for CI.
 
 Every command accepts ``--scale`` (nodes per job; 100 = paper scale) so
 the same invocations work on a laptop and at full size.  ``grid`` and
@@ -36,6 +42,7 @@ persists the characterization cache between invocations.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -46,6 +53,7 @@ from repro import __version__
 from repro.analysis.render import render_table
 from repro.core.registry import POLICY_NAMES
 from repro.experiments.grid import ExperimentConfig, ExperimentGrid
+from repro.faults.scenarios import SCENARIO_NAMES
 from repro.experiments.metrics import savings_grid
 from repro.experiments.takeaways import check_takeaways
 from repro.workload.mixes import MIX_NAMES
@@ -168,6 +176,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_site.add_argument("--replays", type=_positive_int, default=4,
                         metavar="N",
                         help="independent noise replays (default 4)")
+
+    p_faults = sub.add_parser(
+        "faults",
+        help="replay named fault scenarios and score policy resilience",
+    )
+    p_faults.add_argument("--list", action="store_true", dest="list_only",
+                          help="list the scenario names and exit")
+    p_faults.add_argument("--scenario", action="append",
+                          choices=SCENARIO_NAMES, dest="scenarios",
+                          help="restrict to a scenario (repeatable; "
+                               "default: the full standard suite)")
+    p_faults.add_argument("--policy", action="append", choices=POLICY_NAMES,
+                          dest="policies",
+                          help="restrict to a policy (repeatable; "
+                               "default: all five)")
+    p_faults.add_argument("--check", action="store_true",
+                          help="exit non-zero unless the compliance checks "
+                               "hold (zero planned overshoot on feasible "
+                               "scenarios)")
 
     p_tel = sub.add_parser(
         "telemetry",
@@ -429,6 +456,38 @@ def _cmd_site(grid: ExperimentGrid, policy: str, jobs: int, replays: int,
     return 0
 
 
+def _cmd_faults(scenarios: Optional[List[str]], policies: Optional[List[str]],
+                check: bool, list_only: bool) -> int:
+    """Replay named fault scenarios and score policy resilience."""
+    from repro.experiments.resilience import run_resilience_suite
+    from repro.faults.scenarios import STANDARD_SCENARIOS
+
+    if list_only:
+        rows = [[s.name, s.description] for s in STANDARD_SCENARIOS.values()]
+        print(render_table(["scenario", "description"], rows,
+                           title="Standard fault scenarios"))
+        return 0
+    if os.environ.get("REPRO_SMOKE") == "1":
+        sizing = dict(jobs=4, nodes_per_job=3, iterations=8)
+    else:
+        sizing = dict(jobs=6, nodes_per_job=4, iterations=12)
+    report = run_resilience_suite(
+        scenarios=scenarios, policies=policies, **sizing
+    )
+    print(report.render())
+    losses = report.qos_loss_by_policy()
+    print("\nmean QoS loss over feasible scenarios:")
+    for name, loss in losses.items():
+        print(f"  {name:<16} {loss:+.1f}%")
+    if check:
+        print()
+        checks = report.check()
+        for name, ok in checks.items():
+            print(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+        return 0 if report.all_hold() else 1
+    return 0
+
+
 def _cmd_facility() -> int:
     from repro.workload.facility import generate_facility_trace
 
@@ -448,6 +507,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         activate_cache(cache_dir=args.cache_dir)
     if args.command == "facility":
         return _cmd_facility()
+    if args.command == "faults":
+        return _cmd_faults(args.scenarios, args.policies, args.check,
+                           args.list_only)
     grid = ExperimentGrid(_make_config(args))
     if args.command == "survey":
         return _cmd_survey(grid)

@@ -1,0 +1,295 @@
+"""Resilience experiment: the five policies under the standard fault suite.
+
+The paper's conclusion asks for a policy that "minimizes the loss of
+quality of service in exceptional cases"; this experiment makes that an
+actual measurement.  Every policy (Precharacterized through
+MixedAdaptive) runs one arrival-driven site shift fault-free to fix its
+baseline, then replays the *same* arrival stream under each named
+scenario of :data:`~repro.faults.scenarios.STANDARD_SCENARIOS`, scoring:
+
+* **QoS loss** — the percentage growth of mean job turnaround relative
+  to the policy's own fault-free shift (the "loss of quality of service"
+  quantity);
+* **budget-overshoot watt-seconds** — energy spent above the budget in
+  force, split into the *planned* component (after the degradation
+  ladder's stage-2 re-plan — the compliance quantity that must be zero
+  on feasible scenarios for system-power-aware policies) and the *total*
+  including the reaction window of mid-batch drops.
+
+Scenario timelines are materialised against each policy's own fault-free
+makespan, so the disturbance lands mid-shift for every policy no matter
+how fast it runs the mix.
+
+:meth:`ResilienceReport.check` encodes the CI gate: on every feasible
+scenario without actuator faults, every system-power-aware policy must
+show zero planned overshoot.  (Actuator faults — a RAPL domain erroring
+back to TDP — physically break compliance no matter how the re-plan
+allocates, so those scenarios report overshoot rather than assert on
+it.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.render import render_table
+from repro.core.registry import POLICY_NAMES, create_policy
+from repro.faults.schedule import FaultKind
+from repro.faults.scenarios import SCENARIO_NAMES, STANDARD_SCENARIOS
+from repro.hardware.cluster import Cluster
+from repro.manager.queue import JobRequest
+from repro.manager.site_simulation import Arrival, run_site_simulation
+from repro.sim.engine import ExecutionModel
+from repro.telemetry import emit, enabled
+from repro.workload.kernel import KernelConfig
+
+__all__ = [
+    "ScenarioOutcome",
+    "ResilienceReport",
+    "standard_arrivals",
+    "run_resilience_suite",
+]
+
+#: Scenarios the compliance gate asserts on: feasibility is checked per
+#: site below; actuator-fault scenarios are excluded by construction.
+_TOLERANCE_WS = 1e-6
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """One (policy, scenario) cell of the resilience matrix."""
+
+    policy: str
+    scenario: str
+    #: Whether the scenario's lowest budget still covers hosts x floor.
+    feasible: bool
+    #: Whether the scenario injects actuator (cap) faults, which make
+    #: strict budget compliance physically impossible.
+    actuator_faults: bool
+    #: Mean-turnaround growth vs the policy's fault-free shift (percent).
+    qos_loss_pct: float
+    #: Watt-seconds over the in-force budget after stage-2 re-planning.
+    planned_overshoot_ws: float
+    #: Total watt-seconds over budget, reaction windows included.
+    total_overshoot_ws: float
+    #: Batches planned below the re-plan tier (clamp or floor).
+    degraded_batches: int
+    completed_jobs: int
+    makespan_s: float
+
+    def compliant(self) -> bool:
+        """Zero planned overshoot (the post-re-plan gate quantity)."""
+        return self.planned_overshoot_ws <= _TOLERANCE_WS
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """The full policy x scenario resilience matrix."""
+
+    outcomes: Tuple[ScenarioOutcome, ...]
+    budget_w: float
+    host_count: int
+
+    def of_policy(self, policy: str) -> Tuple[ScenarioOutcome, ...]:
+        """All scenario outcomes for one policy, suite order."""
+        return tuple(o for o in self.outcomes if o.policy == policy)
+
+    def qos_loss_by_policy(self) -> Dict[str, float]:
+        """Mean QoS loss over feasible scenarios, per policy."""
+        out: Dict[str, float] = {}
+        for policy in dict.fromkeys(o.policy for o in self.outcomes):
+            losses = [o.qos_loss_pct for o in self.of_policy(policy)
+                      if o.feasible]
+            out[policy] = float(np.mean(losses)) if losses else 0.0
+        return out
+
+    def check(self) -> Dict[str, bool]:
+        """The CI gate: named pass/fail checks over the matrix.
+
+        ``zero_planned_overshoot``: every system-power-aware policy holds
+        zero watt-seconds over the in-force budget after re-planning, on
+        every feasible scenario without actuator faults.
+        ``infeasible_reported``: scenarios whose budget dips below the
+        floor are flagged infeasible (none silently pass as compliant
+        *and* feasible).
+        """
+        aware = {
+            name for name in dict.fromkeys(o.policy for o in self.outcomes)
+            if create_policy(name).system_power_aware
+        }
+        gated = [
+            o for o in self.outcomes
+            if o.policy in aware and o.feasible and not o.actuator_faults
+        ]
+        checks = {
+            "zero_planned_overshoot": all(o.compliant() for o in gated),
+            "infeasible_reported": all(
+                not o.feasible
+                for o in self.outcomes if o.scenario == "brownout"
+            ) or not any(o.scenario == "brownout" for o in self.outcomes),
+        }
+        return checks
+
+    def all_hold(self) -> bool:
+        """Whether every check passes."""
+        return all(self.check().values())
+
+    def render(self) -> str:
+        """The resilience matrix as an aligned text table."""
+        rows = []
+        for o in self.outcomes:
+            rows.append([
+                o.policy,
+                o.scenario,
+                "yes" if o.feasible else "NO",
+                f"{o.qos_loss_pct:+.1f}%",
+                f"{o.planned_overshoot_ws:.1f}",
+                f"{o.total_overshoot_ws:.1f}",
+                str(o.degraded_batches),
+                str(o.completed_jobs),
+            ])
+        return render_table(
+            ["policy", "scenario", "feasible", "QoS loss",
+             "plan over Ws", "total over Ws", "degraded", "done"],
+            rows,
+            title=f"Resilience suite ({self.host_count} hosts, "
+                  f"{self.budget_w / 1000:.1f} kW base budget)",
+        )
+
+
+def standard_arrivals(jobs: int, nodes_per_job: int,
+                      iterations: int) -> List[Arrival]:
+    """The deterministic arrival stream every resilience run replays.
+
+    A staggered mix of compute- and waiting-heavy kernels (the same
+    construction the ``site`` CLI command uses), so scenario outcomes are
+    comparable across policies and invocations.
+    """
+    return [
+        Arrival(
+            time_s=float(i),
+            request=JobRequest(
+                f"resilience-job-{i}",
+                KernelConfig(
+                    intensity=float(2 ** (1 + i % 4)),
+                    waiting_fraction=0.25 * (i % 3),
+                    imbalance=1 + i % 3,
+                ),
+                node_count=nodes_per_job,
+                iterations=iterations,
+            ),
+        )
+        for i in range(jobs)
+    ]
+
+
+def _fresh_arrivals(arrivals: Sequence[Arrival]) -> List[Arrival]:
+    """Copies with pristine lifecycle state (requests are stateful)."""
+    return [
+        dataclasses.replace(a, request=dataclasses.replace(a.request))
+        for a in arrivals
+    ]
+
+
+def run_resilience_suite(
+    scenarios: Optional[Sequence[str]] = None,
+    policies: Optional[Sequence[str]] = None,
+    jobs: int = 6,
+    nodes_per_job: int = 4,
+    iterations: int = 12,
+    cluster: Optional[Cluster] = None,
+    model: Optional[ExecutionModel] = None,
+    budget_fraction: float = 0.9,
+    noise_std: float = 0.004,
+    run_seed: int = 7,
+) -> ResilienceReport:
+    """Score policies against the named fault scenarios.
+
+    Parameters
+    ----------
+    scenarios / policies:
+        Names to run (defaults: the full standard suite x the paper's
+        five policies).
+    jobs / nodes_per_job / iterations:
+        Shape of the replayed arrival stream (smoke runs shrink these).
+    cluster:
+        Site cluster (default: ``3 x nodes_per_job`` variation-free
+        hosts, the ``site`` command's construction).
+    budget_fraction:
+        Base facility budget as a fraction of cluster TDP.
+    run_seed:
+        Noise-stream seed shared by every shift, so fault-free and
+        faulted replays differ only by the schedule.
+    """
+    scenario_names = tuple(scenarios) if scenarios is not None \
+        else SCENARIO_NAMES
+    policy_names = tuple(policies) if policies is not None else POLICY_NAMES
+    for name in scenario_names:
+        if name not in STANDARD_SCENARIOS:
+            raise KeyError(
+                f"unknown scenario {name!r}; expected one of {SCENARIO_NAMES}"
+            )
+    model = model if model is not None else ExecutionModel()
+    if cluster is None:
+        cluster = Cluster(
+            node_count=3 * nodes_per_job, variation=None, seed=11
+        )
+    hosts = len(cluster)
+    budget_w = budget_fraction * hosts * model.power_model.tdp_w
+    min_cap_w = model.power_model.min_cap_w
+    arrivals = standard_arrivals(jobs, nodes_per_job, iterations)
+
+    outcomes: List[ScenarioOutcome] = []
+    for policy_name in policy_names:
+        policy = create_policy(policy_name)
+        baseline = run_site_simulation(
+            _fresh_arrivals(arrivals), cluster, policy, budget_w,
+            noise_std=noise_std, run_seed=run_seed,
+        )
+        base_turnaround = baseline.mean_turnaround_s()
+        duration_s = max(baseline.makespan_s, 1.0)
+        for scenario_name in scenario_names:
+            scenario = STANDARD_SCENARIOS[scenario_name]
+            schedule = scenario.build(budget_w, hosts, duration_s)
+            feasible = scenario.feasible(
+                budget_w, hosts, duration_s, min_cap_w=min_cap_w
+            )
+            actuator = any(
+                e.kind in (FaultKind.CAP_STUCK, FaultKind.CAP_ERROR)
+                for e in schedule.events
+            )
+            result = run_site_simulation(
+                _fresh_arrivals(arrivals), cluster, policy, budget_w,
+                noise_std=noise_std, run_seed=run_seed,
+                fault_schedule=schedule,
+            )
+            turnaround = result.mean_turnaround_s()
+            qos_loss = 0.0 if base_turnaround <= 0 else \
+                100.0 * (turnaround / base_turnaround - 1.0)
+            outcomes.append(ScenarioOutcome(
+                policy=policy_name,
+                scenario=scenario_name,
+                feasible=feasible,
+                actuator_faults=actuator,
+                qos_loss_pct=float(qos_loss),
+                planned_overshoot_ws=result.planned_overshoot_ws(),
+                total_overshoot_ws=result.total_overshoot_ws(),
+                degraded_batches=len(result.degraded_batches()),
+                completed_jobs=len(result.completed),
+                makespan_s=result.makespan_s,
+            ))
+            if enabled():
+                emit(
+                    "experiments.resilience", "scenario_scored",
+                    policy=policy_name, scenario=scenario_name,
+                    feasible=feasible, qos_loss_pct=float(qos_loss),
+                    planned_overshoot_ws=result.planned_overshoot_ws(),
+                    total_overshoot_ws=result.total_overshoot_ws(),
+                )
+    return ResilienceReport(
+        outcomes=tuple(outcomes), budget_w=float(budget_w), host_count=hosts
+    )

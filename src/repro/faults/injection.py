@@ -1,0 +1,157 @@
+"""Runtime-layer fault injection: the controller's view of a schedule.
+
+The :class:`RuntimeFaultInjector` adapts a :class:`~repro.faults.schedule.
+FaultSchedule` to the per-epoch control loop in
+:class:`~repro.runtime.controller.Controller`:
+
+* **actuator faults** (``CAP_STUCK`` / ``CAP_ERROR``) intercept the
+  limits the agent asks for before they reach the platform — a stuck
+  domain holds its value, an erroring domain reverts to TDP;
+* **sensor faults** (``SENSOR_DROPOUT`` / ``NOISE_BURST``) corrupt the
+  :class:`~repro.runtime.agent.PlatformSample` the *agent* sees while the
+  physics (and the job report built from it) stays truthful — a dropout
+  holds the last good reading (or zeros when there is none), a burst
+  multiplies readings by per-host lognormal jitter;
+* **compute faults** (``NOISE_BURST``) also raise the epoch compute-time
+  noise floor, since a machine-room event that garbles sensors rarely
+  leaves timing untouched.
+
+Every applied fault increments a ``faults.*`` counter and emits a
+``faults.injection`` event on the telemetry bus, so a run's fault record
+is auditable after the fact.  An injector over an inactive schedule is a
+strict no-op: the controller keeps its exact fault-free code path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.faults.schedule import FaultKind, FaultSchedule
+from repro.runtime.agent import PlatformSample
+from repro.telemetry import emit, enabled, get_registry
+
+__all__ = ["RuntimeFaultInjector"]
+
+
+class RuntimeFaultInjector:
+    """Applies a fault schedule to one controller run.
+
+    Parameters
+    ----------
+    schedule:
+        The timeline to inject (times are run-relative seconds).
+    tdp_w:
+        The cap an erroring RAPL domain reverts to.
+    seed:
+        Seed for the sensor-jitter stream (independent of the physics
+        noise stream so injecting sensor faults never perturbs physics).
+    """
+
+    def __init__(self, schedule: FaultSchedule, tdp_w: float = 240.0,
+                 seed: int = 0) -> None:
+        self.schedule = schedule
+        self.tdp_w = float(tdp_w)
+        self._rng = np.random.default_rng(seed)
+        self._last_good: Optional[PlatformSample] = None
+        #: (time_s, kind, hosts) tuples of every fault applied this run.
+        self.applied: List[Tuple[float, str, Tuple[int, ...]]] = []
+
+    @property
+    def active(self) -> bool:
+        """Whether any injection can happen at all."""
+        return self.schedule.active
+
+    # ------------------------------------------------------------------
+    def _record(self, time_s: float, kind: str,
+                hosts: Tuple[int, ...] = ()) -> None:
+        self.applied.append((float(time_s), kind, hosts))
+        if enabled():
+            get_registry().counter(f"faults.{kind}").inc()
+            get_registry().counter("faults.injected").inc()
+            emit("faults.injection", "fault_injected",
+                 fault=kind, time_s=float(time_s), hosts=list(hosts))
+
+    # ------------------------------------------------------------------
+    def filter_limits(self, limits_w: np.ndarray,
+                      time_s: float) -> np.ndarray:
+        """The limits the platform actually honours at ``time_s``."""
+        if not self.active:
+            return limits_w
+        overrides = self.schedule.cap_overrides_at(time_s, self.tdp_w)
+        if not overrides:
+            return limits_w
+        out = np.asarray(limits_w, dtype=float).copy()
+        hosts = tuple(h for h in overrides if h < out.size)
+        for host in hosts:
+            out[host] = overrides[host]
+        if hosts:
+            self._record(time_s, "cap_override", hosts)
+        return out
+
+    def noise_sigma(self, base_sigma: float, time_s: float) -> float:
+        """Effective compute-noise sigma at ``time_s``."""
+        if not self.active:
+            return base_sigma
+        sigma = self.schedule.noise_sigma_at(time_s, base_sigma)
+        if sigma != base_sigma:
+            self._record(time_s, "noise_burst")
+        return sigma
+
+    def corrupt_sample(self, sample: PlatformSample,
+                       time_s: float) -> PlatformSample:
+        """The sample the *agent* sees at ``time_s``.
+
+        Physics history stays truthful; only the agent's telemetry view is
+        corrupted.  Dropouts hold the last good reading on the affected
+        hosts (zeros when the run has none yet); noise bursts add per-host
+        lognormal jitter at the burst sigma to power/energy readings.
+        """
+        if not self.active:
+            self._last_good = sample
+            return sample
+        corrupted = sample
+        held = False
+        dropouts = self.schedule.sensor_dropout_at(time_s)
+        if dropouts:
+            hosts = set()
+            for event in dropouts:
+                ids = event.host_ids or range(sample.host_power_w.size)
+                hosts.update(h for h in ids if h < sample.host_power_w.size)
+            if hosts:
+                idx = np.array(sorted(hosts), dtype=int)
+                power = corrupted.host_power_w.copy()
+                energy = corrupted.host_energy_j.copy()
+                freq = corrupted.mean_freq_ghz.copy()
+                if self._last_good is not None:
+                    power[idx] = self._last_good.host_power_w[idx]
+                    energy[idx] = self._last_good.host_energy_j[idx]
+                    freq[idx] = self._last_good.mean_freq_ghz[idx]
+                else:
+                    power[idx] = 0.0
+                    energy[idx] = 0.0
+                    freq[idx] = 0.0
+                corrupted = dataclasses.replace(
+                    corrupted, host_power_w=power, host_energy_j=energy,
+                    mean_freq_ghz=freq,
+                )
+                self._record(time_s, "sensor_dropout", tuple(int(i) for i in idx))
+                held = True
+        # Remember the post-dropout (pre-jitter) view: hosts inside a
+        # dropout stay frozen at their onset reading instead of tracking
+        # the truth at one-epoch lag.
+        self._last_good = corrupted if held else sample
+        burst_sigma = self.schedule.noise_sigma_at(time_s, 0.0)
+        if burst_sigma > 0.0:
+            jitter = self._rng.lognormal(
+                0.0, burst_sigma, size=corrupted.host_power_w.shape
+            )
+            corrupted = dataclasses.replace(
+                corrupted,
+                host_power_w=corrupted.host_power_w * jitter,
+                host_energy_j=corrupted.host_energy_j * jitter,
+            )
+            self._record(time_s, "sensor_noise")
+        return corrupted

@@ -1,0 +1,164 @@
+"""Named fault scenarios: the standard resilience suite.
+
+Each scenario is a parameterised template — the same named disturbance
+materialises against any cluster size, budget, and shift length — so the
+resilience experiment, the CLI ``faults`` subcommand, and the CI smoke
+job all speak the same vocabulary.  Fractions of the shift (rather than
+absolute seconds) keep a scenario's *shape* invariant across scales.
+
+The suite covers the exceptional-case classes named in ISSUE/PAPERS:
+EcoShift-style dynamic budget shifts (step and ramp), node failure with
+recovery, telemetry blackouts, actuator faults, a compound cascade, and
+a deliberately infeasible brownout that exercises the all-floor tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.faults.schedule import FaultSchedule
+
+__all__ = ["FaultScenario", "STANDARD_SCENARIOS", "SCENARIO_NAMES",
+           "build_scenario"]
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A named, parameterised fault-schedule template."""
+
+    name: str
+    description: str
+    _builder: Callable[[float, int, float], FaultSchedule]
+
+    def build(self, base_budget_w: float, host_count: int,
+              duration_s: float) -> FaultSchedule:
+        """Materialise the schedule for a concrete site."""
+        if base_budget_w <= 0 or host_count < 1 or duration_s <= 0:
+            raise ValueError("scenario needs positive budget/hosts/duration")
+        schedule = self._builder(float(base_budget_w), int(host_count),
+                                 float(duration_s))
+        return FaultSchedule(events=schedule.events, name=self.name)
+
+    def feasible(self, base_budget_w: float, host_count: int,
+                 duration_s: float, min_cap_w: float = 136.0) -> bool:
+        """Whether stage-2 re-planning can ever meet this scenario's
+        budget: the lowest budget on the timeline still covers every
+        host at the RAPL floor."""
+        schedule = self.build(base_budget_w, host_count, duration_s)
+        budgets = [float(base_budget_w)] + [
+            float(e.budget_w) for e in schedule.events
+            if e.budget_w is not None
+        ]
+        return min(budgets) >= host_count * float(min_cap_w)
+
+
+def _budget_step(budget: float, hosts: int, t: float) -> FaultSchedule:
+    return (FaultSchedule()
+            .budget_drop(0.30 * t, 0.75 * budget)
+            .budget_restore(0.70 * t, budget))
+
+
+def _budget_ramp(budget: float, hosts: int, t: float) -> FaultSchedule:
+    return (FaultSchedule()
+            .budget_drop(0.25 * t, 0.65 * budget, ramp_s=0.15 * t)
+            .budget_restore(0.65 * t, budget, ramp_s=0.15 * t))
+
+
+def _node_loss(budget: float, hosts: int, t: float) -> FaultSchedule:
+    failed = tuple(range(max(1, hosts // 8)))
+    return (FaultSchedule()
+            .node_failure(0.30 * t, failed)
+            .node_recovery(0.75 * t, failed))
+
+
+def _sensor_blackout(budget: float, hosts: int, t: float) -> FaultSchedule:
+    return FaultSchedule().sensor_dropout(0.30 * t, 0.30 * t)
+
+
+def _stuck_caps(budget: float, hosts: int, t: float) -> FaultSchedule:
+    stuck = tuple(range(min(2, hosts)))
+    erroring = (hosts - 1,) if hosts > 2 else ()
+    schedule = FaultSchedule().cap_stuck(
+        0.25 * t, stuck, stuck_at_w=136.0, duration_s=0.40 * t
+    )
+    if erroring:
+        schedule = schedule.cap_error(0.25 * t, erroring, duration_s=0.40 * t)
+    return schedule.noise_burst(0.25 * t, 0.10 * t, sigma=0.03)
+
+
+def _cascade(budget: float, hosts: int, t: float) -> FaultSchedule:
+    failed = tuple(range(max(1, hosts // 10)))
+    return (FaultSchedule()
+            .budget_drop(0.25 * t, 0.70 * budget, ramp_s=0.05 * t)
+            .node_failure(0.30 * t, failed)
+            .sensor_dropout(0.35 * t, 0.20 * t)
+            .node_recovery(0.70 * t, failed)
+            .budget_restore(0.80 * t, budget))
+
+
+def _brownout(budget: float, hosts: int, t: float) -> FaultSchedule:
+    # 35 % of a typical site budget sits below hosts x floor: the
+    # infeasible regime where even the all-floor state overshoots and the
+    # stack must *report* infeasibility instead of pretending.
+    return (FaultSchedule()
+            .budget_drop(0.30 * t, 0.35 * budget)
+            .budget_restore(0.80 * t, budget))
+
+
+STANDARD_SCENARIOS: Dict[str, FaultScenario] = {
+    s.name: s for s in (
+        FaultScenario(
+            "budget-step",
+            "facility budget steps down 25% mid-shift, restores later",
+            _budget_step,
+        ),
+        FaultScenario(
+            "budget-ramp",
+            "budget ramps down to 65% and back (EcoShift-style shift)",
+            _budget_ramp,
+        ),
+        FaultScenario(
+            "node-loss",
+            "an eighth of the hosts fail mid-shift and later recover",
+            _node_loss,
+        ),
+        FaultScenario(
+            "sensor-blackout",
+            "site-wide monitor dropout: characterization goes dark",
+            _sensor_blackout,
+        ),
+        FaultScenario(
+            "stuck-caps",
+            "RAPL domains stuck at the floor / erroring to TDP, with a "
+            "sensor noise burst",
+            _stuck_caps,
+        ),
+        FaultScenario(
+            "cascade",
+            "compound event: budget drop + node loss + sensor blackout",
+            _cascade,
+        ),
+        FaultScenario(
+            "brownout",
+            "budget collapses to 35%: typically below hosts x floor "
+            "(infeasible; exercises the all-floor tier)",
+            _brownout,
+        ),
+    )
+}
+
+#: Stable presentation order for tables and the CLI.
+SCENARIO_NAMES: Tuple[str, ...] = tuple(STANDARD_SCENARIOS)
+
+
+def build_scenario(name: str, base_budget_w: float, host_count: int,
+                   duration_s: float) -> FaultSchedule:
+    """Materialise a named scenario (KeyError lists the valid names)."""
+    try:
+        scenario = STANDARD_SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; expected one of {SCENARIO_NAMES}"
+        ) from None
+    return scenario.build(base_budget_w, host_count, duration_s)

@@ -20,7 +20,9 @@ from repro.manager.online import OnlinePowerManager, OnlineRun, OnlineEpoch
 from repro.manager.admission import PowerAwareAdmission, AdmissionDecision
 from repro.manager.emergency import (
     EmergencyResponse,
+    InfeasibleBudgetError,
     emergency_clamp,
+    respond_to_budget_change,
     respond_to_budget_drop,
 )
 from repro.manager.site_simulation import (
@@ -45,7 +47,9 @@ __all__ = [
     "PowerAwareAdmission",
     "AdmissionDecision",
     "EmergencyResponse",
+    "InfeasibleBudgetError",
     "emergency_clamp",
+    "respond_to_budget_change",
     "respond_to_budget_drop",
     "Arrival",
     "BatchRecord",

@@ -1,4 +1,4 @@
-"""Emergency power capping: responding to a sudden budget reduction.
+"""Emergency power capping: responding to a sudden budget change.
 
 The paper's opening problem statement: "Power limiting is needed in order
 to respond to greater-than-expected power demand", and its conclusion
@@ -15,9 +15,22 @@ load (a feeder trips, a cooling unit fails, a demand-response event):
    budget using the existing characterization, recovering whatever
    performance the clamp left on the table.
 
-:func:`respond_to_budget_drop` executes both stages against the simulator
-and reports the QoS impact of each, quantifying the value of stage 2 —
-i.e. of having an application-aware policy on call during emergencies.
+:func:`respond_to_budget_change` executes both stages against the
+simulator for *any* budget change — drops clamp-then-re-plan; restores
+and ramp-ups (the fault schedule's recovery events) skip the clamp and
+re-plan straight at the new budget.  :func:`respond_to_budget_drop`
+keeps the historical drop-only entry point.
+
+Honesty contracts (each was a real bug):
+
+* an infeasible budget (below ``hosts x floor``) is *reported* —
+  :func:`emergency_clamp` can raise :class:`InfeasibleBudgetError` and
+  :class:`EmergencyResponse` carries ``clamp_feasible`` /
+  ``floor_power_w`` — instead of silently returning an all-floor state
+  that still exceeds the budget;
+* budget compliance is judged on the *power trace peak* (plus recorded
+  overshoot watt-seconds), not the run mean, so transient overshoot
+  within a run can no longer pass silently.
 """
 
 from __future__ import annotations
@@ -35,38 +48,78 @@ from repro.manager.scheduler import ScheduledMix
 from repro.sim.engine import ExecutionModel
 from repro.sim.execution import SimulationOptions, simulate_mix
 from repro.sim.results import MixRunResult
+from repro.telemetry import emit, enabled, get_registry
 from repro.units import ensure_positive
 
-__all__ = ["EmergencyResponse", "emergency_clamp", "respond_to_budget_drop"]
+__all__ = [
+    "InfeasibleBudgetError",
+    "EmergencyResponse",
+    "emergency_clamp",
+    "respond_to_budget_change",
+    "respond_to_budget_drop",
+]
+
+
+class InfeasibleBudgetError(ValueError):
+    """A budget below the cluster's RAPL floor: no cap vector can meet it.
+
+    Carries the numbers the operator needs to decide what to kill:
+    ``budget_w`` (what was asked) and ``floor_power_w`` (the best RAPL
+    can do — every host pinned at the floor).
+    """
+
+    def __init__(self, budget_w: float, floor_power_w: float,
+                 host_count: int) -> None:
+        self.budget_w = float(budget_w)
+        self.floor_power_w = float(floor_power_w)
+        self.host_count = int(host_count)
+        super().__init__(
+            f"budget {self.budget_w:.1f} W is infeasible: {host_count} "
+            f"hosts at the RAPL floor still draw {self.floor_power_w:.1f} W"
+        )
 
 
 def emergency_clamp(
     current_caps_w: np.ndarray,
     new_budget_w: float,
     min_cap_w: float = 136.0,
+    strict: bool = False,
 ) -> np.ndarray:
     """Stage 1: proportional clamp of running caps onto a reduced budget.
 
     Scales the above-floor portion of every cap by a common factor so the
     sum meets ``new_budget_w`` — no characterization, no job knowledge,
-    safe to fire from an interrupt handler.  If even the all-floor state
-    exceeds the budget the all-floor state is returned (RAPL can do no
-    more; the operator must kill jobs).
+    safe to fire from an interrupt handler.
+
+    If even the all-floor state exceeds the budget the clamp *cannot*
+    succeed: with ``strict=True`` it raises :class:`InfeasibleBudgetError`
+    (carrying the floor power); with the default ``strict=False`` it
+    returns the all-floor state — RAPL can do no more, the operator must
+    kill jobs — and callers are expected to check feasibility (see
+    :meth:`EmergencyResponse.clamp_feasible`) rather than trust the sum.
     """
     ensure_positive(new_budget_w, "new_budget_w")
     caps = np.asarray(current_caps_w, dtype=float)
+    floor_power = caps.size * float(min_cap_w)
+    if strict and floor_power > float(new_budget_w):
+        raise InfeasibleBudgetError(new_budget_w, floor_power, caps.size)
     return fit_to_budget(np.maximum(caps, min_cap_w), new_budget_w, min_cap_w)
 
 
 @dataclass(frozen=True)
 class EmergencyResponse:
-    """Outcome of the two-stage response to a budget drop."""
+    """Outcome of the two-stage response to a budget change."""
 
     old_budget_w: float
     new_budget_w: float
     baseline: MixRunResult
     clamped: MixRunResult
     replanned: MixRunResult
+    #: Whether the stage-1 clamp could meet the new budget at all
+    #: (``False`` exactly when the budget sits below ``hosts x floor``).
+    clamp_feasible: bool = True
+    #: The all-floor cluster power — the clamp's hard lower limit.
+    floor_power_w: float = 0.0
 
     def qos_impact(self) -> Dict[str, float]:
         """Slowdowns relative to the pre-emergency execution.
@@ -74,6 +127,8 @@ class EmergencyResponse:
         ``clamp_slowdown`` is what the blunt stage-1 response costs;
         ``replanned_slowdown`` what remains after stage 2; ``recovered``
         the fraction of the clamp's penalty that re-planning recovers.
+        On a budget restore (no clamp stage) both slowdowns are typically
+        negative — the re-plan *speeds the mix up*.
         """
         base = self.baseline.mean_elapsed_s
         clamp = self.clamped.mean_elapsed_s / base - 1.0
@@ -85,15 +140,39 @@ class EmergencyResponse:
             "recovered": recovered,
         }
 
+    def overshoot_watt_seconds(self) -> Dict[str, float]:
+        """Watt-seconds each stage spends above the new budget.
+
+        Judged on the per-iteration power trace, so transient excursions
+        count even when the run mean sits under the budget.
+        """
+        return {
+            "clamp": self.clamped.budget_overshoot_watt_seconds(
+                self.new_budget_w
+            ),
+            "replanned": self.replanned.budget_overshoot_watt_seconds(
+                self.new_budget_w
+            ),
+        }
+
     def within_new_budget(self) -> bool:
-        """Both response stages hold the cluster under the new budget."""
+        """Both response stages hold the cluster under the new budget.
+
+        Checks the *peak* of the per-iteration power trace (the old mean
+        check let transient overshoot pass) and reports ``False`` outright
+        when the clamp was infeasible — an all-floor state above the
+        budget is not a response that "meets" anything.
+        """
+        if not self.clamp_feasible:
+            return False
+        tolerance = self.new_budget_w * 1.001
         return (
-            self.clamped.mean_system_power_w <= self.new_budget_w * 1.001
-            and self.replanned.mean_system_power_w <= self.new_budget_w * 1.001
+            self.clamped.peak_system_power_w <= tolerance
+            and self.replanned.peak_system_power_w <= tolerance
         )
 
 
-def respond_to_budget_drop(
+def respond_to_budget_change(
     scheduled: ScheduledMix,
     char: MixCharacterization,
     policy: Policy,
@@ -102,18 +181,25 @@ def respond_to_budget_drop(
     model: Optional[ExecutionModel] = None,
     options: Optional[SimulationOptions] = None,
 ) -> EmergencyResponse:
-    """Simulate the emergency: baseline, stage-1 clamp, stage-2 re-plan.
+    """Simulate the response to any budget change: baseline, clamp, re-plan.
 
-    ``policy`` allocates both the pre-emergency caps (at ``old_budget_w``)
-    and the stage-2 re-plan (at ``new_budget_w``); stage 1 clamps the
-    pre-emergency caps directly.
+    ``policy`` allocates both the pre-change caps (at ``old_budget_w``)
+    and the stage-2 re-plan (at ``new_budget_w``).  On a *drop*, stage 1
+    clamps the pre-change caps proportionally (the interrupt-handler
+    response).  On a *restore or increase* — the fault schedule's
+    recovery events — there is nothing to clamp: stage 1 simply keeps the
+    old caps in force (already under the larger budget) and stage 2
+    re-plans to reclaim the headroom.  Equal budgets degenerate to a
+    re-plan-only no-op, so callers replaying fault timelines need no
+    special-casing at the boundary.
     """
     ensure_positive(old_budget_w, "old_budget_w")
     ensure_positive(new_budget_w, "new_budget_w")
-    if new_budget_w >= old_budget_w:
-        raise ValueError("an emergency is a budget *drop*")
     model = model if model is not None else ExecutionModel()
     options = options if options is not None else SimulationOptions()
+    is_drop = new_budget_w < old_budget_w
+    floor_power_w = char.host_count * char.min_cap_w
+    clamp_feasible = float(new_budget_w) >= floor_power_w
 
     def run(caps: np.ndarray, budget: float) -> MixRunResult:
         return simulate_mix(
@@ -126,7 +212,12 @@ def respond_to_budget_drop(
         before = apply_job_runtime(char, before)
     baseline = run(before, old_budget_w)
 
-    clamped_caps = emergency_clamp(before, new_budget_w, char.min_cap_w)
+    if is_drop:
+        clamped_caps = emergency_clamp(before, new_budget_w, char.min_cap_w)
+    else:
+        # Rising (or flat) budget: the old caps already comply; the only
+        # "immediate" action is to keep them while stage 2 re-plans.
+        clamped_caps = before
     clamped = run(clamped_caps, new_budget_w)
 
     replan_caps = policy.allocate(char, new_budget_w).caps_w
@@ -134,10 +225,51 @@ def respond_to_budget_drop(
         replan_caps = apply_job_runtime(char, replan_caps)
     replanned = run(replan_caps, new_budget_w)
 
-    return EmergencyResponse(
+    response = EmergencyResponse(
         old_budget_w=float(old_budget_w),
         new_budget_w=float(new_budget_w),
         baseline=baseline,
         clamped=clamped,
         replanned=replanned,
+        clamp_feasible=clamp_feasible,
+        floor_power_w=floor_power_w,
+    )
+    if enabled():
+        registry = get_registry()
+        registry.counter("manager.emergency.responses").inc()
+        if not clamp_feasible:
+            registry.counter("manager.emergency.infeasible").inc()
+        overshoot = response.overshoot_watt_seconds()
+        emit(
+            "manager.emergency", "budget_change_response",
+            policy=policy.name, direction="drop" if is_drop else "rise",
+            old_budget_w=float(old_budget_w),
+            new_budget_w=float(new_budget_w),
+            clamp_feasible=clamp_feasible,
+            clamp_overshoot_ws=overshoot["clamp"],
+            replanned_overshoot_ws=overshoot["replanned"],
+        )
+    return response
+
+
+def respond_to_budget_drop(
+    scheduled: ScheduledMix,
+    char: MixCharacterization,
+    policy: Policy,
+    old_budget_w: float,
+    new_budget_w: float,
+    model: Optional[ExecutionModel] = None,
+    options: Optional[SimulationOptions] = None,
+) -> EmergencyResponse:
+    """The drop-only entry point (see :func:`respond_to_budget_change`).
+
+    Kept for callers modelling a strict emergency: passing a flat or
+    rising budget here is a programming error and raises ``ValueError``.
+    """
+    ensure_positive(old_budget_w, "old_budget_w")
+    ensure_positive(new_budget_w, "new_budget_w")
+    if new_budget_w >= old_budget_w:
+        raise ValueError("an emergency is a budget *drop*")
+    return respond_to_budget_change(
+        scheduled, char, policy, old_budget_w, new_budget_w, model, options
     )

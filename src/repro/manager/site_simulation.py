@@ -15,6 +15,23 @@ arrived by then.  (Co-scheduling newly admitted jobs alongside running
 ones would need preemptive re-allocation, which the paper leaves to
 future work; batch granularity keeps the model inside what the paper's
 policies define.)
+
+Fault replay
+------------
+An optional :class:`~repro.faults.schedule.FaultSchedule` turns the shift
+into a resilience run.  Each admission round queries the schedule at the
+site clock: the facility budget in force (drops, ramps, restores), the
+failed-host set (scheduling moves to the healthy subset and the failed
+hosts are quarantined for the batch), and whether a sensor dropout has
+blinded characterization (the batch then plans through the
+:func:`~repro.faults.degradation.plan_with_degradation` ladder's
+characterization-free clamp tier).  Engine-applicable faults (stuck or
+erroring caps, noise bursts) are re-clocked into the batch's
+:class:`~repro.sim.execution.SimulationOptions` via
+:meth:`~repro.faults.schedule.FaultSchedule.engine_slice`.  Every fault
+hook is gated on :attr:`~repro.faults.schedule.FaultSchedule.active`, so
+``None`` and an *empty* schedule take the identical fault-free code path
+and produce bit-identical results.
 """
 
 from __future__ import annotations
@@ -28,7 +45,7 @@ import numpy as np
 from repro.characterization.mix_characterization import characterize_mix
 from repro.core.policy import Policy
 from repro.manager.admission import PowerAwareAdmission
-from repro.manager.power_manager import PowerManager
+from repro.manager.power_manager import PowerManager, apply_job_runtime
 from repro.manager.queue import JobQueue, JobRequest, JobState
 from repro.manager.scheduler import Scheduler
 from repro.hardware.cluster import Cluster
@@ -54,7 +71,12 @@ class Arrival:
 
 @dataclass(frozen=True)
 class BatchRecord:
-    """One admission round and its execution."""
+    """One admission round and its execution.
+
+    The trailing defaulted fields are only populated on fault-replay
+    runs; a fault-free shift records the historical six fields exactly as
+    before.
+    """
 
     start_s: float
     end_s: float
@@ -62,6 +84,21 @@ class BatchRecord:
     deferred: Tuple[str, ...]
     mean_power_w: float
     energy_j: float
+    #: Facility budget in force when the batch launched (0 = not recorded).
+    budget_w: float = 0.0
+    #: Degradation-ladder tier that produced the caps ("none" fault-free).
+    degradation_tier: str = "none"
+    #: Hosts quarantined (out of the schedulable pool) during the batch.
+    quarantined: Tuple[int, ...] = ()
+    #: Watt-seconds above the *launch* budget after planning — the
+    #: post-re-plan compliance quantity (zero on feasible scenarios for
+    #: system-power-aware policies).
+    planned_overshoot_ws: float = 0.0
+    #: Total watt-seconds over budget including the reaction window of
+    #: mid-batch budget drops (the pre-re-plan exposure).
+    overshoot_ws: float = 0.0
+    #: Simulated decision latency charged by degradation-ladder retries.
+    backoff_s: float = 0.0
 
     @property
     def duration_s(self) -> float:
@@ -79,11 +116,32 @@ class SiteSimulationResult:
     completed: Tuple[str, ...]
     never_admitted: Tuple[str, ...]
     job_turnaround_s: Dict[str, float]
+    #: Name of the replayed fault schedule ("" on fault-free shifts).
+    fault_schedule_name: str = ""
 
     @property
     def makespan_s(self) -> float:
         """Clock time from first arrival to last completion."""
         return float(self.batches[-1].end_s) if self.batches else 0.0
+
+    def total_overshoot_ws(self) -> float:
+        """Watt-seconds over budget across the shift (reaction included)."""
+        return float(sum(b.overshoot_ws for b in self.batches))
+
+    def planned_overshoot_ws(self) -> float:
+        """Watt-seconds over the launch budget after re-planning.
+
+        The post-stage-2 compliance quantity: zero on feasible scenarios
+        whenever the policy is system-power-aware.
+        """
+        return float(sum(b.planned_overshoot_ws for b in self.batches))
+
+    def degraded_batches(self) -> Tuple[int, ...]:
+        """Indices of batches planned below the re-plan tier."""
+        return tuple(
+            i for i, b in enumerate(self.batches)
+            if b.degradation_tier not in ("none", "replan")
+        )
 
     @property
     def total_energy_j(self) -> float:
@@ -111,6 +169,9 @@ def run_site_simulation(
     noise_std: float = 0.004,
     max_batches: int = 100,
     run_seed: Optional[int] = None,
+    fault_schedule=None,
+    degradation=None,
+    reaction_s: float = 1.0,
 ) -> SiteSimulationResult:
     """Run the arrival stream to completion (or the batch limit).
 
@@ -123,8 +184,29 @@ def run_site_simulation(
     derives each batch's seed from ``(run_seed, batch index)`` via
     ``SeedSequence`` — the knob :func:`repro.parallel.tasks.site_replays`
     uses to replay one arrival stream under independent noise.
+
+    ``fault_schedule`` (a :class:`~repro.faults.schedule.FaultSchedule`,
+    ``None`` or empty = fault-free, bit-identical to the historical path)
+    replays facility/hardware faults against the shift; ``degradation``
+    is the optional :class:`~repro.faults.degradation.DegradationConfig`
+    for the planning ladder, and ``reaction_s`` the actuation window
+    charged when a budget drops *mid-batch* before the next admission
+    round can re-plan (overshoot during that window is recorded in
+    ``BatchRecord.overshoot_ws``).
     """
     ensure_positive(budget_w, "budget_w")
+    injecting = fault_schedule is not None and fault_schedule.active
+    if injecting:
+        from repro.faults.degradation import plan_with_degradation
+        from repro.faults.schedule import FaultKind
+        from repro.sim.execution import simulate_mix
+
+        # Clock points at which fault state can change: re-check the
+        # world there when an admission round comes up empty.
+        fault_boundaries = sorted({
+            t for e in fault_schedule.events for t in (e.time_s, e.end_s)
+            if np.isfinite(t)
+        })
     if not arrivals:
         raise ValueError("need at least one arrival")
     # JobRequest carries its lifecycle state, so submitting the caller's
@@ -160,10 +242,36 @@ def run_site_simulation(
             clock = pending_stream[0].time_s
             continue
 
+        # Query the fault timeline at the site clock.  Fault-free these
+        # stay the caller's budget and full cluster, so the historical
+        # code path is untouched.
+        batch_budget_w = budget_w
+        batch_cluster = cluster
+        quarantined: Tuple[int, ...] = ()
+        if injecting:
+            batch_budget_w = fault_schedule.budget_at(clock, budget_w)
+            failed = fault_schedule.failed_hosts_at(clock)
+            if failed:
+                healthy = [i for i in range(len(cluster)) if i not in failed]
+                quarantined = tuple(sorted(failed))
+                if healthy:
+                    batch_cluster = cluster.subset(healthy)
+                else:
+                    batch_cluster = None  # total outage: wait it out
+
+        can_admit = batch_cluster is not None and batch_budget_w > 0
         decision = admission.decide(
-            queue, budget_w, nodes_available=len(cluster), mark=True
-        )
-        if not decision.admitted:
+            queue, batch_budget_w, nodes_available=len(batch_cluster),
+            mark=True,
+        ) if can_admit else None
+        if decision is None or not decision.admitted:
+            if injecting:
+                # The dip may pass: advance to the next fault boundary
+                # and retry admission there instead of failing the job.
+                upcoming = [t for t in fault_boundaries if t > clock]
+                if upcoming:
+                    clock = upcoming[0]
+                    continue
             # Nothing fits: drop the head-of-queue job as unschedulable
             # (its estimate alone exceeds capacity) and try again.
             stuck = queue.pending()[0]
@@ -175,37 +283,96 @@ def run_site_simulation(
             name=f"batch-{len(batches)}",
             jobs=tuple(r.to_job() for r in admitted),
         )
-        scheduled = Scheduler(cluster, shuffle_seed=len(batches)).allocate(mix)
-        char = characterize_mix(mix, scheduled.efficiencies, manager.model)
+        scheduled = Scheduler(
+            batch_cluster, shuffle_seed=len(batches)
+        ).allocate(mix)
         if run_seed is None:
             batch_seed = len(batches)
         else:
             from repro.parallel.seeding import child_seed
 
             batch_seed = child_seed(run_seed, "site-batch", len(batches))
-        run = manager.launch(
-            scheduled, policy, budget_w, characterization=char,
-            options=SimulationOptions(noise_std=noise_std, seed=batch_seed),
-        )
-        duration = float(np.max(run.result.job_elapsed_s))
+        tier = "none"
+        backoff_s = 0.0
+        if not injecting:
+            char = characterize_mix(mix, scheduled.efficiencies, manager.model)
+            run = manager.launch(
+                scheduled, policy, budget_w, characterization=char,
+                options=SimulationOptions(noise_std=noise_std, seed=batch_seed),
+            )
+            result = run.result
+        else:
+            # Plan through the degradation ladder: sensor dropouts blind
+            # characterization, forcing the clamp tier.
+            blinded = bool(fault_schedule.sensor_dropout_at(clock))
+            char = None if blinded else characterize_mix(
+                mix, scheduled.efficiencies, manager.model
+            )
+            plan = plan_with_degradation(
+                policy, batch_budget_w, characterization=char,
+                host_count=scheduled.mix.total_nodes,
+                min_cap_w=manager.model.power_model.min_cap_w,
+                tdp_w=manager.model.power_model.tdp_w,
+                config=degradation,
+            )
+            tier, backoff_s = plan.tier, plan.backoff_s
+            caps = plan.caps_w
+            if char is not None and plan.tier == "replan" \
+                    and policy.application_aware:
+                caps = apply_job_runtime(char, caps)
+            result = simulate_mix(
+                scheduled.mix, caps, scheduled.efficiencies, manager.model,
+                SimulationOptions(
+                    noise_std=noise_std, seed=batch_seed,
+                    fault_schedule=fault_schedule.engine_slice(clock),
+                ),
+                policy_name=policy.name, budget_w=batch_budget_w,
+            )
+        duration = float(np.max(result.job_elapsed_s)) + backoff_s
+        planned_overshoot_ws = 0.0
+        overshoot_ws = 0.0
+        if injecting:
+            # Post-plan compliance against the launch budget, judged on
+            # the iteration power trace...
+            planned_overshoot_ws = result.budget_overshoot_watt_seconds(
+                batch_budget_w
+            )
+            overshoot_ws = planned_overshoot_ws
+            # ...plus the reaction window of any budget drop landing
+            # mid-batch, charged at the batch's mean draw until the
+            # actuator responds.
+            mean_p = result.mean_system_power_w
+            for event in fault_schedule.of_kind(FaultKind.BUDGET_CHANGE):
+                if clock < event.time_s < clock + duration:
+                    dipped = fault_schedule.budget_at(
+                        max(event.time_s, event.end_s), budget_w
+                    )
+                    window = min(reaction_s, clock + duration - event.time_s)
+                    overshoot_ws += max(0.0, mean_p - dipped) * window
         batches.append(
             BatchRecord(
                 start_s=clock,
                 end_s=clock + duration,
                 admitted=decision.admitted,
                 deferred=decision.deferred,
-                mean_power_w=run.result.mean_system_power_w,
-                energy_j=run.result.total_energy_j,
+                mean_power_w=result.mean_system_power_w,
+                energy_j=result.total_energy_j,
+                budget_w=float(batch_budget_w),
+                degradation_tier=tier,
+                quarantined=quarantined,
+                planned_overshoot_ws=planned_overshoot_ws,
+                overshoot_ws=overshoot_ws,
+                backoff_s=backoff_s,
             )
         )
         if enabled():
             registry = get_registry()
-            utilization = run.result.mean_system_power_w / budget_w
+            utilization = result.mean_system_power_w / batch_budget_w
             registry.gauge("manager.site.utilization").set(utilization)
             registry.histogram("manager.site.batch_duration_s").observe(duration)
             registry.counter("manager.site.batches").inc()
             registry.counter("manager.site.jobs_completed").inc(
-                len(run.result.job_names)
+                len(result.job_names)
             )
             emit(
                 "manager.site", "batch_complete",
@@ -213,10 +380,10 @@ def run_site_simulation(
                 admitted=len(decision.admitted),
                 deferred=len(decision.deferred),
                 duration_s=duration,
-                mean_power_w=float(run.result.mean_system_power_w),
+                mean_power_w=float(result.mean_system_power_w),
                 utilization=utilization,
             )
-        for name, elapsed in zip(run.result.job_names, run.result.job_elapsed_s):
+        for name, elapsed in zip(result.job_names, result.job_elapsed_s):
             queue.mark(name, JobState.RUNNING)
             queue.mark(name, JobState.COMPLETED)
             completed.append(name)
@@ -237,6 +404,7 @@ def run_site_simulation(
         completed=tuple(completed),
         never_admitted=never + failed,
         job_turnaround_s=turnaround,
+        fault_schedule_name=fault_schedule.name if injecting else "",
     )
     if enabled():
         registry = get_registry()

@@ -57,6 +57,15 @@ class Controller:
         convergence tests use small positive values.
     seed:
         RNG seed for epoch noise.
+    fault_injector:
+        Optional :class:`~repro.faults.injection.RuntimeFaultInjector`
+        (duck-typed so this module never imports :mod:`repro.faults`).
+        When set and active, each epoch the injector filters the limits
+        the agent requested (actuator faults), raises the compute-noise
+        sigma during bursts, and corrupts the sample the *agent* sees —
+        ``history`` and the job report keep the truthful physics.  A
+        ``None`` or inactive injector leaves the fault-free code path
+        bit-identical.
     """
 
     def __init__(
@@ -68,6 +77,7 @@ class Controller:
         noise_std: float = 0.0,
         seed: int = 0,
         barrier_overhead_s: float = 5.0e-4,
+        fault_injector=None,
     ) -> None:
         eff = np.asarray(efficiencies, dtype=float)
         if eff.shape != (job.node_count,):
@@ -81,20 +91,30 @@ class Controller:
         self.noise_std = float(noise_std)
         self.barrier_overhead_s = float(barrier_overhead_s)
         self._rng = np.random.default_rng(seed)
+        self.fault_injector = fault_injector
+        self._clock_s = 0.0
         # A single-job mix gives the controller the same flattened layout
         # the vectorised engine uses.
         self._layout = WorkloadMix(name=job.name, jobs=(job,)).layout()
         self.history: List[EpochResult] = []
 
+    @property
+    def _injecting(self) -> bool:
+        return self.fault_injector is not None and self.fault_injector.active
+
     # ------------------------------------------------------------------
     def _run_epoch(self, epoch: int, limits_w: np.ndarray) -> PlatformSample:
         """Simulate one bulk-synchronous iteration under ``limits_w``."""
         layout = self._layout
+        sigma = self.noise_std
+        if self._injecting:
+            limits_w = self.fault_injector.filter_limits(limits_w, self._clock_s)
+            sigma = self.fault_injector.noise_sigma(sigma, self._clock_s)
         caps = self.model.power_model.clamp_cap(limits_w)
         freq = self.model.frequencies(caps, layout, self.efficiencies)
         t = self.model.compute_time(freq, layout)
-        if self.noise_std > 0:
-            t = t * self._rng.lognormal(0.0, self.noise_std, size=t.shape)
+        if sigma > 0:
+            t = t * self._rng.lognormal(0.0, sigma, size=t.shape)
         epoch_time = float(np.max(t)) + self.barrier_overhead_s
         p_compute = self.model.power_model.power_at_freq(
             freq, layout.kappa, self.efficiencies
@@ -134,10 +154,20 @@ class Controller:
                 raise ValueError(f"initial limits must have shape ({n},)")
 
         self.history.clear()
+        self._clock_s = 0.0
         with ScopedTimer("runtime.controller.run_s") as timer:
             for epoch in range(max_epochs):
+                epoch_start_s = self._clock_s
                 sample = self._run_epoch(epoch, limits)
-                limits = self.agent.adjust(sample)
+                self._clock_s += sample.epoch_time_s
+                observed = sample
+                if self._injecting:
+                    # The agent steers on the corrupted view; history and
+                    # the report keep the truthful physics sample.
+                    observed = self.fault_injector.corrupt_sample(
+                        sample, epoch_start_s
+                    )
+                limits = self.agent.adjust(observed)
                 self.history.append(EpochResult(epoch, sample, limits.copy()))
                 if epoch + 1 >= min_epochs and self.agent.converged():
                     break

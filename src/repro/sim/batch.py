@@ -235,6 +235,7 @@ def simulate_cap_batch(
                 layout, caps[misses], eff, model, n_iter,
                 options.noise_std, options.barrier_overhead_s,
                 [seed_list[s] for s in misses],
+                fault_schedule=options.fault_schedule,
             )
             for row, s in enumerate(misses):
                 results[s] = MixRunResult(

@@ -25,7 +25,7 @@ to serial ones by construction — the property pinned by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
@@ -34,6 +34,10 @@ from repro.sim.results import MixRunResult
 from repro.telemetry import ScopedTimer, emit, enabled, get_registry
 from repro.units import ensure_non_negative
 from repro.workload.job import WorkloadMix
+
+if TYPE_CHECKING:  # imported lazily at runtime (repro.faults -> repro.core
+    # -> repro.sim would otherwise be a module-level import cycle)
+    from repro.faults.schedule import FaultSchedule
 
 __all__ = ["SimulationOptions", "DEFAULT_OPTIONS", "simulate_mix"]
 
@@ -65,11 +69,23 @@ class SimulationOptions:
         time (tree barrier latency at ~100 nodes).
     seed:
         RNG seed; identical seeds reproduce identical runs bit-for-bit.
+    fault_schedule:
+        Optional :class:`~repro.faults.schedule.FaultSchedule` injected
+        into the execution (run-relative clock).  The engine applies the
+        actuator faults (``CAP_STUCK`` / ``CAP_ERROR`` override the
+        programmed caps) and ``NOISE_BURST`` windows (compute-noise sigma
+        raised over the iterations a burst covers, mapped through each
+        scenario's nominal iteration length).  ``None`` or an *empty*
+        schedule leaves the execution path untouched — fault-free runs
+        are bit-identical to pre-fault-subsystem runs by construction.
+        The schedule participates in characterization-cache keys, so
+        faulted and fault-free results never collide.
     """
 
     noise_std: float = 0.008
     barrier_overhead_s: float = 5.0e-4
     seed: int = 0
+    fault_schedule: Optional[FaultSchedule] = None
 
     def __post_init__(self) -> None:
         ensure_non_negative(self.noise_std, "noise_std")
@@ -96,6 +112,75 @@ class _ScenarioTensors:
     total_gflop: np.ndarray         # (S,)
 
 
+def _engine_fault_plan(
+    schedule: FaultSchedule,
+    caps: np.ndarray,
+    layout,
+    efficiencies: np.ndarray,
+    model: ExecutionModel,
+    n_iter: int,
+    noise_std: float,
+    barrier_overhead_s: float,
+):
+    """Translate a schedule into static cap overrides + per-iteration sigmas.
+
+    The engine evaluates static-cap runs, so time-varying faults are
+    mapped through each scenario's *nominal* clock: iteration ``i`` of
+    scenario ``s`` covers ``[i * T_s, (i+1) * T_s)`` where ``T_s`` is the
+    deterministic (pre-fault, noise-free) critical-path iteration time.
+    Actuator faults whose window overlaps the run override the affected
+    caps for the whole run (a static-cap run cannot half-obey a write);
+    noise bursts raise the lognormal sigma on exactly the iterations
+    their window covers.
+
+    Returns ``(caps_after_overrides, sigma_si or None, overrides_count)``
+    with ``sigma_si`` of shape ``(S, n_iter)`` when any burst applies.
+    """
+    from repro.faults.schedule import FaultKind
+
+    scenarios = caps.shape[0]
+    hosts = layout.host_count
+    tdp_w = model.power_model.tdp_w
+    # Nominal per-scenario iteration length from the *programmed* caps.
+    freq0 = model.frequencies(model.power_model.clamp_cap(caps), layout,
+                              efficiencies)
+    t0 = model.compute_time(freq0, layout)
+    iter_s = np.max(np.broadcast_to(t0, (scenarios, hosts)), axis=1) \
+        + barrier_overhead_s
+
+    out_caps = np.array(caps, dtype=float, copy=True)
+    override_count = 0
+    cap_events = schedule.of_kind(FaultKind.CAP_STUCK, FaultKind.CAP_ERROR)
+    burst_events = schedule.of_kind(FaultKind.NOISE_BURST)
+    sigma_si = None
+    if burst_events:
+        sigma_si = np.full((scenarios, n_iter), float(noise_std))
+    for s in range(scenarios):
+        run_end = float(n_iter * iter_s[s])
+        for event in cap_events:
+            if not event.window_overlaps(0.0, run_end):
+                continue
+            value = event.stuck_at_w if event.kind is FaultKind.CAP_STUCK \
+                else float(tdp_w)
+            for host in event.host_ids:
+                if host < hosts:
+                    out_caps[s, host] = value
+                    override_count += 1
+        for event in burst_events:
+            if not event.window_overlaps(0.0, run_end):
+                continue
+            first = int(np.floor(event.time_s / iter_s[s]))
+            last = int(np.ceil(event.end_s / iter_s[s])) if np.isfinite(
+                event.end_s) else n_iter
+            first = max(0, min(first, n_iter))
+            last = max(first, min(last, n_iter))
+            if last > first:
+                sigma_si[s, first:last] = np.maximum(
+                    sigma_si[s, first:last], event.sigma
+                )
+    return out_caps, sigma_si, override_count
+
+
 def _execute_scenarios(
     layout,
     caps_sw: np.ndarray,
@@ -105,6 +190,7 @@ def _execute_scenarios(
     noise_std: float,
     barrier_overhead_s: float,
     seeds: Sequence[int],
+    fault_schedule: Optional[FaultSchedule] = None,
 ) -> _ScenarioTensors:
     """The uninstrumented engine body, batched over a scenario axis.
 
@@ -129,7 +215,32 @@ def _execute_scenarios(
     accumulate in the same order per scenario slice, and the energy dot
     products run per-scenario on contiguous slices so the same BLAS
     routine sees the same operands.
+
+    ``fault_schedule`` (an *active* one) is the only thing allowed to
+    perturb this contract: actuator overrides land before the clamp and
+    noise bursts switch the noise draw to a per-iteration-sigma stream.
+    The gate is on :attr:`FaultSchedule.active`, so a ``None`` or empty
+    schedule leaves every branch below exactly as it was.
     """
+    sigma_si = None
+    if fault_schedule is not None and fault_schedule.active:
+        caps_sw, sigma_si, override_count = _engine_fault_plan(
+            fault_schedule, np.asarray(caps_sw, dtype=float), layout,
+            efficiencies, model, n_iter, noise_std, barrier_overhead_s,
+        )
+        if enabled():
+            registry = get_registry()
+            registry.counter("faults.engine.runs").inc()
+            if override_count:
+                registry.counter("faults.engine.cap_overrides").inc(
+                    override_count
+                )
+            emit(
+                "faults.engine", "engine_faults_applied",
+                schedule=fault_schedule.name,
+                cap_overrides=override_count,
+                noise_burst=sigma_si is not None,
+            )
     caps = model.power_model.clamp_cap(caps_sw)
     scenarios = caps.shape[0]
     hosts = layout.host_count
@@ -143,7 +254,19 @@ def _execute_scenarios(
     p_poll = np.ascontiguousarray(np.broadcast_to(p_poll, (scenarios, hosts)))
 
     # --- noisy iterations (S, iterations, hosts) ----------------------
-    if noise_std > 0:
+    if sigma_si is not None:
+        # Noise-burst injection: per-iteration sigmas.  A single standard
+        # normal tensor per scenario scaled by the sigma column — outside
+        # burst windows this is distributionally the base lognormal draw
+        # (bit-identity is only promised for fault-free schedules, which
+        # never reach this branch).
+        host_times = np.empty((scenarios, n_iter, hosts))
+        for s in range(scenarios):
+            rng = np.random.default_rng(seeds[s])
+            z = rng.standard_normal(size=(n_iter, hosts))
+            host_times[s] = np.exp(sigma_si[s][:, np.newaxis] * z)
+        host_times *= t_compute[:, np.newaxis, :]
+    elif noise_std > 0:
         # The noise tensor doubles as the time tensor: each scenario's
         # lognormal draw lands in its slab, then the deterministic times
         # scale it in place (multiplication commutes bitwise).
@@ -321,6 +444,7 @@ def _simulate_mix_impl(
     out = _execute_scenarios(
         layout, caps[np.newaxis, :], eff, model, n_iter,
         options.noise_std, options.barrier_overhead_s, (options.seed,),
+        fault_schedule=options.fault_schedule,
     )
 
     return MixRunResult(

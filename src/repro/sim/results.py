@@ -131,6 +131,45 @@ class MixRunResult:
         return float(np.sum(self.host_mean_power_w))
 
     @property
+    def iteration_power_w(self) -> np.ndarray:
+        """Per-iteration mean system power (W), shape ``(iterations,)``.
+
+        Iteration ``i``'s cluster energy over its wall time (the longest
+        job's iteration — the window in which all of that energy lands
+        under the bulk-synchronous model).  This is the trace a facility
+        meter sampling at iteration granularity would record, and the
+        series transient-overshoot checks must look at: a run whose
+        *mean* power meets a budget can still spend individual iterations
+        above it.
+        """
+        durations = np.max(self.iteration_times_s, axis=1)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(durations > 0,
+                            self.iteration_energy_j / durations, 0.0)
+
+    @property
+    def peak_system_power_w(self) -> float:
+        """Highest per-iteration system power — the compliance quantity.
+
+        Bounded above by the sum of programmed caps, so any cap vector
+        that fits a budget keeps this under the budget too; the converse
+        makes it the right signal for overshoot detection.
+        """
+        power = self.iteration_power_w
+        return float(np.max(power)) if power.size else 0.0
+
+    def budget_overshoot_watt_seconds(self, budget_w: float) -> float:
+        """Energy spent above ``budget_w``, in watt-seconds (J).
+
+        Sums ``max(0, power - budget) x duration`` over iterations: the
+        quantity a facility's interconnection agreement actually bills —
+        zero exactly when no iteration's power exceeds the budget.
+        """
+        durations = np.max(self.iteration_times_s, axis=1)
+        excess = np.maximum(self.iteration_power_w - float(budget_w), 0.0)
+        return float(np.sum(excess * durations))
+
+    @property
     def energy_delay_product(self) -> float:
         """Total energy x mean elapsed time (J*s)."""
         return self.total_energy_j * self.mean_elapsed_s

@@ -22,6 +22,7 @@ EXPECTED = {
     "online_replanning.py": "Caps converged: True",
     "site_operations.py": "Admission against",
     "telemetry_tour.py": "Metrics snapshot",
+    "fault_tour.py": "Resilience suite",
 }
 
 

@@ -209,3 +209,50 @@ class TestSiteCommand:
         out = capsys.readouterr().out
         assert "Site simulation" in out
         assert "makespan" in out
+
+
+class TestFaultsCommand:
+    def test_faults_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.scenarios is None
+        assert args.policies is None
+        assert not args.check
+        assert not args.list_only
+
+    def test_faults_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "--scenario", "meteor"])
+
+    def test_faults_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "--policy", "NotAPolicy"])
+
+    def test_faults_list_names_scenarios(self, capsys):
+        from repro.faults.scenarios import SCENARIO_NAMES
+
+        assert main(["faults", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIO_NAMES:
+            assert name in out
+
+    def test_faults_single_cell_reports_matrix(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SMOKE", "1")
+        assert main(
+            ["faults", "--scenario", "budget-step",
+             "--policy", "StaticCaps"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Resilience suite" in out
+        assert "budget-step" in out
+        assert "QoS loss" in out
+
+    def test_faults_check_passes_on_feasible_scenario(self, capsys,
+                                                      monkeypatch):
+        monkeypatch.setenv("REPRO_SMOKE", "1")
+        assert main(
+            ["faults", "--scenario", "budget-step",
+             "--policy", "MixedAdaptive", "--check"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[PASS]" in out
+        assert "[FAIL]" not in out

@@ -6,7 +6,9 @@ import pytest
 from repro.core.registry import create_policy
 from repro.manager.emergency import (
     EmergencyResponse,
+    InfeasibleBudgetError,
     emergency_clamp,
+    respond_to_budget_change,
     respond_to_budget_drop,
 )
 
@@ -35,6 +37,20 @@ class TestEmergencyClamp:
     def test_rejects_nonpositive_budget(self):
         with pytest.raises(ValueError):
             emergency_clamp(np.array([200.0]), 0.0)
+
+    def test_strict_raises_on_infeasible_budget(self):
+        caps = np.array([240.0, 240.0])
+        with pytest.raises(InfeasibleBudgetError) as info:
+            emergency_clamp(caps, 100.0, strict=True)
+        assert info.value.budget_w == 100.0
+        assert info.value.floor_power_w == pytest.approx(272.0)
+        assert info.value.host_count == 2
+        assert "272.0 W" in str(info.value)
+
+    def test_strict_passes_on_feasible_budget(self):
+        caps = np.array([240.0, 240.0])
+        out = emergency_clamp(caps, 300.0, strict=True)
+        assert float(np.sum(out)) <= 300.0 + 1e-6
 
 
 class TestRespondToBudgetDrop:
@@ -99,3 +115,91 @@ class TestRespondToBudgetDrop:
         assert abs(
             mixed_impact["replanned_slowdown"] - mixed_impact["clamp_slowdown"]
         ) < 0.02
+
+    def test_feasible_drop_has_zero_overshoot(self, response):
+        overshoot = response.overshoot_watt_seconds()
+        assert overshoot["clamp"] == pytest.approx(0.0, abs=1e-6)
+        assert overshoot["replanned"] == pytest.approx(0.0, abs=1e-6)
+
+
+class TestRespondToBudgetChange:
+    def test_floor_infeasible_budget_flagged(
+        self, scheduled_wasteful, execution_model
+    ):
+        """A budget below hosts x floor completes (policies degrade to the
+        all-floor state) but the response must say the clamp failed."""
+        prepared = scheduled_wasteful
+        char = prepared.characterization
+        floor_w = char.host_count * char.min_cap_w
+        response = respond_to_budget_change(
+            prepared.scheduled,
+            char,
+            create_policy("MixedAdaptive"),
+            old_budget_w=prepared.budgets.max_w,
+            new_budget_w=0.9 * floor_w,
+            model=execution_model,
+        )
+        assert not response.clamp_feasible
+        assert response.floor_power_w == pytest.approx(floor_w)
+        # Even if the waiting-heavy mix happens to draw under the budget,
+        # the infeasibility flag alone must fail the response.
+        assert not response.within_new_budget()
+
+    def test_equal_budgets_are_a_noop_replan(
+        self, scheduled_wasteful, execution_model
+    ):
+        """Near-equal budgets must not raise: the clamp stage keeps the
+        old caps and stage 2 re-plans at the (identical) budget."""
+        prepared = scheduled_wasteful
+        budget = prepared.budgets.ideal_w
+        response = respond_to_budget_change(
+            prepared.scheduled,
+            prepared.characterization,
+            create_policy("MixedAdaptive"),
+            old_budget_w=budget,
+            new_budget_w=budget,
+            model=execution_model,
+        )
+        assert response.clamp_feasible
+        assert response.within_new_budget()
+        impact = response.qos_impact()
+        # Stage 1 keeps the old caps: no clamp penalty on a flat budget.
+        assert impact["clamp_slowdown"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_budget_rise_reclaims_headroom(
+        self, scheduled_wasteful, execution_model
+    ):
+        """A restore event re-plans into the larger budget and speeds the
+        mix up rather than raising like respond_to_budget_drop."""
+        prepared = scheduled_wasteful
+        response = respond_to_budget_change(
+            prepared.scheduled,
+            prepared.characterization,
+            create_policy("MixedAdaptive"),
+            old_budget_w=prepared.budgets.min_w,
+            new_budget_w=prepared.budgets.max_w,
+            model=execution_model,
+        )
+        assert response.clamp_feasible
+        assert response.within_new_budget()
+        impact = response.qos_impact()
+        assert impact["replanned_slowdown"] < 0.0
+
+    def test_app_aware_recovers_more_than_unaware(
+        self, scheduled_wasteful, execution_model
+    ):
+        """On a waste-heavy mix the application-aware policy's stage-2
+        re-plan recovers more of the clamp penalty than StaticCaps."""
+        prepared = scheduled_wasteful
+
+        def recovered(policy_name):
+            return respond_to_budget_change(
+                prepared.scheduled,
+                prepared.characterization,
+                create_policy(policy_name),
+                old_budget_w=prepared.budgets.max_w,
+                new_budget_w=prepared.budgets.min_w,
+                model=execution_model,
+            ).qos_impact()["recovered"]
+
+        assert recovered("MixedAdaptive") > recovered("StaticCaps") + 0.05

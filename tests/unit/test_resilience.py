@@ -1,0 +1,119 @@
+"""Unit tests for the resilience experiment (policies under faults)."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.resilience import (
+    ResilienceReport,
+    ScenarioOutcome,
+    run_resilience_suite,
+    standard_arrivals,
+)
+
+#: One small suite shared by every test in the module (site shifts are
+#: the expensive part; the assertions below slice the same matrix).
+_SCENARIOS = ("budget-step", "sensor-blackout", "brownout")
+_POLICIES = ("StaticCaps", "MixedAdaptive")
+
+
+@pytest.fixture(scope="module")
+def report() -> ResilienceReport:
+    return run_resilience_suite(
+        scenarios=_SCENARIOS,
+        policies=_POLICIES,
+        jobs=3,
+        nodes_per_job=3,
+        iterations=6,
+    )
+
+
+class TestSuiteShape:
+    def test_full_matrix_scored(self, report):
+        assert len(report.outcomes) == len(_SCENARIOS) * len(_POLICIES)
+        for policy in _POLICIES:
+            assert [o.scenario for o in report.of_policy(policy)] == \
+                list(_SCENARIOS)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError, match="meteor"):
+            run_resilience_suite(scenarios=("meteor",), jobs=1)
+
+    def test_arrival_stream_deterministic(self):
+        a = standard_arrivals(4, 2, 6)
+        b = standard_arrivals(4, 2, 6)
+        assert [(x.time_s, x.request.name, x.request.config) for x in a] == \
+            [(x.time_s, x.request.name, x.request.config) for x in b]
+
+
+class TestOutcomes:
+    def test_all_jobs_complete_under_feasible_faults(self, report):
+        for o in report.outcomes:
+            if o.feasible:
+                assert o.completed_jobs == 3
+
+    def test_brownout_reported_infeasible(self, report):
+        for o in report.outcomes:
+            assert o.feasible == (o.scenario != "brownout")
+
+    def test_feasible_scenarios_hold_planned_budget(self, report):
+        for o in report.outcomes:
+            if o.feasible:
+                assert o.compliant(), (o.policy, o.scenario)
+
+    def test_sensor_blackout_degrades_batches(self, report):
+        """With telemetry dark the ladder falls to the clamp tier at
+        least once — the degradation path is actually exercised."""
+        for policy in _POLICIES:
+            blackout = [o for o in report.of_policy(policy)
+                        if o.scenario == "sensor-blackout"]
+            assert blackout[0].degraded_batches >= 1
+
+    def test_qos_loss_by_policy_covers_feasible_only(self, report):
+        losses = report.qos_loss_by_policy()
+        assert set(losses) == set(_POLICIES)
+        for policy in _POLICIES:
+            feasible = [o.qos_loss_pct for o in report.of_policy(policy)
+                        if o.feasible]
+            assert losses[policy] == pytest.approx(
+                sum(feasible) / len(feasible)
+            )
+
+
+class TestChecks:
+    def test_gate_passes_on_the_small_suite(self, report):
+        checks = report.check()
+        assert checks["zero_planned_overshoot"]
+        assert checks["infeasible_reported"]
+        assert report.all_hold()
+
+    def test_gate_fails_on_synthetic_overshoot(self, report):
+        broken = dataclasses.replace(
+            report,
+            outcomes=tuple(
+                dataclasses.replace(o, planned_overshoot_ws=50.0)
+                if o.feasible else o
+                for o in report.outcomes
+            ),
+        )
+        assert not broken.check()["zero_planned_overshoot"]
+        assert not broken.all_hold()
+
+    def test_render_lists_every_cell(self, report):
+        text = report.render()
+        assert "Resilience suite" in text
+        for o in report.outcomes:
+            assert o.scenario in text
+        assert "NO" in text  # brownout's feasibility column
+
+
+class TestScenarioOutcome:
+    def test_compliant_threshold(self):
+        base = dict(policy="p", scenario="s", feasible=True,
+                    actuator_faults=False, qos_loss_pct=0.0,
+                    total_overshoot_ws=0.0, degraded_batches=0,
+                    completed_jobs=1, makespan_s=1.0)
+        assert ScenarioOutcome(planned_overshoot_ws=0.0, **base).compliant()
+        assert not ScenarioOutcome(
+            planned_overshoot_ws=1.0, **base
+        ).compliant()
