@@ -26,11 +26,13 @@ from repro.characterization.mix_characterization import (
 )
 from repro.characterization.monitor_runs import (
     monitor_heatmap,
+    monitor_heatmap_runtime,
     monitor_power_for_config,
     HeatmapGrid,
 )
 from repro.characterization.balancer_runs import (
     balancer_heatmap,
+    balancer_heatmap_runtime,
     balancer_power_for_config,
     needed_caps_for_job,
 )
@@ -45,9 +47,11 @@ __all__ = [
     "MixCharacterization",
     "characterize_mix",
     "monitor_heatmap",
+    "monitor_heatmap_runtime",
     "monitor_power_for_config",
     "HeatmapGrid",
     "balancer_heatmap",
+    "balancer_heatmap_runtime",
     "balancer_power_for_config",
     "needed_caps_for_job",
     "kmeans_1d",

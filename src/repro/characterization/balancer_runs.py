@@ -41,6 +41,7 @@ __all__ = [
     "needed_caps_for_job",
     "balancer_power_for_config",
     "balancer_heatmap",
+    "balancer_heatmap_runtime",
 ]
 
 
@@ -155,6 +156,72 @@ def balancer_heatmap(
     )
     return HeatmapGrid(
         title=f"Needed CPU power per node ({vector.value}, power balancer agent)",
+        intensities=tuple(intensities),
+        columns=tuple(columns),
+        values=values,
+    )
+
+
+def balancer_heatmap_runtime(
+    cluster: Cluster,
+    node_ids: Sequence[int],
+    vector: VectorWidth = VectorWidth.YMM,
+    intensities: Sequence[float] = DEFAULT_HEATMAP_INTENSITIES,
+    columns: Sequence[Tuple[float, int]] = WAITING_IMBALANCE_GRID,
+    model: Optional[ExecutionModel] = None,
+    precision: Precision = Precision.DOUBLE,
+    options: Optional[BalancerOptions] = None,
+    max_epochs: int = 300,
+) -> HeatmapGrid:
+    """The full Fig. 5 grid through the *authentic* balancer feedback loop.
+
+    Every cell converges the real :class:`PowerBalancerAgent` under a
+    TDP x hosts budget, exactly as :func:`balancer_power_for_config` does,
+    but all cells advance in lockstep through one
+    :class:`~repro.runtime.batch.ControllerBatch`; converged cells freeze
+    while stragglers keep iterating.  Cell ``(r, c)`` is bit-identical to
+    the per-cell serial helper, so the test suite can validate the
+    feedback-loop grid against the analytic :func:`balancer_heatmap` at
+    every cell instead of a sampled handful.
+    """
+    from repro.runtime.batch import ControllerRunSpec, run_controller_batch
+
+    model = model if model is not None else ExecutionModel()
+    options = options if options is not None else BalancerOptions()
+    ids = np.asarray(node_ids, dtype=int)
+    eff = cluster.efficiencies[ids]
+    budget = model.power_model.tdp_w * ids.size
+    specs = []
+    for intensity in intensities:
+        for waiting, imbalance in columns:
+            config = KernelConfig(
+                intensity=intensity,
+                vector=vector,
+                precision=precision,
+                waiting_fraction=waiting,
+                imbalance=imbalance,
+            )
+            job = Job(
+                name=f"balance-{config.label()}", config=config,
+                node_count=int(ids.size), iterations=max_epochs,
+            )
+            specs.append(
+                ControllerRunSpec(
+                    job=job,
+                    efficiencies=eff,
+                    agent=PowerBalancerAgent(job_budget_w=budget, options=options),
+                )
+            )
+    result = run_controller_batch(specs, model=model, max_epochs=max_epochs)
+    values = np.array(
+        [
+            float(np.mean(result.steady_state_sample(c).host_power_w))
+            for c in range(result.run_count)
+        ]
+    ).reshape(len(intensities), len(columns))
+    return HeatmapGrid(
+        title=f"Needed CPU power per node ({vector.value}, power balancer "
+              "agent, feedback loop)",
         intensities=tuple(intensities),
         columns=tuple(columns),
         values=values,

@@ -31,7 +31,12 @@ from repro.workload.kernel import (
     VectorWidth,
 )
 
-__all__ = ["HeatmapGrid", "monitor_power_for_config", "monitor_heatmap"]
+__all__ = [
+    "HeatmapGrid",
+    "monitor_power_for_config",
+    "monitor_heatmap",
+    "monitor_heatmap_runtime",
+]
 
 #: Default heat-map axes (paper Figs. 4/5: eight intensities, seven columns).
 DEFAULT_HEATMAP_INTENSITIES: Tuple[float, ...] = tuple(
@@ -137,6 +142,63 @@ def monitor_heatmap(
             values[r, c] = float(np.mean(char.monitor_power_w))
     return HeatmapGrid(
         title=f"Uncapped CPU power per node ({vector.value}, monitor agent)",
+        intensities=tuple(intensities),
+        columns=tuple(columns),
+        values=values,
+    )
+
+
+def monitor_heatmap_runtime(
+    cluster: Cluster,
+    node_ids: Sequence[int],
+    vector: VectorWidth = VectorWidth.YMM,
+    intensities: Sequence[float] = DEFAULT_HEATMAP_INTENSITIES,
+    columns: Sequence[Tuple[float, int]] = WAITING_IMBALANCE_GRID,
+    model: Optional[ExecutionModel] = None,
+    precision: Precision = Precision.DOUBLE,
+    epochs: int = 5,
+) -> HeatmapGrid:
+    """The full Fig. 4 grid through the *authentic* feedback loop.
+
+    Every cell runs the real monitor-agent controller, exactly as
+    :func:`monitor_power_for_config` does — but all cells advance together
+    through one :class:`~repro.runtime.batch.ControllerBatch`, so the grid
+    costs one vectorised physics pass per epoch instead of
+    ``cells × epochs`` Python iterations.  Cell ``(r, c)`` is bit-identical
+    to the per-cell serial helper with the same arguments, which is what
+    lets the test suite validate the feedback-loop grid against the
+    analytic :func:`monitor_heatmap` at every cell.
+    """
+    from repro.runtime.batch import ControllerRunSpec, run_controller_batch
+
+    ids = np.asarray(node_ids, dtype=int)
+    eff = cluster.efficiencies[ids]
+    specs = []
+    for intensity in intensities:
+        for waiting, imbalance in columns:
+            config = KernelConfig(
+                intensity=intensity,
+                vector=vector,
+                precision=precision,
+                waiting_fraction=waiting,
+                imbalance=imbalance,
+            )
+            job = Job(
+                name=f"characterize-{config.label()}", config=config,
+                node_count=int(ids.size), iterations=epochs,
+            )
+            specs.append(
+                ControllerRunSpec(job=job, efficiencies=eff, agent=MonitorAgent())
+            )
+    result = run_controller_batch(
+        specs, model=model, max_epochs=epochs, min_epochs=epochs
+    )
+    values = np.array(
+        [float(np.mean(report.mean_power_w())) for report in result.reports]
+    ).reshape(len(intensities), len(columns))
+    return HeatmapGrid(
+        title=f"Uncapped CPU power per node ({vector.value}, monitor agent, "
+              "feedback loop)",
         intensities=tuple(intensities),
         columns=tuple(columns),
         values=values,

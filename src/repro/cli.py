@@ -195,6 +195,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="exit non-zero unless the compliance checks "
                                "hold (zero planned overshoot on feasible "
                                "scenarios)")
+    p_faults.add_argument("--controller-study", action="store_true",
+                          dest="controller_study",
+                          help="run the scenarios against the authentic "
+                               "balancer feedback loop (one batched "
+                               "controller run) instead of the site suite")
 
     p_tel = sub.add_parser(
         "telemetry",
@@ -457,7 +462,8 @@ def _cmd_site(grid: ExperimentGrid, policy: str, jobs: int, replays: int,
 
 
 def _cmd_faults(scenarios: Optional[List[str]], policies: Optional[List[str]],
-                check: bool, list_only: bool) -> int:
+                check: bool, list_only: bool,
+                controller_study: bool = False) -> int:
     """Replay named fault scenarios and score policy resilience."""
     from repro.experiments.resilience import run_resilience_suite
     from repro.faults.scenarios import STANDARD_SCENARIOS
@@ -466,6 +472,17 @@ def _cmd_faults(scenarios: Optional[List[str]], policies: Optional[List[str]],
         rows = [[s.name, s.description] for s in STANDARD_SCENARIOS.values()]
         print(render_table(["scenario", "description"], rows,
                            title="Standard fault scenarios"))
+        return 0
+    if controller_study:
+        from repro.experiments.resilience import controller_fault_study
+
+        smoke = os.environ.get("REPRO_SMOKE") == "1"
+        study = controller_fault_study(
+            scenarios=scenarios,
+            nodes=3 if smoke else 4,
+            max_epochs=60 if smoke else 150,
+        )
+        print(study.render())
         return 0
     if os.environ.get("REPRO_SMOKE") == "1":
         sizing = dict(jobs=4, nodes_per_job=3, iterations=8)
@@ -509,7 +526,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_facility()
     if args.command == "faults":
         return _cmd_faults(args.scenarios, args.policies, args.check,
-                           args.list_only)
+                           args.list_only, args.controller_study)
     grid = ExperimentGrid(_make_config(args))
     if args.command == "survey":
         return _cmd_survey(grid)

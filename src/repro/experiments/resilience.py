@@ -52,6 +52,9 @@ __all__ = [
     "ResilienceReport",
     "standard_arrivals",
     "run_resilience_suite",
+    "ControllerFaultOutcome",
+    "ControllerFaultStudy",
+    "controller_fault_study",
 ]
 
 #: Scenarios the compliance gate asserts on: feasibility is checked per
@@ -292,4 +295,185 @@ def run_resilience_suite(
                 )
     return ResilienceReport(
         outcomes=tuple(outcomes), budget_w=float(budget_w), host_count=hosts
+    )
+
+
+# ----------------------------------------------------------------------
+# Controller-level fault study (batched feedback loops)
+# ----------------------------------------------------------------------
+
+#: Fault kinds the runtime injector can act on inside a controller run
+#: (cap writes, epoch noise, and the sample the agent observes); budget
+#: and node-lifecycle kinds are resource-manager events the controller
+#: never sees.
+_RUNTIME_KINDS = frozenset({
+    FaultKind.CAP_STUCK,
+    FaultKind.CAP_ERROR,
+    FaultKind.NOISE_BURST,
+    FaultKind.SENSOR_DROPOUT,
+})
+
+
+@dataclass(frozen=True)
+class ControllerFaultOutcome:
+    """One scenario's effect on the balancer's closed feedback loop."""
+
+    scenario: str
+    #: Whether the scenario carries faults the runtime injector acts on
+    #: (otherwise the run is vector-batched with the fault-free reference).
+    runtime_faults: bool
+    epochs: int
+    converged: bool
+    #: Mean node power at the loop's final operating point.
+    steady_power_w: float
+    #: Steady-power growth vs the fault-free reference run (percent).
+    power_delta_pct: float
+    #: Spread of the converged per-host limits (max - min, W).
+    final_limit_spread_w: float
+
+
+@dataclass(frozen=True)
+class ControllerFaultStudy:
+    """Balancer feedback-loop resilience across the standard scenarios."""
+
+    outcomes: Tuple[ControllerFaultOutcome, ...]
+    reference_power_w: float
+    reference_epochs: int
+    host_count: int
+
+    def render(self) -> str:
+        """The study as an aligned text table."""
+        rows = [[
+            "fault-free", "-", str(self.reference_epochs), "yes",
+            f"{self.reference_power_w:.1f}", "+0.0%", "-",
+        ]]
+        for o in self.outcomes:
+            rows.append([
+                o.scenario,
+                "yes" if o.runtime_faults else "no",
+                str(o.epochs),
+                "yes" if o.converged else "NO",
+                f"{o.steady_power_w:.1f}",
+                f"{o.power_delta_pct:+.1f}%",
+                f"{o.final_limit_spread_w:.1f}",
+            ])
+        return render_table(
+            ["scenario", "rt faults", "epochs", "converged",
+             "steady W/node", "vs clean", "limit spread W"],
+            rows,
+            title=f"Balancer feedback loop under faults "
+                  f"({self.host_count} hosts, batched controller runtime)",
+        )
+
+
+def controller_fault_study(
+    scenarios: Optional[Sequence[str]] = None,
+    nodes: int = 4,
+    config: Optional[KernelConfig] = None,
+    cluster: Optional[Cluster] = None,
+    model: Optional[ExecutionModel] = None,
+    noise_std: float = 0.004,
+    max_epochs: int = 150,
+    seed: int = 7,
+) -> ControllerFaultStudy:
+    """Drive the *authentic* balancer loop through every fault scenario.
+
+    The site-level suite above scores policies through the analytic
+    engine; this study asks the complementary runtime question — what do
+    the scenarios do to the GEOPM-style feedback loop itself?  One
+    balancer run per scenario plus a fault-free reference all advance in
+    lockstep through a single
+    :class:`~repro.runtime.batch.ControllerBatch`: scenarios with no
+    runtime-applicable faults (pure budget timelines) batch onto the
+    vectorised balancer path with the reference, while fault-injected
+    runs share the batched physics step and fall back to per-run agent
+    stepping — "batch where schedules permit".
+    """
+    from repro.faults.injection import RuntimeFaultInjector
+    from repro.runtime.batch import ControllerRunSpec, run_controller_batch
+    from repro.runtime.power_balancer import PowerBalancerAgent
+    from repro.workload.job import Job, WorkloadMix
+
+    scenario_names = tuple(scenarios) if scenarios is not None \
+        else SCENARIO_NAMES
+    for name in scenario_names:
+        if name not in STANDARD_SCENARIOS:
+            raise KeyError(
+                f"unknown scenario {name!r}; expected one of {SCENARIO_NAMES}"
+            )
+    model = model if model is not None else ExecutionModel()
+    if cluster is None:
+        cluster = Cluster(node_count=nodes, variation=None, seed=11)
+    if config is None:
+        config = KernelConfig(
+            intensity=16.0, waiting_fraction=0.5, imbalance=2
+        )
+    ids = np.arange(nodes)
+    eff = cluster.efficiencies[ids]
+    job = Job(name="fault-study", config=config, node_count=nodes,
+              iterations=max_epochs)
+    budget_w = model.power_model.tdp_w * nodes
+
+    # Materialise scenario timelines against the run's nominal length
+    # (TDP-cap iteration time), the same clock the engine fault plan uses.
+    layout = WorkloadMix(name=job.name, jobs=(job,)).layout()
+    caps0 = np.full(nodes, model.power_model.tdp_w)
+    t0 = model.compute_time(
+        model.frequencies(model.power_model.clamp_cap(caps0), layout, eff),
+        layout,
+    )
+    duration_s = max(max_epochs * (float(np.max(t0)) + 5.0e-4), 1.0)
+
+    def spec(injector=None) -> ControllerRunSpec:
+        return ControllerRunSpec(
+            job=job,
+            efficiencies=eff,
+            agent=PowerBalancerAgent(job_budget_w=budget_w),
+            noise_std=noise_std,
+            seed=seed,
+            fault_injector=injector,
+        )
+
+    specs = [spec()]
+    runtime_faulted = []
+    for name in scenario_names:
+        schedule = STANDARD_SCENARIOS[name].build(budget_w, nodes, duration_s)
+        applicable = any(e.kind in _RUNTIME_KINDS for e in schedule.events)
+        runtime_faulted.append(applicable)
+        injector = RuntimeFaultInjector(
+            schedule, tdp_w=model.power_model.tdp_w, seed=seed,
+        ) if applicable else None
+        specs.append(spec(injector))
+
+    result = run_controller_batch(specs, model=model, max_epochs=max_epochs)
+    ref_power = float(np.mean(result.steady_state_sample(0).host_power_w))
+    outcomes = []
+    for idx, name in enumerate(scenario_names):
+        c = idx + 1
+        steady = result.steady_state_sample(c)
+        power = float(np.mean(steady.host_power_w))
+        limits = result.final_limits_w(c)
+        outcomes.append(ControllerFaultOutcome(
+            scenario=name,
+            runtime_faults=runtime_faulted[idx],
+            epochs=int(result.epochs[c]),
+            converged=bool(result.converged[c]),
+            steady_power_w=power,
+            power_delta_pct=0.0 if ref_power <= 0 else
+                float(100.0 * (power / ref_power - 1.0)),
+            final_limit_spread_w=float(np.max(limits) - np.min(limits)),
+        ))
+        if enabled():
+            emit(
+                "experiments.resilience", "controller_scenario_scored",
+                scenario=name, runtime_faults=runtime_faulted[idx],
+                epochs=int(result.epochs[c]),
+                converged=bool(result.converged[c]),
+                steady_power_w=power,
+            )
+    return ControllerFaultStudy(
+        outcomes=tuple(outcomes),
+        reference_power_w=ref_power,
+        reference_epochs=int(result.epochs[0]),
+        host_count=nodes,
     )

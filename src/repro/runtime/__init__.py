@@ -19,10 +19,19 @@ infrastructure:
 epochs against the simulated platform, exactly where GEOPM's Controller
 sits on real hardware, and emits :class:`~repro.runtime.reports.JobReport`
 objects the resource-manager policies consume.
+:class:`~repro.runtime.batch.ControllerBatch` advances many such runs in
+lockstep as ``(runs, hosts)`` tensors, bit-identical per run to the serial
+controller — the fast path for characterization grids and scenario sweeps.
 """
 
-from repro.runtime.reports import HostReport, JobReport
-from repro.runtime.agent import Agent, AgentRegistry, PlatformSample
+from repro.runtime.reports import HostReport, JobReport, report_from_arrays
+from repro.runtime.agent import (
+    Agent,
+    AgentBatch,
+    AgentRegistry,
+    PlatformSample,
+    SampleBatch,
+)
 from repro.runtime.monitor import MonitorAgent
 from repro.runtime.power_governor import PowerGovernorAgent
 from repro.runtime.power_balancer import PowerBalancerAgent, BalancerOptions
@@ -31,14 +40,23 @@ from repro.runtime.frequency_governor import (
     FrequencyGovernorOptions,
 )
 from repro.runtime.controller import Controller, EpochResult
+from repro.runtime.batch import (
+    ControllerBatch,
+    ControllerBatchResult,
+    ControllerRunSpec,
+    run_controller_batch,
+)
 from repro.runtime.trace import JobTrace, TraceRecord, TraceWriter, attach_tracer
 
 __all__ = [
     "HostReport",
     "JobReport",
+    "report_from_arrays",
     "Agent",
+    "AgentBatch",
     "AgentRegistry",
     "PlatformSample",
+    "SampleBatch",
     "MonitorAgent",
     "PowerGovernorAgent",
     "PowerBalancerAgent",
@@ -47,6 +65,10 @@ __all__ = [
     "FrequencyGovernorOptions",
     "Controller",
     "EpochResult",
+    "ControllerBatch",
+    "ControllerBatchResult",
+    "ControllerRunSpec",
+    "run_controller_batch",
     "JobTrace",
     "TraceRecord",
     "TraceWriter",

@@ -17,7 +17,7 @@ from typing import Dict, Type
 
 import numpy as np
 
-__all__ = ["PlatformSample", "Agent", "AgentRegistry"]
+__all__ = ["PlatformSample", "SampleBatch", "Agent", "AgentBatch", "AgentRegistry"]
 
 
 @dataclass(frozen=True)
@@ -51,6 +51,44 @@ class PlatformSample:
     mean_freq_ghz: np.ndarray
 
 
+@dataclass(frozen=True)
+class SampleBatch:
+    """One control epoch's telemetry for many runs, structure-of-arrays.
+
+    The batched counterpart of :class:`PlatformSample`: every per-host
+    array carries a leading *run* axis, so ``host_time_s[a]`` is run
+    ``a``'s compute-phase times this epoch.  Row ``a`` is bit-identical to
+    the :class:`PlatformSample` a serial controller would have produced
+    for the same run (the contract of
+    :class:`~repro.runtime.batch.ControllerBatch`).
+    """
+
+    epoch: int
+    host_time_s: np.ndarray      # (A, hosts)
+    epoch_time_s: np.ndarray     # (A,)
+    host_power_w: np.ndarray     # (A, hosts)
+    power_limit_w: np.ndarray    # (A, hosts)
+    host_energy_j: np.ndarray    # (A, hosts)
+    mean_freq_ghz: np.ndarray    # (A, hosts)
+
+    @property
+    def run_count(self) -> int:
+        """Runs stacked in this sample."""
+        return int(self.epoch_time_s.size)
+
+    def sample_for(self, row: int) -> PlatformSample:
+        """Materialise one run's :class:`PlatformSample` (fresh arrays)."""
+        return PlatformSample(
+            epoch=self.epoch,
+            host_time_s=self.host_time_s[row].copy(),
+            epoch_time_s=float(self.epoch_time_s[row]),
+            host_power_w=self.host_power_w[row].copy(),
+            power_limit_w=self.power_limit_w[row].copy(),
+            host_energy_j=self.host_energy_j[row].copy(),
+            mean_freq_ghz=self.mean_freq_ghz[row].copy(),
+        )
+
+
 class Agent(abc.ABC):
     """Base class for job-runtime agents.
 
@@ -76,6 +114,43 @@ class Agent(abc.ABC):
 
     def describe(self) -> Dict[str, float]:
         """Agent-specific scalars for the job report metadata."""
+        return {}
+
+
+class AgentBatch(abc.ABC):
+    """Vectorised counterpart of :class:`Agent` for lockstep batched runs.
+
+    A batch agent owns the control state of ``G`` member runs at once (one
+    row per run) and must be *bit-identical* to stepping each member's
+    serial :class:`Agent` on its own: for every active row, the returned
+    limits, the convergence verdict, and :meth:`describe_run` equal what
+    the serial agent would have produced after the same sample sequence.
+
+    Agent classes opt in by providing a ``make_batch(agents)`` classmethod
+    returning an :class:`AgentBatch` (or ``None`` when the group cannot be
+    batched — e.g. heterogeneous options — in which case the controller
+    falls back to per-run serial stepping).
+
+    Converged runs freeze: the controller stops including their rows, so
+    ``rows`` is always the still-active subset of ``range(G)`` and state
+    for frozen rows must stay untouched — exactly like a serial controller
+    that stopped calling :meth:`Agent.adjust`.
+    """
+
+    @abc.abstractmethod
+    def adjust_batch(self, sample: SampleBatch, rows: np.ndarray) -> np.ndarray:
+        """Return ``(A, hosts)`` next-epoch limits for the active rows.
+
+        ``sample`` stacks the active runs' epoch telemetry; ``rows`` maps
+        each of its ``A`` rows to the member index within the group.
+        """
+
+    @abc.abstractmethod
+    def converged_mask(self, rows: np.ndarray) -> np.ndarray:
+        """``(A,)`` boolean mask: which of the given rows have converged."""
+
+    def describe_run(self, row: int) -> Dict[str, float]:
+        """Member ``row``'s :meth:`Agent.describe` scalars."""
         return {}
 
 

@@ -21,7 +21,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.runtime.agent import Agent, PlatformSample
-from repro.runtime.reports import HostReport, JobReport
+from repro.runtime.reports import JobReport, report_from_arrays
 from repro.sim.engine import ExecutionModel
 from repro.telemetry import ScopedTimer, emit, enabled, get_registry
 from repro.workload.job import Job, WorkloadMix
@@ -209,32 +209,17 @@ class Controller:
         return self.history[-1].limits_applied_w.copy()
 
     def _build_report(self) -> JobReport:
-        epochs = len(self.history)
-        runtime = np.zeros(self.job.node_count)
-        energy = np.zeros(self.job.node_count)
-        freq_sum = np.zeros(self.job.node_count)
-        for record in self.history:
-            runtime += record.sample.epoch_time_s
-            energy += record.sample.host_energy_j
-            freq_sum += record.sample.mean_freq_ghz
-        final_limits = self.history[-1].limits_applied_w
-        hosts = tuple(
-            HostReport(
-                host_id=i,
-                runtime_s=float(runtime[i]),
-                energy_j=float(energy[i]),
-                mean_power_w=float(energy[i] / runtime[i]) if runtime[i] else 0.0,
-                mean_freq_ghz=float(freq_sum[i] / epochs),
-                power_limit_w=float(final_limits[i]),
-                epochs=epochs,
-            )
-            for i in range(self.job.node_count)
-        )
-        total_time = float(np.sum([r.sample.epoch_time_s for r in self.history]))
-        return JobReport(
+        # One pass over the history stacking the per-epoch arrays; the
+        # reductions (and the total-time sum the figure of merit reuses)
+        # happen once in :func:`report_from_arrays` instead of the former
+        # per-record accumulation loop plus a per-host ``float()`` loop.
+        samples = [record.sample for record in self.history]
+        return report_from_arrays(
             job_name=self.job.name,
             agent=self.agent.name,
-            hosts=hosts,
-            figure_of_merit=total_time / epochs,
+            epoch_times_s=np.array([s.epoch_time_s for s in samples]),
+            host_energy_j=np.stack([s.host_energy_j for s in samples]),
+            mean_freq_ghz=np.stack([s.mean_freq_ghz for s in samples]),
+            final_limits_w=self.history[-1].limits_applied_w,
             metadata=dict(self.agent.describe()),
         )

@@ -11,7 +11,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.runtime.agent import Agent, DEFAULT_REGISTRY, PlatformSample
+from repro.runtime.agent import (
+    Agent,
+    AgentBatch,
+    DEFAULT_REGISTRY,
+    PlatformSample,
+    SampleBatch,
+)
 
 __all__ = ["MonitorAgent"]
 
@@ -29,3 +35,22 @@ class MonitorAgent(Agent):
         """Echo back whatever limits are already in force."""
         self._last_limits = np.array(sample.power_limit_w, dtype=float, copy=True)
         return self._last_limits
+
+    @classmethod
+    def make_batch(cls, agents) -> "_MonitorBatch":
+        """Batch any group of monitors (they are stateless echoes)."""
+        return _MonitorBatch(len(agents))
+
+
+class _MonitorBatch(AgentBatch):
+    """Vectorised monitor: echo every run's in-force limits at once."""
+
+    def __init__(self, run_count: int) -> None:
+        self._run_count = int(run_count)
+
+    def adjust_batch(self, sample: SampleBatch, rows: np.ndarray) -> np.ndarray:
+        return np.array(sample.power_limit_w, dtype=float, copy=True)
+
+    def converged_mask(self, rows: np.ndarray) -> np.ndarray:
+        # Serial ``MonitorAgent`` inherits the trivially-true converged().
+        return np.ones(rows.size, dtype=bool)

@@ -33,7 +33,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.runtime.agent import Agent, DEFAULT_REGISTRY, PlatformSample
+from repro.runtime.agent import (
+    Agent,
+    AgentBatch,
+    DEFAULT_REGISTRY,
+    PlatformSample,
+    SampleBatch,
+)
 from repro.telemetry import emit, enabled, get_registry
 from repro.units import ensure_positive, ensure_fraction
 
@@ -229,4 +235,163 @@ class PowerBalancerAgent(Agent):
             "steps": float(self._steps),
             "harvested_w": self._harvested_w,
             "redistributed_w": self._redistributed_w,
+        }
+
+    @classmethod
+    def make_batch(cls, agents) -> "_PowerBalancerBatch | None":
+        """Batch a group of balancers sharing one :class:`BalancerOptions`.
+
+        Returns ``None`` (→ per-run fallback in the batched controller)
+        when the group mixes options or contains an agent that has already
+        stepped — the batch owns state from epoch 0, so a mid-flight agent
+        cannot be adopted.
+        """
+        options = agents[0].options
+        if any(a.options != options for a in agents[1:]):
+            return None
+        if any(a._limits is not None for a in agents):
+            return None
+        budgets = np.array([a.job_budget_w for a in agents], dtype=float)
+        return _PowerBalancerBatch(budgets, options)
+
+
+class _PowerBalancerBatch(AgentBatch):
+    """Vectorised power balancer: G feedback loops stepped as tensors.
+
+    Every elementwise expression below mirrors
+    :meth:`PowerBalancerAgent.adjust` term-for-term (same operation
+    order), so each row is bit-identical to its serial twin.  The one
+    intentionally *serial* piece is the receivers grant step: NumPy's
+    pairwise summation over a compressed ``headroom`` gather differs in
+    the last ulp from any masked full-row reduction once a row has ≥ 8
+    receivers, so that step loops over rows and reproduces the serial
+    compressed sum exactly.
+    """
+
+    def __init__(self, budgets_w: np.ndarray, options: BalancerOptions) -> None:
+        self.options = options
+        self._budgets_w = np.asarray(budgets_w, dtype=float)
+        g = self._budgets_w.size
+        self._limits: np.ndarray | None = None   # (G, hosts)
+        self._cut_floor_w: np.ndarray | None = None
+        self._pool_w = np.zeros(g)
+        self._last_step_w = np.full(g, np.inf)
+        self._steps = np.zeros(g, dtype=np.int64)
+        self._harvested_w = np.zeros(g)
+        self._redistributed_w = np.zeros(g)
+        self._convergence_recorded = np.zeros(g, dtype=bool)
+
+    # ------------------------------------------------------------------
+    def _initial_limits(self, rows: np.ndarray, hosts: int) -> np.ndarray:
+        opts = self.options
+        uniform = self._budgets_w[rows] / hosts
+        limits = np.broadcast_to(uniform[:, None], (rows.size, hosts))
+        clamped = np.clip(limits, opts.min_limit_w, opts.max_limit_w)
+        self._pool_w[rows] = self._budgets_w[rows] - np.sum(clamped, axis=1)
+        return np.ascontiguousarray(clamped)
+
+    def adjust_batch(self, sample: SampleBatch, rows: np.ndarray) -> np.ndarray:
+        opts = self.options
+        if self._limits is None:
+            hosts = sample.power_limit_w.shape[1]
+            self._limits = self._initial_limits(rows, hosts)
+            reference = np.asarray(sample.host_power_w, dtype=float)
+            self._cut_floor_w = np.maximum(
+                reference - opts.harvest_fraction * (reference - opts.min_limit_w),
+                opts.min_limit_w,
+            )
+            return self._limits.copy()
+
+        limits = self._limits[rows]
+        cut_floor = self._cut_floor_w[rows]
+        times = np.asarray(sample.host_time_s, dtype=float)
+        target = np.max(times, axis=1)
+        # Rows with a degenerate epoch keep their state untouched (the
+        # serial agent early-returns before any update).
+        stepped = target > 0
+        safe_target = np.where(stepped, target, 1.0)
+
+        slack_frac = 1.0 - times / safe_target[:, None]
+
+        donors = slack_frac > opts.margin
+        cut = np.where(
+            donors, opts.gain * slack_frac * (limits - cut_floor), 0.0
+        )
+        cut = np.maximum(cut, 0.0)
+        new_limits = np.maximum(limits - cut, cut_floor)
+        cut = limits - new_limits
+        harvested = np.sum(np.maximum(cut, 0.0), axis=1)
+        pool = self._pool_w[rows] + np.sum(cut, axis=1)
+
+        receivers = (slack_frac <= opts.margin) & (
+            new_limits < opts.max_limit_w - 1e-9
+        )
+        grant_total = np.zeros(rows.size)
+        for i in range(rows.size):
+            if not stepped[i]:
+                continue
+            recv = receivers[i]
+            if pool[i] > 0 and np.any(recv):
+                # Compressed gather + sum, exactly as the serial agent —
+                # see the class docstring for why this must not be a
+                # masked vector reduction.
+                headroom = opts.max_limit_w - new_limits[i, recv]
+                grant = min(float(pool[i]), float(np.sum(headroom)))
+                grants = grant * headroom / float(np.sum(headroom))
+                new_limits[i, recv] += grants
+                pool[i] -= grant
+                grant_total[i] = grant
+
+        out = np.where(stepped[:, None], new_limits, limits)
+        step_w = np.max(np.abs(new_limits - limits), axis=1)
+
+        upd = rows[stepped]
+        self._pool_w[upd] = pool[stepped]
+        self._last_step_w[upd] = step_w[stepped]
+        self._limits[upd] = new_limits[stepped]
+        self._steps[upd] += 1
+        self._harvested_w[upd] += harvested[stepped]
+        self._redistributed_w[upd] += grant_total[stepped]
+        if enabled():
+            registry = get_registry()
+            registry.counter("runtime.balancer.steps").inc(int(np.sum(stepped)))
+            registry.counter("runtime.balancer.harvested_w").inc(
+                float(np.sum(harvested[stepped]))
+            )
+            registry.counter("runtime.balancer.redistributed_w").inc(
+                float(np.sum(grant_total[stepped]))
+            )
+        return out
+
+    def converged_mask(self, rows: np.ndarray) -> np.ndarray:
+        opts = self.options
+        span = opts.max_limit_w - opts.min_limit_w
+        mask = self._last_step_w[rows] < opts.tolerance * span
+        if enabled():
+            fresh = rows[mask & ~self._convergence_recorded[rows]]
+            if fresh.size:
+                self._convergence_recorded[fresh] = True
+                hist = get_registry().histogram(
+                    "runtime.balancer.steps_to_converge"
+                )
+                for row in fresh.tolist():
+                    hist.observe(int(self._steps[row]))
+                    emit(
+                        "runtime.balancer", "converged",
+                        steps=int(self._steps[row]),
+                        harvested_w=float(self._harvested_w[row]),
+                        redistributed_w=float(self._redistributed_w[row]),
+                        unallocated_w=float(self._pool_w[row]),
+                    )
+        return mask
+
+    def describe_run(self, row: int):
+        last_step = self._last_step_w[row]
+        return {
+            "job_budget_w": float(self._budgets_w[row]),
+            "unallocated_w": float(self._pool_w[row]),
+            "last_step_w": float(last_step) if np.isfinite(last_step) else -1.0,
+            "steps": float(self._steps[row]),
+            "harvested_w": float(self._harvested_w[row]),
+            "redistributed_w": float(self._redistributed_w[row]),
         }

@@ -10,7 +10,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.runtime.agent import Agent, DEFAULT_REGISTRY, PlatformSample
+from repro.runtime.agent import (
+    Agent,
+    AgentBatch,
+    DEFAULT_REGISTRY,
+    PlatformSample,
+    SampleBatch,
+)
 from repro.units import ensure_positive
 
 __all__ = ["PowerGovernorAgent"]
@@ -40,3 +46,30 @@ class PowerGovernorAgent(Agent):
     def describe(self):
         """Report the governed budget."""
         return {"job_budget_w": self.job_budget_w}
+
+    @classmethod
+    def make_batch(cls, agents) -> "_PowerGovernorBatch":
+        """Batch any group of governors (stateless uniform splits)."""
+        return _PowerGovernorBatch(
+            np.array([a.job_budget_w for a in agents], dtype=float)
+        )
+
+
+class _PowerGovernorBatch(AgentBatch):
+    """Vectorised governor: every run's uniform split in one expression."""
+
+    def __init__(self, budgets_w: np.ndarray) -> None:
+        self._budgets_w = budgets_w
+
+    def adjust_batch(self, sample: SampleBatch, rows: np.ndarray) -> np.ndarray:
+        hosts = sample.power_limit_w.shape[1]
+        uniform = self._budgets_w[rows] / hosts
+        return np.broadcast_to(uniform[:, None], (rows.size, hosts)).copy()
+
+    def converged_mask(self, rows: np.ndarray) -> np.ndarray:
+        # Serial ``PowerGovernorAgent`` inherits the trivially-true
+        # converged().
+        return np.ones(rows.size, dtype=bool)
+
+    def describe_run(self, row: int):
+        return {"job_budget_w": float(self._budgets_w[row])}

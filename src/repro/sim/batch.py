@@ -84,6 +84,27 @@ class LayoutBatch:
         """Scenarios stacked in this batch."""
         return int(self.kappa.shape[0])
 
+    def take(self, indices: np.ndarray) -> "LayoutBatch":
+        """Gather a subset of scenario rows into a new batch.
+
+        The batched controller runtime uses this to keep only the
+        still-active runs' layout rows after convergence freezes cells.
+        Rows are fancy-index copies, so downstream row reductions see the
+        same contiguous memory a freshly stacked batch would.
+        """
+        idx = np.asarray(indices, dtype=int)
+        return LayoutBatch(
+            job_index=self.job_index,
+            job_boundaries=self.job_boundaries,
+            critical=self.critical[idx],
+            kappa=self.kappa[idx],
+            poll_kappa=self.poll_kappa[idx],
+            traffic_gb=self.traffic_gb[idx],
+            gflop=self.gflop[idx],
+            compute_ceiling_index=self.compute_ceiling_index[idx],
+            ceiling_names=self.ceiling_names,
+        )
+
 
 def stack_layouts(layouts: Sequence[HostLayout]) -> LayoutBatch:
     """Stack per-scenario layouts into one :class:`LayoutBatch`.

