@@ -1,0 +1,32 @@
+"""Perf-trajectory emission for the benchmark suites.
+
+Thin wrapper over :mod:`repro.io.bench_artifacts` fixing the output
+convention: every suite's machine-readable bundle lands at the repo root
+as ``BENCH_<name>.json`` (the humans keep ``benchmarks/output/*.txt``).
+CI collects the repo-root bundles and diffs them against the committed
+baselines in ``benchmarks/baselines/`` via ``python -m repro
+bench-compare``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Optional, Sequence
+
+from repro.io.bench_artifacts import BenchMetric, make_artifact, write_artifact
+
+__all__ = ["REPO_ROOT", "BenchMetric", "emit_bench"]
+
+#: Repo root — where ``BENCH_<name>.json`` bundles are written.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def emit_bench(
+    name: str,
+    metrics: Sequence[BenchMetric],
+    params: Optional[Mapping[str, object]] = None,
+    seed: Optional[int] = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root and return its path."""
+    bundle = make_artifact(name, metrics, params=params, seed=seed)
+    return write_artifact(bundle, REPO_ROOT / f"BENCH_{name}.json")

@@ -31,13 +31,25 @@ def paper_results(paper_grid):
 
 @pytest.fixture(scope="session")
 def emit():
-    """Write a reproduction artefact and echo it to stdout."""
+    """Write a reproduction artefact and echo it to stdout.
+
+    ``metrics`` (a sequence of
+    :class:`repro.io.bench_artifacts.BenchMetric`) additionally writes
+    the machine-readable ``BENCH_<name>.json`` perf-trajectory bundle at
+    the repo root; ``params``/``seed`` record the benchmark's shape for
+    the comparator.
+    """
     OUTPUT_DIR.mkdir(exist_ok=True)
 
-    def _emit(name: str, text: str) -> Path:
+    def _emit(name: str, text: str, metrics=None, params=None,
+              seed=None) -> Path:
         path = OUTPUT_DIR / f"{name}.txt"
         path.write_text(text + "\n", encoding="utf-8")
         print(f"\n===== {name} =====\n{text}\n")
+        if metrics:
+            from benchmarks.artifacts import emit_bench
+
+            emit_bench(name, metrics, params=params, seed=seed)
         return path
 
     return _emit

@@ -10,6 +10,7 @@ import numpy as np
 
 from repro.analysis.render import render_heatmap
 from repro.experiments.figures import fig4_monitor_heatmap
+from repro.io.bench_artifacts import BenchMetric
 
 #: The paper's Fig. 4 ymm heat map, transcribed (W per node).
 PAPER_FIG4 = np.array([
@@ -37,11 +38,19 @@ def test_fig4_monitor_power(benchmark, paper_grid, emit):
         heatmap.values,
         title="Fig. 4 — uncapped CPU power per node, ymm (W); paper range 209-232 W",
     )
-    emit("fig4_monitor_power", text)
+    deviation = np.abs(heatmap.values - PAPER_FIG4)
+    emit(
+        "fig4_monitor_power", text,
+        metrics=[
+            BenchMetric("mean_power_w", float(heatmap.values.mean()), "W"),
+            BenchMetric("max_paper_deviation_w", float(deviation.max()),
+                        "W", direction="lower_better"),
+        ],
+        params={"test_nodes": 100, "cells": int(heatmap.values.size)},
+    )
 
     # Cell-level agreement with the paper: within 4 W everywhere.
     assert heatmap.values.shape == PAPER_FIG4.shape
-    deviation = np.abs(heatmap.values - PAPER_FIG4)
     assert float(deviation.max()) < 4.0, (
         f"worst cell deviates {deviation.max():.1f} W from the paper"
     )

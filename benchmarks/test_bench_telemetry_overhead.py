@@ -13,6 +13,7 @@ import time
 import numpy as np
 
 from repro import telemetry
+from repro.io.bench_artifacts import BenchMetric
 from repro.sim.execution import SimulationOptions, simulate_mix
 
 #: Accepted instrumentation overhead on the hot path.
@@ -54,5 +55,17 @@ def test_telemetry_overhead_under_budget(paper_grid, emit):
         f"best-of-{repeats} telemetry OFF: {disabled_s * 1e3:8.3f} ms",
         f"relative overhead: {overhead:+.2%} (budget {OVERHEAD_BUDGET:.0%})",
     ])
-    emit("telemetry_overhead", text)
+    emit(
+        "telemetry_overhead", text,
+        metrics=[
+            BenchMetric("relative_overhead", overhead, "fraction",
+                        direction="lower_better"),
+            BenchMetric("enabled_ms", enabled_s * 1e3, "ms",
+                        direction="lower_better"),
+            BenchMetric("disabled_ms", disabled_s * 1e3, "ms",
+                        direction="lower_better"),
+        ],
+        params={"repeats": repeats, "hosts": 900, "iterations": 100},
+        seed=1,
+    )
     assert overhead < OVERHEAD_BUDGET

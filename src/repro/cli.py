@@ -30,18 +30,25 @@ Subcommands covering the workflows a site operator runs:
     budget-overshoot watt-seconds; ``--check`` gates on zero planned
     overshoot (the CI resilience smoke).  ``REPRO_SMOKE=1`` shrinks the
     suite for CI.
+``bench-compare``
+    Diff two ``BENCH_<name>.json`` perf-trajectory bundles with
+    per-metric tolerances; exits non-zero on regression (the CI
+    perf gate).
 
 Every command accepts ``--scale`` (nodes per job; 100 = paper scale) so
-the same invocations work on a laptop and at full size.  ``grid`` and
-``characterize`` accept ``--telemetry-out DIR`` to save the run's
-metrics snapshot plus JSONL/CSV event logs.  ``--workers N`` fans the
-grid cells and site replays over a process pool, and ``--cache-dir DIR``
-persists the characterization cache between invocations.
+the same invocations work on a laptop and at full size.  ``grid``,
+``characterize``, ``site``, and ``faults`` accept ``--telemetry-out
+DIR`` to save the run's metrics snapshot, JSONL/CSV event logs, span
+tree (``trace.json``), and provenance ledger (``provenance.json``).
+``--workers N`` fans the grid cells and site replays over a process
+pool, and ``--cache-dir DIR`` persists the characterization cache
+between invocations.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from pathlib import Path
@@ -71,6 +78,7 @@ examples:
   repro --workers 4 site --replays 8        replayed site simulation
   repro telemetry                           observability smoke test
   repro report -o report.md                 full reproduction report
+  repro bench-compare base.json cand.json --tolerance 0.2
 
 Scale 100 reproduces the paper (2000-node survey, 900-node mixes).
 REPRO_WORKERS in the environment sets the default for --workers.
@@ -176,6 +184,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_site.add_argument("--replays", type=_positive_int, default=4,
                         metavar="N",
                         help="independent noise replays (default 4)")
+    p_site.add_argument("--telemetry-out", metavar="DIR",
+                        help="dump the metrics snapshot, event log, span "
+                             "tree, and provenance ledger here")
 
     p_faults = sub.add_parser(
         "faults",
@@ -200,6 +211,24 @@ def build_parser() -> argparse.ArgumentParser:
                           help="run the scenarios against the authentic "
                                "balancer feedback loop (one batched "
                                "controller run) instead of the site suite")
+    p_faults.add_argument("--telemetry-out", metavar="DIR",
+                          help="dump the metrics snapshot, event log, span "
+                               "tree, and provenance ledger here")
+
+    p_bc = sub.add_parser(
+        "bench-compare",
+        help="diff two BENCH_<name>.json perf bundles (CI perf gate)",
+    )
+    p_bc.add_argument("baseline", metavar="BASELINE",
+                      help="baseline BENCH_<name>.json path")
+    p_bc.add_argument("candidate", metavar="CANDIDATE",
+                      help="candidate BENCH_<name>.json path")
+    p_bc.add_argument("--tolerance", type=float, default=0.10,
+                      metavar="REL",
+                      help="default relative tolerance (default 0.10)")
+    p_bc.add_argument("--metric-tolerance", action="append",
+                      dest="metric_tolerances", metavar="NAME=REL",
+                      help="per-metric tolerance override (repeatable)")
 
     p_tel = sub.add_parser(
         "telemetry",
@@ -251,9 +280,18 @@ def _run_runtime_probe(grid: ExperimentGrid, nodes: int = 4,
     writer.close()
 
 
-def _dump_telemetry(out_dir: str) -> None:
-    """Write metrics.txt + events.jsonl + events.csv under ``out_dir``."""
-    from repro.telemetry import TelemetrySummary, get_bus
+def _dump_telemetry(out_dir: str, kind: str = "run", config: object = None,
+                    inputs: Optional[dict] = None,
+                    seed: Optional[int] = None) -> None:
+    """Write the full observability bundle under ``out_dir``.
+
+    ``metrics.txt`` + ``events.jsonl`` / ``events.csv`` (the classic
+    dump), plus ``trace.json`` (the hierarchical span tree) and
+    ``provenance.json`` (the schema'd run ledger).
+    """
+    from repro.telemetry import (
+        TelemetrySummary, capture_ledger, get_bus, get_tracer, write_ledger,
+    )
 
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
@@ -262,7 +300,13 @@ def _dump_telemetry(out_dir: str) -> None:
     metrics_path.write_text(summary.render() + "\n", encoding="utf-8")
     jsonl_path = get_bus().to_jsonl(out / "events.jsonl")
     csv_path = get_bus().to_csv(out / "events.csv")
-    print(f"\nWrote telemetry to {metrics_path}, {jsonl_path}, {csv_path}")
+    trace_path = get_tracer().to_json(out / "trace.json")
+    ledger_path = write_ledger(
+        capture_ledger(kind, config, inputs=inputs, seed=seed),
+        out / "provenance.json",
+    )
+    print(f"\nWrote telemetry to {metrics_path}, {jsonl_path}, {csv_path}, "
+          f"{trace_path}, {ledger_path}")
 
 
 def _cmd_telemetry(grid: ExperimentGrid, out: Optional[str]) -> int:
@@ -303,7 +347,7 @@ def _cmd_telemetry(grid: ExperimentGrid, out: Optional[str]) -> int:
 
     print(TelemetrySummary.capture().render())
     if out:
-        _dump_telemetry(out)
+        _dump_telemetry(out, kind="telemetry", config=grid.config)
     return 0
 
 
@@ -353,7 +397,8 @@ def _cmd_characterize(grid: ExperimentGrid, mix: str, save: Optional[str],
         path = save_characterization(char, save)
         print(f"\nSaved characterization to {path}")
     if telemetry_out:
-        _dump_telemetry(telemetry_out)
+        _dump_telemetry(telemetry_out, kind="characterize", config=grid.config,
+                        inputs={"mix": mix})
     return 0
 
 
@@ -408,12 +453,15 @@ def _cmd_grid(grid: ExperimentGrid, mixes: Optional[List[str]],
             if not report.all_hold():
                 return 1
     if telemetry_out:
-        _dump_telemetry(telemetry_out)
+        _dump_telemetry(telemetry_out, kind="grid", config=grid.config,
+                        inputs={"mixes": list(mixes or MIX_NAMES),
+                                "workers": workers})
     return 0
 
 
 def _cmd_site(grid: ExperimentGrid, policy: str, jobs: int, replays: int,
-              workers: Optional[int]) -> int:
+              workers: Optional[int],
+              telemetry_out: Optional[str] = None) -> int:
     """Replay one arrival stream under independent noise seeds."""
     from repro.manager.queue import JobRequest
     from repro.manager.site_simulation import Arrival
@@ -458,12 +506,19 @@ def _cmd_site(grid: ExperimentGrid, policy: str, jobs: int, replays: int,
     turnarounds = np.array([r.mean_turnaround_s() for r in results])
     print(f"\nmakespan   {makespans.mean():.1f} +/- {makespans.std():.1f} s")
     print(f"turnaround {turnarounds.mean():.1f} +/- {turnarounds.std():.1f} s")
+    if telemetry_out:
+        _dump_telemetry(telemetry_out, kind="site", config=grid.config,
+                        inputs={"policy": policy, "jobs": jobs,
+                                "replays": replays,
+                                "budget_w": float(budget_w),
+                                "workers": workers})
     return 0
 
 
 def _cmd_faults(scenarios: Optional[List[str]], policies: Optional[List[str]],
                 check: bool, list_only: bool,
-                controller_study: bool = False) -> int:
+                controller_study: bool = False,
+                telemetry_out: Optional[str] = None) -> int:
     """Replay named fault scenarios and score policy resilience."""
     from repro.experiments.resilience import run_resilience_suite
     from repro.faults.scenarios import STANDARD_SCENARIOS
@@ -483,6 +538,11 @@ def _cmd_faults(scenarios: Optional[List[str]], policies: Optional[List[str]],
             max_epochs=60 if smoke else 150,
         )
         print(study.render())
+        if telemetry_out:
+            ran = [o.scenario for o in study.outcomes]
+            _dump_telemetry(telemetry_out, kind="faults",
+                            inputs={"scenarios": ran,
+                                    "controller_study": True})
         return 0
     if os.environ.get("REPRO_SMOKE") == "1":
         sizing = dict(jobs=4, nodes_per_job=3, iterations=8)
@@ -496,13 +556,54 @@ def _cmd_faults(scenarios: Optional[List[str]], policies: Optional[List[str]],
     print("\nmean QoS loss over feasible scenarios:")
     for name, loss in losses.items():
         print(f"  {name:<16} {loss:+.1f}%")
+    code = 0
     if check:
         print()
         checks = report.check()
         for name, ok in checks.items():
             print(f"  [{'PASS' if ok else 'FAIL'}] {name}")
-        return 0 if report.all_hold() else 1
-    return 0
+        code = 0 if report.all_hold() else 1
+    if telemetry_out:
+        # Record what actually ran: unset filters mean the full suite,
+        # not an empty one.
+        ran_scenarios = list(dict.fromkeys(o.scenario
+                                           for o in report.outcomes))
+        ran_policies = list(dict.fromkeys(o.policy
+                                          for o in report.outcomes))
+        _dump_telemetry(telemetry_out, kind="faults",
+                        inputs={"scenarios": ran_scenarios,
+                                "policies": ran_policies,
+                                **sizing})
+    return code
+
+
+def _cmd_bench_compare(baseline: str, candidate: str, tolerance: float,
+                       metric_tolerances: Optional[List[str]]) -> int:
+    """Diff two perf-trajectory bundles; non-zero exit on regression."""
+    from repro.io.bench_artifacts import compare_artifacts, load_artifact
+
+    per_metric = {}
+    for spec in metric_tolerances or []:
+        name, sep, value = spec.partition("=")
+        if not sep or not name:
+            print(f"error: --metric-tolerance needs NAME=REL, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+        try:
+            per_metric[name] = float(value)
+        except ValueError:
+            print(f"error: bad tolerance in {spec!r}", file=sys.stderr)
+            return 2
+    try:
+        report = compare_artifacts(
+            load_artifact(baseline), load_artifact(candidate),
+            tolerance=tolerance, tolerances=per_metric,
+        )
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.format_text())
+    return 0 if report.ok else 1
 
 
 def _cmd_facility() -> int:
@@ -524,9 +625,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         activate_cache(cache_dir=args.cache_dir)
     if args.command == "facility":
         return _cmd_facility()
+    if args.command == "bench-compare":
+        return _cmd_bench_compare(args.baseline, args.candidate,
+                                  args.tolerance, args.metric_tolerances)
     if args.command == "faults":
         return _cmd_faults(args.scenarios, args.policies, args.check,
-                           args.list_only, args.controller_study)
+                           args.list_only, args.controller_study,
+                           args.telemetry_out)
     grid = ExperimentGrid(_make_config(args))
     if args.command == "survey":
         return _cmd_survey(grid)
@@ -539,7 +644,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                          args.telemetry_out, workers=args.workers)
     if args.command == "site":
         return _cmd_site(grid, args.policy, args.jobs, args.replays,
-                         args.workers)
+                         args.workers, args.telemetry_out)
     if args.command == "telemetry":
         return _cmd_telemetry(grid, args.out)
     if args.command == "report":

@@ -34,7 +34,7 @@ from repro.manager.power_manager import ManagedRun, PowerManager
 from repro.manager.scheduler import ScheduledMix, Scheduler
 from repro.sim.engine import ExecutionModel
 from repro.sim.execution import SimulationOptions
-from repro.telemetry import ScopedTimer, emit, enabled, get_registry
+from repro.telemetry import ScopedTimer, emit, enabled, get_registry, span
 from repro.workload.mixes import MIX_NAMES, MixBuilder
 
 __all__ = [
@@ -90,7 +90,9 @@ def run_grid_cell(
     manager = PowerManager(model)
     seed = cell_seed(config.run_seed, mix_name, budget_level, policy_name)
     options = SimulationOptions(noise_std=config.noise_std, seed=seed)
-    with ScopedTimer("experiments.grid.cell_s") as timer:
+    with span("experiments.grid.cell", mix=mix_name,
+              budget_level=budget_level, policy=policy_name), \
+            ScopedTimer("experiments.grid.cell_s") as timer:
         run = manager.launch(
             prepared.scheduled,
             policy,
@@ -333,7 +335,10 @@ class ExperimentGrid:
             for level in levels
             for policy_name in policies
         ]
-        with ScopedTimer("experiments.grid.run_all_s") as timer:
+        with span("experiments.grid.run_all", mixes=len(mixes),
+                  levels=len(levels), policies=len(policies),
+                  workers=workers), \
+                ScopedTimer("experiments.grid.run_all_s") as timer:
             if workers == 1:
                 for mix_name, level, policy_name in keys:
                     results.cells[(mix_name, level, policy_name)] = self.run_cell(

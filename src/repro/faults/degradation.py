@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.core.allocation import fit_to_budget
 from repro.core.policy import Policy
-from repro.telemetry import emit, enabled, get_registry
+from repro.telemetry import emit, enabled, get_registry, span
 
 __all__ = [
     "DegradationConfig",
@@ -198,50 +198,63 @@ def plan_with_degradation(
                  backoff_s=decision.backoff_s)
         return decision
 
-    # Tier 3 short-circuit: nothing can fit.
-    if budget < floor_power:
-        return _emit(DegradationDecision(
-            tier="floor", attempts=0, backoff_s=0.0,
-            caps_w=np.full(hosts, float(min_cap_w)),
-            planned_budget_w=budget, feasible=False,
-            notes={"floor_power_w": floor_power, "requested_budget_w": budget},
-        ))
-
-    # Tier 1: policy re-plan with bounded retry/backoff.
-    if characterization is not None:
-        for attempt in range(config.max_retries + 1):
-            planned = budget * (1.0 - config.retry_margin * attempt)
-            if planned < floor_power:
-                break
-            try:
-                allocation = policy.allocate(characterization, planned)
-            except (ValueError, ArithmeticError):
-                continue
-            if policy.system_power_aware and not allocation.within_budget():
-                continue
-            if float(np.sum(allocation.caps_w)) > budget + 1e-6 \
-                    and policy.system_power_aware:
-                continue
+    def _ladder() -> DegradationDecision:
+        # Tier 3 short-circuit: nothing can fit.
+        if budget < floor_power:
             return _emit(DegradationDecision(
-                tier="replan", attempts=attempt + 1,
-                backoff_s=attempt * config.backoff_s,
-                caps_w=allocation.caps_w, planned_budget_w=planned,
-                feasible=True,
-                notes={"requested_budget_w": budget},
+                tier="floor", attempts=0, backoff_s=0.0,
+                caps_w=np.full(hosts, float(min_cap_w)),
+                planned_budget_w=budget, feasible=False,
+                notes={"floor_power_w": floor_power,
+                       "requested_budget_w": budget},
             ))
 
-    # Tier 2: characterization-free proportional clamp.
-    if current_caps_w is not None:
-        seed_caps = np.asarray(current_caps_w, dtype=float)
-    else:
-        seed_caps = np.full(hosts, float(tdp_w))
-    attempts_spent = (config.max_retries + 1) if characterization is not None \
-        else 0
-    return _emit(DegradationDecision(
-        tier="clamp", attempts=attempts_spent,
-        backoff_s=attempts_spent * config.backoff_s
-        if characterization is not None else 0.0,
-        caps_w=proportional_clamp_caps(seed_caps, budget, min_cap_w),
-        planned_budget_w=budget, feasible=True,
-        notes={"requested_budget_w": budget, "floor_power_w": floor_power},
-    ))
+        # Tier 1: policy re-plan with bounded retry/backoff.
+        if characterization is not None:
+            for attempt in range(config.max_retries + 1):
+                planned = budget * (1.0 - config.retry_margin * attempt)
+                if planned < floor_power:
+                    break
+                try:
+                    allocation = policy.allocate(characterization, planned)
+                except (ValueError, ArithmeticError):
+                    continue
+                if policy.system_power_aware and not allocation.within_budget():
+                    continue
+                if float(np.sum(allocation.caps_w)) > budget + 1e-6 \
+                        and policy.system_power_aware:
+                    continue
+                return _emit(DegradationDecision(
+                    tier="replan", attempts=attempt + 1,
+                    backoff_s=attempt * config.backoff_s,
+                    caps_w=allocation.caps_w, planned_budget_w=planned,
+                    feasible=True,
+                    notes={"requested_budget_w": budget},
+                ))
+
+        # Tier 2: characterization-free proportional clamp.
+        if current_caps_w is not None:
+            seed_caps = np.asarray(current_caps_w, dtype=float)
+        else:
+            seed_caps = np.full(hosts, float(tdp_w))
+        attempts_spent = (config.max_retries + 1) \
+            if characterization is not None else 0
+        return _emit(DegradationDecision(
+            tier="clamp", attempts=attempts_spent,
+            backoff_s=attempts_spent * config.backoff_s
+            if characterization is not None else 0.0,
+            caps_w=proportional_clamp_caps(seed_caps, budget, min_cap_w),
+            planned_budget_w=budget, feasible=True,
+            notes={"requested_budget_w": budget,
+                   "floor_power_w": floor_power},
+        ))
+
+    with span("faults.degradation.plan", policy=policy.name,
+              budget_w=budget, hosts=hosts,
+              blinded=characterization is None) as trace_sp:
+        decision = _ladder()
+        if trace_sp is not None:
+            trace_sp.set_attribute("tier", decision.tier)
+            trace_sp.set_attribute("attempts", decision.attempts)
+            trace_sp.set_attribute("feasible", decision.feasible)
+    return decision

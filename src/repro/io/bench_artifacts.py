@@ -1,0 +1,317 @@
+"""Machine-readable perf-trajectory artifacts for the benchmark suites.
+
+Every benchmark historically wrote a human-readable ``.txt`` table; this
+module adds the machine half: a ``BENCH_<name>.json`` bundle with a
+stable schema (metric name, value, units, direction, shape parameters,
+seed, timestamp, host info) that CI can diff across commits.  The
+comparator (:func:`compare_artifacts`, surfaced as
+``python -m repro bench-compare``) judges a candidate bundle against a
+baseline with per-metric relative tolerances, so perf regressions gate a
+pull request the same way correctness tests do.
+
+The schema is versioned (:data:`BENCH_SCHEMA`); loaders validate before
+trusting, and the comparator refuses mismatched schema tags rather than
+producing a silently wrong verdict.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchMetric",
+    "make_artifact",
+    "validate_artifact",
+    "write_artifact",
+    "load_artifact",
+    "MetricComparison",
+    "ComparisonReport",
+    "compare_artifacts",
+]
+
+#: Schema tag of the perf-trajectory bundle format.
+BENCH_SCHEMA = "repro.bench-trajectory.v1"
+
+#: Allowed regression directions for a metric.
+DIRECTIONS = ("higher_better", "lower_better", "two_sided")
+
+
+@dataclass(frozen=True)
+class BenchMetric:
+    """One measured quantity of a benchmark run.
+
+    ``direction`` declares what a *regression* looks like:
+    ``higher_better`` (speedups, ratios) regresses when the value drops,
+    ``lower_better`` (wall times, overheads) when it rises, and
+    ``two_sided`` (reproduced physical quantities) when it moves either
+    way beyond tolerance.
+    """
+
+    name: str
+    value: float
+    units: str
+    direction: str = "two_sided"
+
+    def __post_init__(self) -> None:
+        if self.direction not in DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {DIRECTIONS}, "
+                f"got {self.direction!r}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dict form."""
+        return {
+            "name": self.name,
+            "value": float(self.value),
+            "units": self.units,
+            "direction": self.direction,
+        }
+
+
+def _host_info() -> Dict[str, str]:
+    """Where the numbers were measured (context for cross-host diffs)."""
+    try:
+        import numpy as np
+
+        numpy_version = np.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dep
+        numpy_version = "unknown"
+    return {
+        "hostname": platform.node(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+    }
+
+
+def make_artifact(
+    name: str,
+    metrics: Sequence[BenchMetric],
+    params: Optional[Mapping[str, object]] = None,
+    seed: Optional[int] = None,
+) -> Dict[str, object]:
+    """Build one schema-valid perf-trajectory bundle.
+
+    ``params`` records the benchmark's shape (hosts, iterations,
+    scenarios, ...) so a comparison across commits can verify it compared
+    like with like; ``seed`` the workload seed when the bench is
+    randomised.
+    """
+    if not name:
+        raise ValueError("artifact name must be non-empty")
+    if not metrics:
+        raise ValueError("artifact needs at least one metric")
+    names = [m.name for m in metrics]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate metric names in {name}: {names}")
+    return {
+        "schema": BENCH_SCHEMA,
+        "name": str(name),
+        "created_unix": time.time(),
+        "host": _host_info(),
+        "params": dict(params) if params else {},
+        "seed": None if seed is None else int(seed),
+        "metrics": [m.to_dict() for m in metrics],
+    }
+
+
+def validate_artifact(bundle: Mapping[str, object]) -> List[str]:
+    """Schema-check one bundle; returns problems (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(bundle, Mapping):
+        return ["bundle is not a mapping"]
+    if bundle.get("schema") != BENCH_SCHEMA:
+        problems.append(
+            f"schema is {bundle.get('schema')!r}, expected {BENCH_SCHEMA!r}"
+        )
+    for key, kinds in (
+        ("name", str), ("created_unix", (int, float)), ("host", Mapping),
+        ("params", Mapping), ("metrics", list),
+    ):
+        if key not in bundle:
+            problems.append(f"missing key {key!r}")
+        elif not isinstance(bundle[key], kinds):
+            problems.append(f"key {key!r} has type {type(bundle[key]).__name__}")
+    if "seed" in bundle and bundle["seed"] is not None \
+            and not isinstance(bundle["seed"], int):
+        problems.append("seed must be an int or null")
+    for i, metric in enumerate(bundle.get("metrics") or []):
+        if not isinstance(metric, Mapping):
+            problems.append(f"metric #{i} is not a mapping")
+            continue
+        for key, kinds in (
+            ("name", str), ("value", (int, float)), ("units", str),
+            ("direction", str),
+        ):
+            if not isinstance(metric.get(key), kinds):
+                problems.append(f"metric #{i} key {key!r} missing or mistyped")
+        if metric.get("direction") not in DIRECTIONS:
+            problems.append(
+                f"metric #{i} direction {metric.get('direction')!r} invalid"
+            )
+    metric_names = [
+        m.get("name") for m in bundle.get("metrics") or []
+        if isinstance(m, Mapping)
+    ]
+    if len(set(metric_names)) != len(metric_names):
+        problems.append(f"duplicate metric names: {metric_names}")
+    return problems
+
+
+def write_artifact(
+    bundle: Mapping[str, object], path: Union[str, Path]
+) -> Path:
+    """Validate and write one bundle as pretty JSON."""
+    problems = validate_artifact(bundle)
+    if problems:
+        raise ValueError(
+            f"refusing to write invalid bench artifact: {problems}"
+        )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(bundle, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_artifact(path: Union[str, Path]) -> Dict[str, object]:
+    """Load and validate one bundle (raises ``ValueError`` on mismatch)."""
+    bundle = json.loads(Path(path).read_text(encoding="utf-8"))
+    problems = validate_artifact(bundle)
+    if problems:
+        raise ValueError(f"invalid bench artifact {path}: {problems}")
+    return bundle
+
+
+# ----------------------------------------------------------------------
+# comparison
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MetricComparison:
+    """Verdict on one metric of a baseline/candidate pair."""
+
+    name: str
+    units: str
+    direction: str
+    baseline: float
+    candidate: Optional[float]
+    delta_rel: Optional[float]
+    tolerance: float
+    regressed: bool
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """All per-metric verdicts of one artifact comparison."""
+
+    baseline_name: str
+    candidate_name: str
+    comparisons: List[MetricComparison] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricComparison]:
+        """The metrics that regressed beyond tolerance."""
+        return [c for c in self.comparisons if c.regressed]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the candidate passes (no regressions)."""
+        return not self.regressions
+
+    def format_text(self) -> str:
+        """Human-readable table of the comparison."""
+        lines = [
+            f"bench-compare: {self.candidate_name} vs "
+            f"baseline {self.baseline_name}",
+            f"{'metric':<38} {'baseline':>12} {'candidate':>12} "
+            f"{'delta':>9} {'tol':>7}  verdict",
+        ]
+        for c in self.comparisons:
+            cand = "missing" if c.candidate is None else f"{c.candidate:.6g}"
+            delta = "-" if c.delta_rel is None else f"{c.delta_rel:+.2%}"
+            verdict = "REGRESSED" if c.regressed else "ok"
+            if c.note:
+                verdict = f"{verdict} ({c.note})"
+            lines.append(
+                f"{c.name:<38} {c.baseline:>12.6g} {cand:>12} "
+                f"{delta:>9} {c.tolerance:>6.0%}  {verdict}"
+            )
+        lines.append(
+            f"{len(self.regressions)} regression(s) across "
+            f"{len(self.comparisons)} metric(s)"
+        )
+        return "\n".join(lines)
+
+
+def compare_artifacts(
+    baseline: Mapping[str, object],
+    candidate: Mapping[str, object],
+    tolerance: float = 0.10,
+    tolerances: Optional[Mapping[str, float]] = None,
+) -> ComparisonReport:
+    """Judge a candidate bundle against a baseline.
+
+    Each baseline metric is matched by name; the relative delta
+    ``(candidate - baseline) / |baseline|`` is judged against the
+    metric's tolerance (``tolerances[name]`` when given, else the
+    default) in the metric's declared direction.  A metric missing from
+    the candidate regresses; *extra* candidate metrics are ignored (a
+    new benchmark revision may add measurements without breaking old
+    baselines).
+    """
+    for label, bundle in (("baseline", baseline), ("candidate", candidate)):
+        problems = validate_artifact(bundle)
+        if problems:
+            raise ValueError(f"invalid {label} artifact: {problems}")
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    tolerances = dict(tolerances or {})
+    by_name = {m["name"]: m for m in candidate["metrics"]}  # type: ignore[index]
+    comparisons: List[MetricComparison] = []
+    for metric in baseline["metrics"]:  # type: ignore[index]
+        name = metric["name"]
+        tol = float(tolerances.get(name, tolerance))
+        base = float(metric["value"])
+        direction = metric["direction"]
+        cand = by_name.get(name)
+        if cand is None:
+            comparisons.append(MetricComparison(
+                name=name, units=metric["units"], direction=direction,
+                baseline=base, candidate=None, delta_rel=None,
+                tolerance=tol, regressed=True, note="missing from candidate",
+            ))
+            continue
+        value = float(cand["value"])
+        if base != 0.0:
+            delta = (value - base) / abs(base)
+        else:
+            # Zero baselines have no relative scale; judge on the
+            # absolute move against the tolerance directly.
+            delta = value - base
+        if direction == "higher_better":
+            regressed = delta < -tol
+        elif direction == "lower_better":
+            regressed = delta > tol
+        else:
+            regressed = abs(delta) > tol
+        note = ""
+        if cand.get("direction") != direction:
+            note = f"direction changed to {cand.get('direction')!r}"
+        comparisons.append(MetricComparison(
+            name=name, units=metric["units"], direction=direction,
+            baseline=base, candidate=value, delta_rel=delta,
+            tolerance=tol, regressed=regressed, note=note,
+        ))
+    return ComparisonReport(
+        baseline_name=str(baseline["name"]),
+        candidate_name=str(candidate["name"]),
+        comparisons=comparisons,
+    )

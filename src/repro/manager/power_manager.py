@@ -29,7 +29,7 @@ from repro.manager.scheduler import ScheduledMix
 from repro.sim.engine import ExecutionModel
 from repro.sim.execution import SimulationOptions, simulate_mix
 from repro.sim.results import MixRunResult
-from repro.telemetry import ScopedTimer, emit, enabled, get_registry
+from repro.telemetry import ScopedTimer, emit, enabled, get_registry, span
 from repro.units import ensure_positive
 
 __all__ = ["ManagedRun", "PowerManager", "apply_job_runtime"]
@@ -136,7 +136,9 @@ class PowerManager:
         """Characterize, plan, program caps, and execute the mix."""
         if options is None:
             options = SimulationOptions()
-        with ScopedTimer("manager.power_manager.launch_s") as timer:
+        with span("manager.launch", mix=scheduled.mix.name,
+                  policy=policy.name, budget_w=float(budget_w)) as trace_sp, \
+                ScopedTimer("manager.power_manager.launch_s") as timer:
             char = characterization if characterization is not None \
                 else self.characterize(scheduled)
             allocation = self.plan(scheduled, policy, budget_w, char)
@@ -157,6 +159,10 @@ class PowerManager:
                 policy_name=policy.name,
                 budget_w=budget_w,
             )
+            if trace_sp is not None:
+                trace_sp.set_attribute(
+                    "allocated_w", float(allocation.total_allocated_w)
+                )
         if enabled():
             get_registry().counter("manager.power_manager.launches").inc()
             emit(
@@ -197,7 +203,9 @@ class PowerManager:
 
         if not specs:
             raise ValueError("launch_batch needs at least one (policy, budget)")
-        with ScopedTimer("manager.power_manager.launch_batch_s") as timer:
+        with span("manager.launch_batch", mix=scheduled.mix.name,
+                  scenarios=len(specs)), \
+                ScopedTimer("manager.power_manager.launch_batch_s") as timer:
             char = characterization if characterization is not None \
                 else self.characterize(scheduled)
             allocations: List[PowerAllocation] = []

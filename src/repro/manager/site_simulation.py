@@ -50,7 +50,7 @@ from repro.manager.queue import JobQueue, JobRequest, JobState
 from repro.manager.scheduler import Scheduler
 from repro.hardware.cluster import Cluster
 from repro.sim.execution import SimulationOptions
-from repro.telemetry import emit, enabled, get_registry
+from repro.telemetry import emit, enabled, get_registry, span
 from repro.units import ensure_positive
 from repro.workload.job import WorkloadMix
 
@@ -196,6 +196,37 @@ def run_site_simulation(
     """
     ensure_positive(budget_w, "budget_w")
     injecting = fault_schedule is not None and fault_schedule.active
+    with span("manager.site.run", policy=policy.name,
+              budget_w=float(budget_w), arrivals=len(arrivals),
+              hosts=len(cluster), injecting=injecting) as trace_sp:
+        result = _run_shift(
+            arrivals, cluster, policy, budget_w, admission, manager,
+            noise_std, max_batches, run_seed, fault_schedule, degradation,
+            reaction_s, injecting,
+        )
+        if trace_sp is not None:
+            trace_sp.set_attribute("batches", len(result.batches))
+            trace_sp.set_attribute("completed", len(result.completed))
+            trace_sp.set_attribute("makespan_s", result.makespan_s)
+    return result
+
+
+def _run_shift(
+    arrivals: Sequence[Arrival],
+    cluster: Cluster,
+    policy: Policy,
+    budget_w: float,
+    admission: Optional[PowerAwareAdmission],
+    manager: Optional[PowerManager],
+    noise_std: float,
+    max_batches: int,
+    run_seed: Optional[int],
+    fault_schedule,
+    degradation,
+    reaction_s: float,
+    injecting: bool,
+) -> SiteSimulationResult:
+    """The shift loop proper (see :func:`run_site_simulation`)."""
     if injecting:
         from repro.faults.degradation import plan_with_degradation
         from repro.faults.schedule import FaultKind
@@ -294,61 +325,74 @@ def run_site_simulation(
             batch_seed = child_seed(run_seed, "site-batch", len(batches))
         tier = "none"
         backoff_s = 0.0
-        if not injecting:
-            char = characterize_mix(mix, scheduled.efficiencies, manager.model)
-            run = manager.launch(
-                scheduled, policy, budget_w, characterization=char,
-                options=SimulationOptions(noise_std=noise_std, seed=batch_seed),
-            )
-            result = run.result
-        else:
-            # Plan through the degradation ladder: sensor dropouts blind
-            # characterization, forcing the clamp tier.
-            blinded = bool(fault_schedule.sensor_dropout_at(clock))
-            char = None if blinded else characterize_mix(
-                mix, scheduled.efficiencies, manager.model
-            )
-            plan = plan_with_degradation(
-                policy, batch_budget_w, characterization=char,
-                host_count=scheduled.mix.total_nodes,
-                min_cap_w=manager.model.power_model.min_cap_w,
-                tdp_w=manager.model.power_model.tdp_w,
-                config=degradation,
-            )
-            tier, backoff_s = plan.tier, plan.backoff_s
-            caps = plan.caps_w
-            if char is not None and plan.tier == "replan" \
-                    and policy.application_aware:
-                caps = apply_job_runtime(char, caps)
-            result = simulate_mix(
-                scheduled.mix, caps, scheduled.efficiencies, manager.model,
-                SimulationOptions(
-                    noise_std=noise_std, seed=batch_seed,
-                    fault_schedule=fault_schedule.engine_slice(clock),
-                ),
-                policy_name=policy.name, budget_w=batch_budget_w,
-            )
-        duration = float(np.max(result.job_elapsed_s)) + backoff_s
-        planned_overshoot_ws = 0.0
-        overshoot_ws = 0.0
-        if injecting:
-            # Post-plan compliance against the launch budget, judged on
-            # the iteration power trace...
-            planned_overshoot_ws = result.budget_overshoot_watt_seconds(
-                batch_budget_w
-            )
-            overshoot_ws = planned_overshoot_ws
-            # ...plus the reaction window of any budget drop landing
-            # mid-batch, charged at the batch's mean draw until the
-            # actuator responds.
-            mean_p = result.mean_system_power_w
-            for event in fault_schedule.of_kind(FaultKind.BUDGET_CHANGE):
-                if clock < event.time_s < clock + duration:
-                    dipped = fault_schedule.budget_at(
-                        max(event.time_s, event.end_s), budget_w
-                    )
-                    window = min(reaction_s, clock + duration - event.time_s)
-                    overshoot_ws += max(0.0, mean_p - dipped) * window
+        with span("manager.site.batch", batch=len(batches),
+                  admitted=len(decision.admitted),
+                  quarantined=len(quarantined)) as batch_sp:
+            if not injecting:
+                char = characterize_mix(
+                    mix, scheduled.efficiencies, manager.model
+                )
+                run = manager.launch(
+                    scheduled, policy, budget_w, characterization=char,
+                    options=SimulationOptions(
+                        noise_std=noise_std, seed=batch_seed
+                    ),
+                )
+                result = run.result
+            else:
+                # Plan through the degradation ladder: sensor dropouts
+                # blind characterization, forcing the clamp tier.
+                blinded = bool(fault_schedule.sensor_dropout_at(clock))
+                char = None if blinded else characterize_mix(
+                    mix, scheduled.efficiencies, manager.model
+                )
+                plan = plan_with_degradation(
+                    policy, batch_budget_w, characterization=char,
+                    host_count=scheduled.mix.total_nodes,
+                    min_cap_w=manager.model.power_model.min_cap_w,
+                    tdp_w=manager.model.power_model.tdp_w,
+                    config=degradation,
+                )
+                tier, backoff_s = plan.tier, plan.backoff_s
+                caps = plan.caps_w
+                if char is not None and plan.tier == "replan" \
+                        and policy.application_aware:
+                    caps = apply_job_runtime(char, caps)
+                result = simulate_mix(
+                    scheduled.mix, caps, scheduled.efficiencies,
+                    manager.model,
+                    SimulationOptions(
+                        noise_std=noise_std, seed=batch_seed,
+                        fault_schedule=fault_schedule.engine_slice(clock),
+                    ),
+                    policy_name=policy.name, budget_w=batch_budget_w,
+                )
+            duration = float(np.max(result.job_elapsed_s)) + backoff_s
+            planned_overshoot_ws = 0.0
+            overshoot_ws = 0.0
+            if injecting:
+                # Post-plan compliance against the launch budget, judged
+                # on the iteration power trace...
+                planned_overshoot_ws = result.budget_overshoot_watt_seconds(
+                    batch_budget_w
+                )
+                overshoot_ws = planned_overshoot_ws
+                # ...plus the reaction window of any budget drop landing
+                # mid-batch, charged at the batch's mean draw until the
+                # actuator responds.
+                mean_p = result.mean_system_power_w
+                for event in fault_schedule.of_kind(FaultKind.BUDGET_CHANGE):
+                    if clock < event.time_s < clock + duration:
+                        dipped = fault_schedule.budget_at(
+                            max(event.time_s, event.end_s), budget_w
+                        )
+                        window = min(
+                            reaction_s, clock + duration - event.time_s
+                        )
+                        overshoot_ws += max(0.0, mean_p - dipped) * window
+            if batch_sp is not None:
+                batch_sp.set_attribute("degradation_tier", tier)
+                batch_sp.set_attribute("duration_s", duration)
         batches.append(
             BatchRecord(
                 start_s=clock,

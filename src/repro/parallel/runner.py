@@ -35,7 +35,15 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.parallel.cache import active_cache, activate_cache
-from repro.telemetry import ScopedTimer, emit, enabled, get_bus, get_registry
+from repro.telemetry import (
+    ScopedTimer,
+    emit,
+    enabled,
+    get_bus,
+    get_registry,
+    get_tracer,
+    span,
+)
 
 __all__ = ["ParallelRunner", "resolve_workers", "WORKERS_ENV"]
 
@@ -91,21 +99,32 @@ def _init_worker(cache_settings: Optional[Tuple[int, Optional[str]]],
         user_initializer(*user_initargs)
 
 
-def _run_task(fn: Callable, payload: object) -> Tuple[object, Optional[dict],
-                                                      Optional[list]]:
-    """Execute one task in a worker and capture its telemetry delta."""
+def _run_task(
+    fn: Callable, payload: object
+) -> Tuple[object, Optional[dict], Optional[list], Optional[list]]:
+    """Execute one task in a worker and capture its telemetry delta.
+
+    Returns ``(result, metric state, events, spans)``; the trailing three
+    are ``None`` when telemetry is disabled.  The task runs under a
+    ``parallel.task`` span so the worker's span tree has a single root
+    the parent can adopt under its ``parallel.map`` span.
+    """
     from repro.telemetry import (
         enabled as _enabled,
         get_bus as _get_bus,
         get_registry as _get_registry,
+        get_tracer as _get_tracer,
         reset as _reset,
+        span as _span,
     )
 
     _reset()  # each task ships a clean delta
-    result = fn(payload)
+    with _span("parallel.task", pid=os.getpid()):
+        result = fn(payload)
     if not _enabled():
-        return result, None, None
-    return result, _get_registry().state(), _get_bus().events()
+        return result, None, None, None
+    return (result, _get_registry().state(), _get_bus().events(),
+            _get_tracer().state())
 
 
 class ParallelRunner:
@@ -173,7 +192,9 @@ class ParallelRunner:
         registry = get_registry()
         bus = get_bus()
         results: List[object] = []
-        with ScopedTimer("parallel.runner.map_s"):
+        with span("parallel.map", tasks=len(payloads),
+                  workers=self.workers) as map_sp, \
+                ScopedTimer("parallel.runner.map_s"):
             try:
                 with ProcessPoolExecutor(
                     max_workers=min(self.workers, len(payloads)),
@@ -183,11 +204,17 @@ class ParallelRunner:
                 ) as pool:
                     futures = [pool.submit(_run_task, fn, p) for p in payloads]
                     for future in futures:
-                        result, state, events = future.result()
+                        result, state, events, spans = future.result()
                         if state is not None and enabled():
                             registry.merge_state(state)
                         if events and enabled():
                             bus.replay(events)
+                        if spans and map_sp is not None:
+                            # Adopt the worker's span tree under this
+                            # map span; when tracing is off in the
+                            # parent the shipped spans are dropped,
+                            # matching the parent's own recording.
+                            get_tracer().merge_state(spans, parent=map_sp)
                         results.append(result)
             except (BrokenProcessPool, pickle.PicklingError, AttributeError,
                     OSError, ImportError) as exc:

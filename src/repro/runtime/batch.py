@@ -62,7 +62,7 @@ from repro.runtime.controller import EpochResult
 from repro.runtime.reports import JobReport, report_from_arrays
 from repro.sim.batch import stack_layouts
 from repro.sim.engine import ExecutionModel
-from repro.telemetry import ScopedTimer, emit, enabled, get_registry
+from repro.telemetry import ScopedTimer, emit, enabled, get_registry, span
 from repro.workload.job import Job, WorkloadMix
 
 __all__ = [
@@ -436,7 +436,10 @@ class ControllerBatch:
         registry = get_registry() if enabled() else None
         if registry is not None:
             registry.counter("runtime.controller.batch_runs").inc(runs)
-        with ScopedTimer("runtime.controller.batch_run_s") as timer:
+        agent_names = ",".join(sorted({s.agent.name for s in self.specs}))
+        with span("runtime.controller.batch_run", runs=runs, hosts=hosts,
+                  agents=agent_names) as trace_sp, \
+                ScopedTimer("runtime.controller.batch_run_s") as timer:
             for epoch in range(max_epochs):
                 if gathered is None:
                     gathered = _ActiveGather(self, active)
@@ -462,13 +465,19 @@ class ControllerBatch:
                         gathered = None
                         if active.size == 0:
                             break
-        # Serial controllers evaluate ``agent.converged()`` once more
-        # after the loop; mirror that for runs that exhausted the budget
-        # (for a min_epochs > max_epochs run this is the *first* check).
-        if active.size:
-            if gathered is None:
-                gathered = _ActiveGather(self, active)
-            converged[active] = self._converged(gathered, active.size)
+            # Serial controllers evaluate ``agent.converged()`` once more
+            # after the loop; mirror that for runs that exhausted the
+            # budget (for a min_epochs > max_epochs run this is the
+            # *first* check).
+            if active.size:
+                if gathered is None:
+                    gathered = _ActiveGather(self, active)
+                converged[active] = self._converged(gathered, active.size)
+            if trace_sp is not None:
+                trace_sp.set_attribute(
+                    "epochs_total", int(np.sum(epochs_run))
+                )
+                trace_sp.set_attribute("converged", int(np.sum(converged)))
 
         self._log = tuple(log)
         result = self._build_result(epochs_run, converged)

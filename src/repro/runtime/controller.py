@@ -23,7 +23,7 @@ import numpy as np
 from repro.runtime.agent import Agent, PlatformSample
 from repro.runtime.reports import JobReport, report_from_arrays
 from repro.sim.engine import ExecutionModel
-from repro.telemetry import ScopedTimer, emit, enabled, get_registry
+from repro.telemetry import ScopedTimer, emit, enabled, get_registry, span
 from repro.workload.job import Job, WorkloadMix
 
 __all__ = ["EpochResult", "Controller"]
@@ -155,7 +155,10 @@ class Controller:
 
         self.history.clear()
         self._clock_s = 0.0
-        with ScopedTimer("runtime.controller.run_s") as timer:
+        with span("runtime.controller.run", job=self.job.name,
+                  agent=self.agent.name, hosts=n,
+                  injecting=self._injecting) as trace_sp, \
+                ScopedTimer("runtime.controller.run_s") as timer:
             for epoch in range(max_epochs):
                 epoch_start_s = self._clock_s
                 sample = self._run_epoch(epoch, limits)
@@ -171,6 +174,9 @@ class Controller:
                 self.history.append(EpochResult(epoch, sample, limits.copy()))
                 if epoch + 1 >= min_epochs and self.agent.converged():
                     break
+            if trace_sp is not None:
+                trace_sp.set_attribute("epochs", len(self.history))
+                trace_sp.set_attribute("converged", self.agent.converged())
         converged = self.agent.converged()
         report = self._build_report()
         if enabled():

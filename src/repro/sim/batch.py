@@ -45,7 +45,7 @@ from repro.sim.execution import (
     _execute_scenarios,
 )
 from repro.sim.results import MixRunResult
-from repro.telemetry import ScopedTimer, emit, enabled, get_registry
+from repro.telemetry import ScopedTimer, emit, enabled, get_registry, span
 from repro.workload.job import HostLayout, WorkloadMix
 
 __all__ = ["LayoutBatch", "stack_layouts", "simulate_cap_batch"]
@@ -229,64 +229,68 @@ def simulate_cap_batch(
 
     from repro.parallel.cache import active_cache
 
-    cache = active_cache()
-    results: List[Optional[MixRunResult]] = [None] * scenarios
-    keys: List[Optional[str]] = [None] * scenarios
-    misses = list(range(scenarios))
-    if cache is not None:
-        from repro.io.serialize import result_from_dict
+    with span("sim.simulate_cap_batch", mix=mix.name,
+              hosts=layout.host_count, scenarios=scenarios) as trace_sp:
+        cache = active_cache()
+        results: List[Optional[MixRunResult]] = [None] * scenarios
+        keys: List[Optional[str]] = [None] * scenarios
+        misses = list(range(scenarios))
+        if cache is not None:
+            from repro.io.serialize import result_from_dict
 
-        misses = []
-        for s in range(scenarios):
-            opts_s = dataclasses.replace(options, seed=seed_list[s])
-            keys[s] = cache.key(
-                "simulate", mix, caps[s], eff, model, opts_s,
-                names[s], budgets[s],
-            )
-            payload = cache.get(keys[s])
-            if payload is not None:
-                results[s] = result_from_dict(payload)
-            else:
-                misses.append(s)
-    hits = scenarios - len(misses)
-
-    with ScopedTimer("sim.execution.simulate_cap_batch_s") as timer:
-        if misses:
-            out = _execute_scenarios(
-                layout, caps[misses], eff, model, n_iter,
-                options.noise_std, options.barrier_overhead_s,
-                [seed_list[s] for s in misses],
-                fault_schedule=options.fault_schedule,
-            )
-            for row, s in enumerate(misses):
-                results[s] = MixRunResult(
-                    mix_name=mix.name,
-                    policy_name=names[s],
-                    budget_w=budgets[s],
-                    job_names=mix.job_names,
-                    iteration_times_s=out.job_iter_times[row],
-                    iteration_energy_j=out.iteration_energy[row],
-                    host_energy_j=out.host_energy[row],
-                    host_mean_power_w=out.host_mean_power[row],
-                    host_job_index=layout.job_index,
-                    total_gflop=float(out.total_gflop[row]),
+            misses = []
+            for s in range(scenarios):
+                opts_s = dataclasses.replace(options, seed=seed_list[s])
+                keys[s] = cache.key(
+                    "simulate", mix, caps[s], eff, model, opts_s,
+                    names[s], budgets[s],
                 )
-    if cache is not None and misses:
-        from repro.io.serialize import result_to_dict
+                payload = cache.get(keys[s])
+                if payload is not None:
+                    results[s] = result_from_dict(payload)
+                else:
+                    misses.append(s)
+        hits = scenarios - len(misses)
+        if trace_sp is not None:
+            trace_sp.set_attribute("cache_hits", hits)
 
-        for s in misses:
-            cache.put(keys[s], result_to_dict(results[s]))
+        with ScopedTimer("sim.execution.simulate_cap_batch_s") as timer:
+            if misses:
+                out = _execute_scenarios(
+                    layout, caps[misses], eff, model, n_iter,
+                    options.noise_std, options.barrier_overhead_s,
+                    [seed_list[s] for s in misses],
+                    fault_schedule=options.fault_schedule,
+                )
+                for row, s in enumerate(misses):
+                    results[s] = MixRunResult(
+                        mix_name=mix.name,
+                        policy_name=names[s],
+                        budget_w=budgets[s],
+                        job_names=mix.job_names,
+                        iteration_times_s=out.job_iter_times[row],
+                        iteration_energy_j=out.iteration_energy[row],
+                        host_energy_j=out.host_energy[row],
+                        host_mean_power_w=out.host_mean_power[row],
+                        host_job_index=layout.job_index,
+                        total_gflop=float(out.total_gflop[row]),
+                    )
+        if cache is not None and misses:
+            from repro.io.serialize import result_to_dict
 
-    if enabled():
-        registry = get_registry()
-        registry.counter("sim.execution.batch_runs").inc()
-        if misses:
-            registry.counter("sim.execution.runs").inc(len(misses))
-        if hits:
-            registry.counter("sim.execution.cache_hits").inc(hits)
-        emit(
-            "sim.execution", "mix_batch_simulated",
-            mix=mix.name, hosts=layout.host_count, scenarios=scenarios,
-            cache_hits=hits, iterations=n_iter, wall_s=timer.elapsed_s,
-        )
+            for s in misses:
+                cache.put(keys[s], result_to_dict(results[s]))
+
+        if enabled():
+            registry = get_registry()
+            registry.counter("sim.execution.batch_runs").inc()
+            if misses:
+                registry.counter("sim.execution.runs").inc(len(misses))
+            if hits:
+                registry.counter("sim.execution.cache_hits").inc(hits)
+            emit(
+                "sim.execution", "mix_batch_simulated",
+                mix=mix.name, hosts=layout.host_count, scenarios=scenarios,
+                cache_hits=hits, iterations=n_iter, wall_s=timer.elapsed_s,
+            )
     return results  # type: ignore[return-value]

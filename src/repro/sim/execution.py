@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.sim.engine import ExecutionModel
 from repro.sim.results import MixRunResult
-from repro.telemetry import ScopedTimer, emit, enabled, get_registry
+from repro.telemetry import ScopedTimer, emit, enabled, get_registry, span
 from repro.units import ensure_non_negative
 from repro.workload.job import WorkloadMix
 
@@ -243,10 +243,14 @@ def _execute_scenarios(
     """
     sigma_si = None
     if fault_schedule is not None and fault_schedule.active:
-        caps_sw, sigma_si, override_count = _engine_fault_plan(
-            fault_schedule, np.asarray(caps_sw, dtype=float), layout,
-            efficiencies, model, n_iter, noise_std, barrier_overhead_s,
-        )
+        with span("faults.engine.plan", schedule=fault_schedule.name) as sp:
+            caps_sw, sigma_si, override_count = _engine_fault_plan(
+                fault_schedule, np.asarray(caps_sw, dtype=float), layout,
+                efficiencies, model, n_iter, noise_std, barrier_overhead_s,
+            )
+            if sp is not None:
+                sp.set_attribute("cap_overrides", override_count)
+                sp.set_attribute("noise_burst", sigma_si is not None)
         if enabled():
             registry = get_registry()
             registry.counter("faults.engine.runs").inc()
@@ -390,49 +394,55 @@ def simulate_mix(
     """
     if options is None:
         options = DEFAULT_OPTIONS
-    cache = _active_cache()
-    cache_key = None
-    if cache is not None:
-        cache_key = cache.key(
-            "simulate", mix, np.asarray(caps_w, dtype=float),
-            np.asarray(efficiencies, dtype=float),
-            model if model is not None else ExecutionModel(),
-            options, policy_name, float(budget_w),
-        )
-        payload = cache.get(cache_key)
-        if payload is not None:
-            from repro.io.serialize import result_from_dict
-
-            if enabled():
-                get_registry().counter("sim.execution.cache_hits").inc()
-                emit(
-                    "sim.execution", "mix_simulated_cached",
-                    mix=mix.name, hosts=mix.total_nodes,
-                    policy=policy_name,
-                )
-            return result_from_dict(payload)
-    with ScopedTimer("sim.execution.simulate_mix_s") as timer:
-        result = _simulate_mix_impl(
-            mix, caps_w, efficiencies, model, options, policy_name, budget_w
-        )
-    if cache is not None and cache_key is not None:
-        from repro.io.serialize import result_to_dict
-
-        cache.put(cache_key, result_to_dict(result))
-    if enabled():
-        registry = get_registry()
-        registry.counter("sim.execution.runs").inc()
-        sim_s = float(np.max(result.job_elapsed_s))
-        if timer.elapsed_s > 0:
-            registry.gauge("sim.execution.sim_seconds_per_wall_second").set(
-                sim_s / timer.elapsed_s
+    with span("sim.simulate_mix", mix=mix.name, hosts=mix.total_nodes,
+              policy=policy_name) as trace_sp:
+        cache = _active_cache()
+        cache_key = None
+        if cache is not None:
+            cache_key = cache.key(
+                "simulate", mix, np.asarray(caps_w, dtype=float),
+                np.asarray(efficiencies, dtype=float),
+                model if model is not None else ExecutionModel(),
+                options, policy_name, float(budget_w),
             )
-        emit(
-            "sim.execution", "mix_simulated",
-            mix=mix.name, hosts=mix.total_nodes,
-            iterations=mix.common_iterations(),
-            policy=policy_name, wall_s=timer.elapsed_s, sim_s=sim_s,
-        )
+            payload = cache.get(cache_key)
+            if payload is not None:
+                from repro.io.serialize import result_from_dict
+
+                if trace_sp is not None:
+                    trace_sp.set_attribute("cache_hit", True)
+                if enabled():
+                    get_registry().counter("sim.execution.cache_hits").inc()
+                    emit(
+                        "sim.execution", "mix_simulated_cached",
+                        mix=mix.name, hosts=mix.total_nodes,
+                        policy=policy_name,
+                    )
+                return result_from_dict(payload)
+        if trace_sp is not None:
+            trace_sp.set_attribute("cache_hit", False)
+        with ScopedTimer("sim.execution.simulate_mix_s") as timer:
+            result = _simulate_mix_impl(
+                mix, caps_w, efficiencies, model, options, policy_name, budget_w
+            )
+        if cache is not None and cache_key is not None:
+            from repro.io.serialize import result_to_dict
+
+            cache.put(cache_key, result_to_dict(result))
+        if enabled():
+            registry = get_registry()
+            registry.counter("sim.execution.runs").inc()
+            sim_s = float(np.max(result.job_elapsed_s))
+            if timer.elapsed_s > 0:
+                registry.gauge("sim.execution.sim_seconds_per_wall_second").set(
+                    sim_s / timer.elapsed_s
+                )
+            emit(
+                "sim.execution", "mix_simulated",
+                mix=mix.name, hosts=mix.total_nodes,
+                iterations=mix.common_iterations(),
+                policy=policy_name, wall_s=timer.elapsed_s, sim_s=sim_s,
+            )
     return result
 
 

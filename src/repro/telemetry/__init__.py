@@ -50,8 +50,26 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     metric_key,
 )
+from repro.telemetry.provenance import (
+    PROVENANCE_SCHEMA,
+    capture_ledger,
+    load_ledger,
+    validate_ledger,
+    write_ledger,
+)
 from repro.telemetry.summary import TelemetrySummary
 from repro.telemetry.timers import ScopedTimer, timed
+from repro.telemetry.tracing import (
+    Span,
+    Tracer,
+    current_span,
+    get_tracer,
+    set_tracing,
+    span,
+    span_forest,
+    tracing_enabled,
+    validate_span_tree,
+)
 
 __all__ = [
     "Event",
@@ -73,4 +91,18 @@ __all__ = [
     "emit",
     "reset",
     "isolate",
+    "Span",
+    "Tracer",
+    "span",
+    "current_span",
+    "get_tracer",
+    "set_tracing",
+    "tracing_enabled",
+    "span_forest",
+    "validate_span_tree",
+    "PROVENANCE_SCHEMA",
+    "capture_ledger",
+    "validate_ledger",
+    "write_ledger",
+    "load_ledger",
 ]

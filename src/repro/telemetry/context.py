@@ -84,19 +84,27 @@ def emit(source: str, kind: str, **payload: object) -> Optional[Event]:
 
 
 def reset() -> None:
-    """Clear the global registry and event buffer (switch unchanged)."""
+    """Clear the global registry, event buffer, and finished spans
+    (switches unchanged)."""
+    from repro.telemetry import tracing
+
     _registry.reset()
     _bus.clear()
+    tracing.get_tracer().clear()
 
 
 def isolate() -> None:
-    """Replace the global registry and bus with fresh instances.
+    """Replace the global registry, bus, and tracer with fresh instances.
 
-    Unlike :func:`reset`, this also discards subscribers — which is what
-    a forked worker process needs: subscriptions (and any file handles
-    they close over, e.g. a trace writer) belong to the parent and must
-    not fire in the child.
+    Unlike :func:`reset`, this also discards subscribers and open span
+    stacks — which is what a forked worker process needs: subscriptions
+    (and any file handles they close over, e.g. a trace writer) belong
+    to the parent and must not fire in the child, and a parent's open
+    spans must not become the worker's span ancestry.
     """
     global _registry, _bus
+    from repro.telemetry import tracing
+
     _registry = MetricsRegistry()
     _bus = EventBus()
+    tracing._reset_tracer()

@@ -273,6 +273,16 @@ class MetricsRegistry:
                 self._histograms[key] = Histogram()
             return self._histograms[key]
 
+    def counter_values(self) -> Dict[str, float]:
+        """Current value of every counter, keyed by canonical name.
+
+        A cheap point-in-time copy (no histogram sorting); the tracing
+        layer snapshots this at span entry/exit to attribute counter
+        deltas to subtrees.
+        """
+        with self._lock:
+            return {k: c.value for k, c in self._counters.items()}
+
     # -- lifecycle -----------------------------------------------------
     def reset(self) -> None:
         """Drop every metric (a fresh registry without re-wiring)."""
@@ -307,10 +317,18 @@ class MetricsRegistry:
     def merge_state(self, state: Mapping[str, Mapping[str, object]]) -> None:
         """Fold another registry's :meth:`state` into this one.
 
-        Counters add, gauges take the incoming (latest) level, and
-        histograms merge count/total/min/max exactly with reservoir
-        union.  Used by the parallel runner to surface per-worker
-        telemetry in the parent process.
+        Counters add, gauges keep the **peak** of the existing and
+        incoming levels, and histograms merge count/total/min/max
+        exactly with reservoir union.  Used by the parallel runner to
+        surface per-worker telemetry in the parent process.
+
+        Gauges merge as a maximum because per-worker levels (e.g.
+        ``runtime.controller.batch_active_runs``) are concurrent: the
+        workers' final values all describe the same instant of the
+        parallel run, so "last state shipped wins" would silently report
+        an arbitrary worker.  The peak is the one order-independent
+        roll-up that is honest for occupancy-style gauges; a merged
+        gauge therefore reads "highest level any process reached".
         """
         for key, value in state.get("counters", {}).items():
             with self._lock:
@@ -318,8 +336,12 @@ class MetricsRegistry:
             counter.inc(float(value))
         for key, value in state.get("gauges", {}).items():
             with self._lock:
-                gauge = self._gauges.setdefault(key, Gauge())
-            gauge.set(float(value))
+                gauge = self._gauges.get(key)
+                if gauge is None:
+                    gauge = self._gauges.setdefault(key, Gauge())
+                    gauge.set(float(value))
+                else:
+                    gauge.set(max(gauge.value, float(value)))
         for key, hist_state in state.get("histograms", {}).items():
             with self._lock:
                 histogram = self._histograms.setdefault(key, Histogram())

@@ -1,0 +1,191 @@
+"""Unit tests for the perf-trajectory artifacts and the comparator CLI.
+
+The acceptance criteria of the perf gate: every bundle is schema-valid,
+``bench-compare`` exits zero on a self-compare and non-zero on an
+injected regression, and the direction semantics (higher/lower/two-sided)
+judge deltas the right way round.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io.bench_artifacts import (
+    BENCH_SCHEMA,
+    BenchMetric,
+    compare_artifacts,
+    load_artifact,
+    make_artifact,
+    validate_artifact,
+    write_artifact,
+)
+
+
+def _bundle(**values):
+    """A small artifact with one metric per direction."""
+    metrics = [
+        BenchMetric("speedup", values.get("speedup", 4.0), "x",
+                    direction="higher_better"),
+        BenchMetric("wall_ms", values.get("wall_ms", 120.0), "ms",
+                    direction="lower_better"),
+        BenchMetric("mean_power_w", values.get("mean_power_w", 215.0), "W"),
+    ]
+    return make_artifact("unit", metrics, params={"hosts": 96}, seed=0)
+
+
+class TestArtifact:
+    def test_make_is_schema_valid(self):
+        bundle = _bundle()
+        assert validate_artifact(bundle) == []
+        assert bundle["schema"] == BENCH_SCHEMA
+        assert bundle["params"] == {"hosts": 96}
+        assert bundle["seed"] == 0
+
+    def test_rejects_empty_metrics(self):
+        with pytest.raises(ValueError, match="at least one metric"):
+            make_artifact("unit", [])
+
+    def test_rejects_duplicate_metric_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            make_artifact("unit", [
+                BenchMetric("x", 1.0, "s"), BenchMetric("x", 2.0, "s"),
+            ])
+
+    def test_metric_rejects_unknown_direction(self):
+        with pytest.raises(ValueError, match="direction"):
+            BenchMetric("x", 1.0, "s", direction="sideways")
+
+    def test_write_load_roundtrip(self, tmp_path):
+        path = write_artifact(_bundle(), tmp_path / "BENCH_unit.json")
+        loaded = load_artifact(path)
+        assert loaded["metrics"] == _bundle()["metrics"]
+
+    def test_load_rejects_invalid_file(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps({"schema": "wrong"}))
+        with pytest.raises(ValueError, match="invalid"):
+            load_artifact(path)
+
+    def test_emit_bench_writes_repo_root_file(self, tmp_path, monkeypatch):
+        import benchmarks.artifacts as artifacts
+
+        monkeypatch.setattr(artifacts, "REPO_ROOT", tmp_path)
+        path = artifacts.emit_bench(
+            "smoke", [BenchMetric("v", 1.0, "s")], params={"n": 2}
+        )
+        assert path == tmp_path / "BENCH_smoke.json"
+        assert load_artifact(path)["name"] == "smoke"
+
+
+class TestCompare:
+    def test_self_compare_is_clean(self):
+        report = compare_artifacts(_bundle(), _bundle())
+        assert report.ok
+        assert report.regressions == []
+
+    def test_higher_better_regresses_on_drop_only(self):
+        assert not compare_artifacts(
+            _bundle(), _bundle(speedup=8.0), tolerance=0.1
+        ).regressions
+        report = compare_artifacts(
+            _bundle(), _bundle(speedup=3.0), tolerance=0.1
+        )
+        assert [c.name for c in report.regressions] == ["speedup"]
+
+    def test_lower_better_regresses_on_rise_only(self):
+        assert not compare_artifacts(
+            _bundle(), _bundle(wall_ms=60.0), tolerance=0.1
+        ).regressions
+        report = compare_artifacts(
+            _bundle(), _bundle(wall_ms=200.0), tolerance=0.1
+        )
+        assert [c.name for c in report.regressions] == ["wall_ms"]
+
+    def test_two_sided_regresses_both_ways(self):
+        for value in (180.0, 260.0):
+            report = compare_artifacts(
+                _bundle(), _bundle(mean_power_w=value), tolerance=0.1
+            )
+            assert [c.name for c in report.regressions] == ["mean_power_w"]
+
+    def test_within_tolerance_passes(self):
+        report = compare_artifacts(
+            _bundle(), _bundle(mean_power_w=220.0), tolerance=0.1
+        )
+        assert report.ok
+
+    def test_per_metric_tolerance_overrides_default(self):
+        report = compare_artifacts(
+            _bundle(), _bundle(wall_ms=200.0), tolerance=0.05,
+            tolerances={"wall_ms": 2.0},
+        )
+        assert report.ok
+
+    def test_missing_candidate_metric_regresses(self):
+        candidate = make_artifact("unit", [BenchMetric("speedup", 4.0, "x",
+                                                       direction="higher_better")])
+        report = compare_artifacts(_bundle(), candidate)
+        assert not report.ok
+        missing = {c.name for c in report.regressions}
+        assert missing == {"wall_ms", "mean_power_w"}
+
+    def test_extra_candidate_metrics_ignored(self):
+        baseline = make_artifact("unit", [BenchMetric("speedup", 4.0, "x",
+                                                      direction="higher_better")])
+        report = compare_artifacts(baseline, _bundle())
+        assert report.ok
+        assert len(report.comparisons) == 1
+
+    def test_zero_baseline_judged_on_absolute_delta(self):
+        baseline = make_artifact("unit", [BenchMetric("overshoot", 0.0, "Ws",
+                                                      direction="lower_better")])
+        candidate = make_artifact("unit", [BenchMetric("overshoot", 0.5, "Ws",
+                                                       direction="lower_better")])
+        report = compare_artifacts(baseline, candidate, tolerance=0.1)
+        assert not report.ok
+
+    def test_format_text_mentions_verdicts(self):
+        report = compare_artifacts(_bundle(), _bundle(speedup=1.0))
+        text = report.format_text()
+        assert "REGRESSED" in text
+        assert "regression(s)" in text
+
+
+class TestBenchCompareCli:
+    def _write(self, tmp_path, name, **values):
+        return str(write_artifact(_bundle(**values), tmp_path / name))
+
+    def test_self_compare_exits_zero(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json")
+        assert main(["bench-compare", base, base]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json")
+        cand = self._write(tmp_path, "cand.json", speedup=1.0)
+        assert main(["bench-compare", base, cand]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_tolerance_flag_loosens_gate(self, tmp_path):
+        base = self._write(tmp_path, "base.json")
+        cand = self._write(tmp_path, "cand.json", speedup=3.0)
+        assert main(["bench-compare", base, cand, "--tolerance", "0.5"]) == 0
+
+    def test_metric_tolerance_flag(self, tmp_path):
+        base = self._write(tmp_path, "base.json")
+        cand = self._write(tmp_path, "cand.json", wall_ms=200.0)
+        assert main(["bench-compare", base, cand,
+                     "--metric-tolerance", "wall_ms=2.0"]) == 0
+
+    def test_bad_metric_tolerance_spec_exits_two(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json")
+        assert main(["bench-compare", base, base,
+                     "--metric-tolerance", "nonsense"]) == 2
+        assert "NAME=REL" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json")
+        assert main(["bench-compare", base,
+                     str(tmp_path / "absent.json")]) == 2
+        assert "error" in capsys.readouterr().err

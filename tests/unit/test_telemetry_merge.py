@@ -79,6 +79,26 @@ class TestRegistryMerge:
         parent.merge_state(worker.state())
         assert parent.counter("only.in.worker").value == 1
 
+    def test_gauges_merge_as_peak_not_last_writer(self):
+        # Regression: per-worker occupancy gauges used to be overwritten
+        # by whichever worker's state merged last, so a low-water final
+        # value silently replaced the true peak.
+        parent = MetricsRegistry()
+        parent.gauge("active_runs").set(3)
+        busy, idle = MetricsRegistry(), MetricsRegistry()
+        busy.gauge("active_runs").set(7)
+        idle.gauge("active_runs").set(1)
+        parent.merge_state(busy.state())
+        parent.merge_state(idle.state())  # later, lower value
+        assert parent.gauge("active_runs").value == 7
+
+    def test_gauge_merge_creates_missing_gauge_at_shipped_value(self):
+        parent = MetricsRegistry()
+        worker = MetricsRegistry()
+        worker.gauge("depth").set(2)
+        parent.merge_state(worker.state())
+        assert parent.gauge("depth").value == 2
+
     def test_labelled_metrics_keep_labels(self):
         worker = MetricsRegistry()
         worker.counter("cells", mix="LowPower").inc(3)
