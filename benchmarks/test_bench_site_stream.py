@@ -1,0 +1,104 @@
+"""Bench: the streaming site engine under sustained Poisson load.
+
+The acceptance benchmark of the event-driven site engine: a rolling
+engine fed a Poisson arrival stream whose rate extrapolates to well over
+100 000 arrivals per simulated day, with per-job bookkeeping disabled
+(``record_jobs=False``) so memory stays bounded by the backpressure
+window rather than the arrival count.  The run asserts the memory
+contract directly — terminal jobs forgotten, no per-batch records
+retained, peak tracked jobs a small multiple of ``max_pending`` — and
+records the simulated-time-per-wall-time ratio as the throughput metric.
+
+The arrival stream is seeded, so the arrival count (and therefore the
+``arrivals_per_day`` metric) is deterministic; wall-clock metrics vary
+by host and are gated only by the very generous perf-trajectory
+tolerance in CI.
+
+Under ``REPRO_SMOKE=1`` the simulated window shrinks from one hour to
+four minutes (same rate, same contract) so the CI job stays fast.
+
+Writes ``benchmarks/output/site_stream.txt`` and the machine-readable
+``BENCH_site_stream.json`` perf-trajectory bundle.
+"""
+
+import os
+import time
+
+from repro.core.registry import create_policy
+from repro.hardware.cluster import Cluster
+from repro.io.bench_artifacts import BenchMetric
+from repro.stream import SiteStreamEngine, poisson_stream, synthetic_job_factory
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+
+RATE_PER_S = 2.0
+DURATION_S = 240.0 if SMOKE else 3600.0
+MAX_PENDING = 64
+SEED = 11
+
+
+def test_sustained_stream_throughput_and_memory(emit):
+    cluster = Cluster(node_count=12, variation=None, seed=0)
+    engine = SiteStreamEngine(
+        cluster, create_policy("StaticCaps"), 2500.0,
+        rolling=True, max_pending=MAX_PENDING,
+        record_jobs=False, record_batches=False,
+    )
+    engine.attach_source(poisson_stream(
+        RATE_PER_S, DURATION_S, synthetic_job_factory(), seed=SEED
+    ))
+
+    start = time.perf_counter()
+    stats = engine.run()
+    wall_s = time.perf_counter() - start
+
+    arrivals_per_day = stats.arrivals / DURATION_S * 86_400.0
+    sim_per_wall = engine.clock / wall_s
+
+    # Sustained-load floor: the stream must represent > 100k arrivals
+    # per simulated day, and every accepted job must be accounted for.
+    assert arrivals_per_day >= 100_000.0
+    assert stats.jobs_completed + stats.jobs_failed == \
+        stats.arrivals - stats.rejected
+
+    # Bounded memory: terminal jobs are forgotten, aggregates kept.
+    assert len(engine.queue) == 0
+    assert engine.batches == []
+    assert engine.turnaround_s == {}
+    assert stats.peak_tracked_jobs <= 2 * MAX_PENDING
+    assert stats.mean_turnaround_s() > 0.0
+
+    lines = [
+        "Streaming site engine: sustained Poisson load "
+        f"({RATE_PER_S}/s for {DURATION_S:.0f} simulated seconds)",
+        "",
+        f"  arrivals:            {stats.arrivals}"
+        f"  (= {arrivals_per_day:,.0f}/simulated day)",
+        f"  completed / failed:  {stats.jobs_completed}"
+        f" / {stats.jobs_failed}",
+        f"  backpressure drops:  {stats.rejected}"
+        f"  (max_pending = {MAX_PENDING})",
+        f"  batches executed:    {stats.batches}",
+        f"  peak tracked jobs:   {stats.peak_tracked_jobs}",
+        f"  mean turnaround:     {stats.mean_turnaround_s():.1f} s",
+        f"  wall time:           {wall_s:.2f} s"
+        f"  ({sim_per_wall:,.0f} simulated s / wall s)",
+    ]
+    emit(
+        "site_stream", "\n".join(lines),
+        metrics=[
+            BenchMetric("arrivals_per_day", arrivals_per_day,
+                        "jobs/day", direction="higher_better"),
+            BenchMetric("sim_seconds_per_wall_second", sim_per_wall,
+                        "s/s", direction="higher_better"),
+            BenchMetric("wall_s", wall_s, "s", direction="lower_better"),
+            BenchMetric("peak_tracked_jobs",
+                        float(stats.peak_tracked_jobs), "jobs",
+                        direction="lower_better"),
+            BenchMetric("mean_turnaround_s", stats.mean_turnaround_s(),
+                        "s", direction="two_sided"),
+        ],
+        params={"rate_per_s": RATE_PER_S, "duration_s": DURATION_S,
+                "max_pending": MAX_PENDING, "smoke": SMOKE},
+        seed=SEED,
+    )

@@ -24,6 +24,12 @@ Subcommands covering the workflows a site operator runs:
 ``site``
     The arrival-driven site simulation, replayed under independent
     noise seeds for confidence intervals.
+``stream``
+    The event-driven streaming site engine under sustained Poisson
+    load (rolling admission, bounded memory), or — with ``--serve`` —
+    the asyncio daemon speaking the ``repro.stream.v1`` protocol;
+    ``--daemon-smoke`` drives it with a synthetic client burst (the CI
+    smoke).
 ``faults``
     Replay the named fault scenarios (budget drops, node loss, sensor
     blackouts, stuck caps) against the policies and report QoS loss and
@@ -187,6 +193,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_site.add_argument("--telemetry-out", metavar="DIR",
                         help="dump the metrics snapshot, event log, span "
                              "tree, and provenance ledger here")
+
+    p_stream = sub.add_parser(
+        "stream",
+        help="event-driven streaming site engine (sustained load / daemon)",
+    )
+    p_stream.add_argument("--policy", default="MixedAdaptive",
+                          choices=POLICY_NAMES, help="allocation policy")
+    p_stream.add_argument("--rate", type=float, default=1.5, metavar="PER_S",
+                          help="Poisson arrival rate in jobs per simulated "
+                               "second (default 1.5 ≈ 130k jobs/day)")
+    p_stream.add_argument("--duration", type=float, default=600.0,
+                          metavar="S",
+                          help="simulated stream length (default 600 s)")
+    p_stream.add_argument("--seed", type=int, default=0,
+                          help="arrival-stream and noise seed")
+    p_stream.add_argument("--max-pending", type=_positive_int, default=64,
+                          metavar="N",
+                          help="queue backpressure bound (default 64)")
+    p_stream.add_argument("--budget-drop", type=float, default=None,
+                          metavar="FRACTION",
+                          help="drop the facility budget to this fraction "
+                               "halfway through the stream")
+    p_stream.add_argument("--serve", action="store_true",
+                          help="run the asyncio daemon instead: prints "
+                               "host:port, serves repro.stream.v1 clients "
+                               "until one sends shutdown")
+    p_stream.add_argument("--port", type=int, default=0,
+                          help="daemon port (default 0 = OS-assigned)")
+    p_stream.add_argument("--daemon-smoke", action="store_true",
+                          dest="daemon_smoke",
+                          help="start the daemon, drive it with a synthetic "
+                               "client burst, and exit non-zero on any "
+                               "protocol failure (the CI smoke)")
+    p_stream.add_argument("--telemetry-out", metavar="DIR",
+                          help="dump the metrics snapshot and event log here")
 
     p_faults = sub.add_parser(
         "faults",
@@ -515,6 +556,147 @@ def _cmd_site(grid: ExperimentGrid, policy: str, jobs: int, replays: int,
     return 0
 
 
+def _build_stream_engine(grid: ExperimentGrid, policy: str,
+                         max_pending: int, seed: int):
+    """A rolling engine sized like the ``site`` command's cluster."""
+    from repro.core.registry import create_policy
+    from repro.stream import SiteStreamEngine
+
+    nodes = max(2, grid.config.nodes_per_job)
+    cluster = grid.partition.subset(np.arange(4 * nodes))
+    budget_w = 4 * nodes * 0.85 * grid.model.power_model.tdp_w
+    engine = SiteStreamEngine(
+        cluster, create_policy(policy), budget_w,
+        rolling=True, max_pending=max_pending,
+        record_jobs=False, record_batches=False,
+        run_seed=seed,
+    )
+    return engine, nodes, budget_w
+
+
+def _cmd_stream(grid: ExperimentGrid, args: argparse.Namespace) -> int:
+    """Sustained-load run, daemon service, or daemon smoke test."""
+    engine, nodes, budget_w = _build_stream_engine(
+        grid, args.policy, args.max_pending, args.seed
+    )
+    if args.serve or args.daemon_smoke:
+        import asyncio
+
+        from repro.stream.daemon import StreamDaemon
+
+        async def _serve() -> int:
+            daemon = StreamDaemon(engine, port=args.port)
+            host, port = await daemon.start()
+            print(f"stream daemon listening on {host}:{port} "
+                  f"({args.policy}, {budget_w / 1000:.1f} kW)")
+            if args.daemon_smoke:
+                try:
+                    await _drive_daemon_smoke(host, port, nodes)
+                finally:
+                    await daemon.stop()
+                return 0
+            await daemon.serve_until_shutdown()
+            return 0
+
+        try:
+            code = asyncio.run(_serve())
+        except AssertionError as exc:
+            print(f"daemon smoke FAILED: {exc}", file=sys.stderr)
+            return 1
+        if args.daemon_smoke:
+            print("daemon smoke OK")
+        return code
+
+    from repro.stream import poisson_stream, synthetic_job_factory
+
+    engine.tick_interval_s = max(args.duration / 10.0, 1.0)
+    factory = synthetic_job_factory(
+        node_count=nodes,
+        iterations=grid.config.iterations,
+        power_hint_w=0.8 * grid.model.power_model.tdp_w,
+    )
+    engine.attach_source(
+        poisson_stream(args.rate, args.duration, factory, seed=args.seed)
+    )
+    if args.budget_drop is not None:
+        if not 0.0 < args.budget_drop <= 1.0:
+            print("error: --budget-drop must be in (0, 1]", file=sys.stderr)
+            return 2
+        engine.set_budget(args.budget_drop * budget_w,
+                          time_s=args.duration / 2.0)
+    stats = engine.run()
+    rows = [[k, f"{v:.3f}" if isinstance(v, float) else str(v)]
+            for k, v in stats.snapshot().items()]
+    print(render_table(
+        ["statistic", "value"], rows,
+        title=f"Streaming site engine: {args.policy}, "
+              f"{args.rate:g} jobs/s x {args.duration:g} s, "
+              f"{budget_w / 1000:.1f} kW",
+    ))
+    per_day = stats.arrivals * 86400.0 / max(stats.clock_s, 1e-9)
+    print(f"\nsustained arrival rate ≈ {per_day:,.0f} jobs/day "
+          f"(peak tracked jobs {stats.peak_tracked_jobs})")
+    if args.telemetry_out:
+        _dump_telemetry(args.telemetry_out, kind="stream",
+                        config=grid.config,
+                        inputs={"policy": args.policy,
+                                "rate_per_s": args.rate,
+                                "duration_s": args.duration,
+                                "max_pending": args.max_pending,
+                                "budget_w": float(budget_w)},
+                        seed=args.seed)
+    return 0
+
+
+async def _drive_daemon_smoke(host: str, port: int, nodes: int) -> None:
+    """A synthetic client burst against a live daemon (CI smoke).
+
+    Subscribes, submits a burst, and checks every reply frame validates
+    against the wire schema; raises ``AssertionError`` on any failure.
+    """
+    import asyncio
+
+    from repro.stream import messages as msg
+    from repro.stream import synthetic_job_factory
+
+    reader, writer = await asyncio.open_connection(host, port)
+    events: List[dict] = []
+
+    async def rpc(message: dict) -> dict:
+        writer.write(msg.encode_message(message))
+        await writer.drain()
+        while True:
+            frame = msg.decode_message(await reader.readline())
+            problems = msg.validate_downstream(frame)
+            assert not problems, f"invalid downstream frame: {problems}"
+            if frame["type"] == "event":
+                events.append(frame)
+                continue
+            return frame
+
+    reply = await rpc(msg.subscribe_message(kinds=["batch_complete"]))
+    assert reply["type"] == "ack", reply
+    factory = synthetic_job_factory(node_count=nodes, prefix="smoke")
+    for i in range(24):
+        reply = await rpc(msg.submit_message(factory(i)))
+        assert reply["type"] == "ack", reply
+    reply = await rpc(msg.stats_message())
+    assert reply["type"] == "stats", reply
+    stats = reply["stats"]
+    assert stats["arrivals"] == 24, stats
+    assert stats["jobs_completed"] == 24, stats
+    assert events, "no batch_complete events reached the subscriber"
+    reply = await rpc(msg.set_budget_message(1000.0))
+    assert reply["type"] == "ack", reply
+    reply = await rpc({"schema": msg.STREAM_SCHEMA, "op": "nonsense"})
+    assert reply["type"] == "error", reply
+    print(f"  {stats['arrivals']} submitted, {stats['jobs_completed']} "
+          f"completed in {stats['batches']} batches, "
+          f"{len(events)} pub/sub frames")
+    writer.close()
+    await writer.wait_closed()
+
+
 def _cmd_faults(scenarios: Optional[List[str]], policies: Optional[List[str]],
                 check: bool, list_only: bool,
                 controller_study: bool = False,
@@ -645,6 +827,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "site":
         return _cmd_site(grid, args.policy, args.jobs, args.replays,
                          args.workers, args.telemetry_out)
+    if args.command == "stream":
+        return _cmd_stream(grid, args)
     if args.command == "telemetry":
         return _cmd_telemetry(grid, args.out)
     if args.command == "report":

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -294,6 +294,19 @@ class FaultSchedule:
                        end_s: float) -> Tuple[FaultEvent, ...]:
         """Events whose start time falls in ``[start_s, end_s)``."""
         return tuple(e for e in self.events if start_s <= e.time_s < end_s)
+
+    def boundaries(self) -> Tuple[float, ...]:
+        """Sorted finite clock points at which fault state can change.
+
+        Every event start and (finite) window end, deduplicated — the
+        points where a consumer that came up empty should re-check the
+        world.  Both the batch shift loop and the streaming site engine
+        schedule their retry-admission waits on these.
+        """
+        return tuple(sorted({
+            t for e in self.events for t in (e.time_s, e.end_s)
+            if np.isfinite(t)
+        }))
 
     # -- derived schedules ---------------------------------------------
     def shifted(self, dt_s: float) -> "FaultSchedule":

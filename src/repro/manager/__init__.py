@@ -27,8 +27,10 @@ from repro.manager.emergency import (
 )
 from repro.manager.site_simulation import (
     Arrival,
+    BatchExecution,
     BatchRecord,
     SiteSimulationResult,
+    execute_admitted_batch,
     run_site_simulation,
 )
 
@@ -52,7 +54,9 @@ __all__ = [
     "respond_to_budget_change",
     "respond_to_budget_drop",
     "Arrival",
+    "BatchExecution",
     "BatchRecord",
     "SiteSimulationResult",
+    "execute_admitted_batch",
     "run_site_simulation",
 ]

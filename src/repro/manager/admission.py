@@ -46,11 +46,22 @@ class AdmissionDecision:
     estimates_w: Dict[str, float]
     budget_w: float
     nodes_available: int
+    #: Fractional head-room the admitter held back; the effective limit
+    #: the admitted set was judged against is :attr:`usable_budget_w`.
+    safety_margin: float = 0.0
+    #: Whether this pass held the head-of-queue reservation (no backfill
+    #: past a blocked head that exhausted its bypass allowance).
+    reserved_head: bool = False
 
     @property
     def admitted_power_w(self) -> float:
         """Total estimated draw of the admitted set."""
         return sum(self.estimates_w[name] for name in self.admitted)
+
+    @property
+    def usable_budget_w(self) -> float:
+        """The budget the admitter actually admitted against."""
+        return (1.0 - self.safety_margin) * self.budget_w
 
     @property
     def admitted_nodes(self) -> int:
@@ -62,8 +73,14 @@ class AdmissionDecision:
     _admitted_nodes: int = 0
 
     def feasible(self) -> bool:
-        """Whether the admitted set respects the power budget."""
-        return self.admitted_power_w <= self.budget_w + 1e-6
+        """Whether the admitted set respects the admission limit.
+
+        Judged against :attr:`usable_budget_w` — the same
+        ``(1 - safety_margin) x budget`` the admitter admitted against —
+        not the raw budget, so a decision that consumed its head-room is
+        reported as infeasible rather than silently passing.
+        """
+        return self.admitted_power_w <= self.usable_budget_w + 1e-6
 
 
 class PowerAwareAdmission:
@@ -82,6 +99,13 @@ class PowerAwareAdmission:
         Fractional head-room kept against estimate error: a job is
         admitted only if the admitted-set estimate stays below
         ``(1 - margin) x budget``.
+    max_bypass_rounds:
+        Starvation bound on EASY backfill: once the *same* blocked
+        head-of-queue job has been jumped on this many consecutive
+        admission passes, the head gains a reservation — no later job is
+        admitted past it until it starts (capacity drains toward the
+        starved job instead of being re-filled forever).  ``None``
+        disables the bound (the classic unbounded-bypass behaviour).
     """
 
     def __init__(
@@ -89,12 +113,26 @@ class PowerAwareAdmission:
         model: Optional[ExecutionModel] = None,
         backfill: bool = True,
         safety_margin: float = 0.02,
+        max_bypass_rounds: Optional[int] = 8,
     ) -> None:
         if not 0.0 <= safety_margin < 1.0:
             raise ValueError("safety_margin must be in [0, 1)")
+        if max_bypass_rounds is not None and max_bypass_rounds < 1:
+            raise ValueError("max_bypass_rounds must be positive or None")
         self.model = model if model is not None else ExecutionModel()
         self.backfill = backfill
         self.safety_margin = safety_margin
+        self.max_bypass_rounds = max_bypass_rounds
+        # Aging state for the starvation bound: the current blocked head
+        # and how many marked passes have admitted work past it.  O(1)
+        # memory regardless of stream length.
+        self._blocked_head: Optional[str] = None
+        self._blocked_rounds: int = 0
+        # Characterization estimates keyed by (config, nodes): bounded by
+        # the distinct job *shapes* seen, not the jobs submitted, so a
+        # million-arrival stream of a few job classes estimates each
+        # class once.  User hints never enter the cache (they are O(1)).
+        self._estimate_cache: Dict[Tuple[object, int], float] = {}
 
     # ------------------------------------------------------------------
     def estimate_job_power_w(self, request: JobRequest) -> float:
@@ -102,16 +140,26 @@ class PowerAwareAdmission:
 
         Preference order: the balancer-characterized needed power (what an
         application-aware site knows), then the user's hint scaled by the
-        node count, then the TDP worst case.
+        node count, then the TDP worst case.  Whatever the source, the
+        estimate is floored at ``node_count x min_cap_w``: RAPL cannot
+        cap below the floor, so no job can draw less — admitting against
+        a smaller number would hand the allocator an infeasible budget.
         """
+        floor_w = request.node_count * self.model.power_model.min_cap_w
         if request.power_hint_w is not None:
-            return request.power_hint_w * request.node_count
+            return max(request.power_hint_w * request.node_count, floor_w)
+        key = (request.config, request.node_count)
+        cached = self._estimate_cache.get(key)
+        if cached is not None:
+            return cached
         job = request.to_job()
         mix = WorkloadMix(name=job.name, jobs=(job,))
         char = characterize_mix(
             mix, np.ones(job.node_count), self.model
         )
-        return float(np.sum(char.needed_power_w))
+        estimate = max(float(np.sum(char.needed_power_w)), floor_w)
+        self._estimate_cache[key] = estimate
+        return estimate
 
     def decide(
         self,
@@ -129,7 +177,21 @@ class PowerAwareAdmission:
         if nodes_available < 0:
             raise ValueError("nodes_available must be non-negative")
 
-        queue_depth = len(queue.pending())
+        pending = queue.pending()
+        queue_depth = len(pending)
+        head_name = pending[0].name if pending else None
+        # Head-of-queue reservation: a head that has been backfilled past
+        # on max_bypass_rounds consecutive marked passes blocks further
+        # bypass, so freed capacity accumulates until it fits.
+        reserve_head = (
+            self.backfill
+            and self.max_bypass_rounds is not None
+            and head_name is not None
+            and head_name == self._blocked_head
+            and self._blocked_rounds >= self.max_bypass_rounds
+        )
+        allow_backfill = self.backfill and not reserve_head
+
         usable_w = (1.0 - self.safety_margin) * budget_w
         admitted: List[str] = []
         deferred: List[str] = []
@@ -138,14 +200,14 @@ class PowerAwareAdmission:
         nodes_used = 0
         blocked = False
 
-        for request in queue.pending():
+        for request in pending:
             estimate = self.estimate_job_power_w(request)
             estimates[request.name] = estimate
             fits = (
                 power_used + estimate <= usable_w
                 and nodes_used + request.node_count <= nodes_available
             )
-            if fits and (not blocked or self.backfill):
+            if fits and (not blocked or allow_backfill):
                 admitted.append(request.name)
                 power_used += estimate
                 nodes_used += request.node_count
@@ -156,6 +218,14 @@ class PowerAwareAdmission:
         if mark:
             for name in admitted:
                 queue.mark(name, JobState.ALLOCATED)
+            # Age the starvation bound only on marked passes (dry runs
+            # must not consume the head's bypass allowance).
+            if head_name is None or head_name in set(admitted):
+                self._blocked_head, self._blocked_rounds = None, 0
+            elif admitted:
+                if head_name != self._blocked_head:
+                    self._blocked_head, self._blocked_rounds = head_name, 0
+                self._blocked_rounds += 1
 
         decision = AdmissionDecision(
             admitted=tuple(admitted),
@@ -163,6 +233,8 @@ class PowerAwareAdmission:
             estimates_w=estimates,
             budget_w=budget_w,
             nodes_available=nodes_available,
+            safety_margin=self.safety_margin,
+            reserved_head=reserve_head,
         )
         object.__setattr__(decision, "_admitted_nodes", nodes_used)
         if enabled():
@@ -177,5 +249,6 @@ class PowerAwareAdmission:
                 queue_depth=queue_depth, budget_w=float(budget_w),
                 admitted_power_w=power_used, nodes_used=nodes_used,
                 nodes_available=nodes_available, dry_run=not mark,
+                reserved_head=reserve_head,
             )
         return decision

@@ -10,7 +10,6 @@ queue tracks their lifecycle.
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -75,24 +74,34 @@ class JobRequest:
 
 
 class JobQueue:
-    """FIFO admission queue with state tracking."""
+    """FIFO admission queue with state tracking.
+
+    Pending membership is tracked incrementally (an insertion-ordered
+    dict maintained by :meth:`submit` / :meth:`mark`), so :meth:`pending`
+    costs O(pending jobs) rather than O(every job ever submitted) — the
+    property the streaming site engine relies on to sustain heavy
+    arrival traffic.  Terminal records can be released with
+    :meth:`forget` to keep long-lived queues memory-bounded.
+    """
 
     def __init__(self) -> None:
         self._requests: Dict[str, JobRequest] = {}
-        self._order = itertools.count()
-        self._sequence: Dict[str, int] = {}
+        # Insertion-ordered view of the PENDING subset; submission order
+        # equals insertion order because names are submitted exactly once
+        # and no lifecycle transition re-enters PENDING.
+        self._pending: Dict[str, JobRequest] = {}
 
     def submit(self, request: JobRequest) -> None:
         """Admit a request; names must be unique."""
         if request.name in self._requests:
             raise ValueError(f"job {request.name!r} already queued")
         self._requests[request.name] = request
-        self._sequence[request.name] = next(self._order)
+        if request.state is JobState.PENDING:
+            self._pending[request.name] = request
 
     def pending(self) -> List[JobRequest]:
         """Pending requests in submission order."""
-        items = [r for r in self._requests.values() if r.state is JobState.PENDING]
-        return sorted(items, key=lambda r: self._sequence[r.name])
+        return list(self._pending.values())
 
     def get(self, name: str) -> JobRequest:
         """Look up a request by name."""
@@ -116,7 +125,24 @@ class JobQueue:
                 f"illegal transition {request.state.value} -> {state.value} "
                 f"for job {name!r}"
             )
+        if request.state is JobState.PENDING:
+            self._pending.pop(name, None)
         request.state = state
+
+    def forget(self, name: str) -> None:
+        """Release a terminal (completed/failed) request's record.
+
+        Long-lived streaming queues call this after accounting for a
+        job so memory stays bounded by the *active* population rather
+        than the total ever submitted.  Forgetting a live job would
+        corrupt admission; that is rejected.
+        """
+        request = self.get(name)
+        if request.state not in (JobState.COMPLETED, JobState.FAILED):
+            raise ValueError(
+                f"cannot forget job {name!r} in state {request.state.value}"
+            )
+        del self._requests[name]
 
     def __len__(self) -> int:
         return len(self._requests)

@@ -16,6 +16,14 @@ ones would need preemptive re-allocation, which the paper leaves to
 future work; batch granularity keeps the model inside what the paper's
 policies define.)
 
+The long-lived, event-driven form of this loop lives in
+:mod:`repro.stream`: the streaming site engine reuses
+:func:`execute_admitted_batch` — the per-batch physics extracted here —
+so a replayed arrival list is bit-identical between the two, while the
+stream engine adds sustained-load behaviours (rolling admission on
+capacity-freed events, mid-stream budget changes, backpressure) this
+closed batch call cannot express.
+
 Fault replay
 ------------
 An optional :class:`~repro.faults.schedule.FaultSchedule` turns the shift
@@ -44,7 +52,7 @@ import numpy as np
 
 from repro.characterization.mix_characterization import characterize_mix
 from repro.core.policy import Policy
-from repro.manager.admission import PowerAwareAdmission
+from repro.manager.admission import AdmissionDecision, PowerAwareAdmission
 from repro.manager.power_manager import PowerManager, apply_job_runtime
 from repro.manager.queue import JobQueue, JobRequest, JobState
 from repro.manager.scheduler import Scheduler
@@ -54,7 +62,14 @@ from repro.telemetry import emit, enabled, get_registry, span
 from repro.units import ensure_positive
 from repro.workload.job import WorkloadMix
 
-__all__ = ["Arrival", "BatchRecord", "SiteSimulationResult", "run_site_simulation"]
+__all__ = [
+    "Arrival",
+    "BatchRecord",
+    "BatchExecution",
+    "SiteSimulationResult",
+    "execute_admitted_batch",
+    "run_site_simulation",
+]
 
 
 @dataclass(frozen=True)
@@ -107,6 +122,22 @@ class BatchRecord:
 
 
 @dataclass(frozen=True)
+class BatchExecution:
+    """One admitted batch, executed — the unit both site loops share.
+
+    ``completion_s[i]`` is job ``i``'s completion clock **including** the
+    degradation ladder's decision latency (``backoff_s``): retries delay
+    the launch, so every job finishes no later than the batch's
+    ``record.end_s`` (the job on the critical path finishes exactly
+    then).
+    """
+
+    record: BatchRecord
+    job_names: Tuple[str, ...]
+    completion_s: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
 class SiteSimulationResult:
     """Everything the simulated shift produced."""
 
@@ -118,6 +149,10 @@ class SiteSimulationResult:
     job_turnaround_s: Dict[str, float]
     #: Name of the replayed fault schedule ("" on fault-free shifts).
     fault_schedule_name: str = ""
+    #: Jobs still pending (or not yet arrived) when the shift hit its
+    #: ``max_batches`` round limit — unfinished work, *not* jobs the
+    #: admission controller rejected as unschedulable.
+    truncated: Tuple[str, ...] = ()
 
     @property
     def makespan_s(self) -> float:
@@ -159,6 +194,174 @@ class SiteSimulationResult:
         return max((b.mean_power_w for b in self.batches), default=0.0)
 
 
+def execute_admitted_batch(
+    *,
+    clock: float,
+    batch_index: int,
+    admitted: Sequence[JobRequest],
+    decision: AdmissionDecision,
+    batch_cluster: Cluster,
+    policy: Policy,
+    budget_w: float,
+    batch_budget_w: float,
+    quarantined: Tuple[int, ...],
+    manager: PowerManager,
+    noise_std: float,
+    run_seed: Optional[int],
+    fault_schedule,
+    degradation,
+    reaction_s: float,
+    injecting: bool,
+) -> BatchExecution:
+    """Schedule, plan, and execute one admitted batch at ``clock``.
+
+    The per-batch physics of the shift loop, extracted so the streaming
+    site engine (:mod:`repro.stream.engine`) runs *exactly* this code:
+    identical scheduling shuffle (``shuffle_seed=batch_index``), identical
+    noise-seed derivation, identical degradation/overshoot accounting.
+    Replaying one arrival list through either loop therefore produces
+    bit-identical batch records.
+
+    ``budget_w`` is the budget the planner quotes on fault-free launches
+    (the batch's share of the facility budget); ``batch_budget_w`` the
+    fault-adjusted budget in force at launch, used by the degradation
+    ladder and the compliance accounting.
+    """
+    mix = WorkloadMix(
+        name=f"batch-{batch_index}",
+        jobs=tuple(r.to_job() for r in admitted),
+    )
+    scheduled = Scheduler(
+        batch_cluster, shuffle_seed=batch_index
+    ).allocate(mix)
+    if run_seed is None:
+        batch_seed = batch_index
+    else:
+        from repro.parallel.seeding import child_seed
+
+        batch_seed = child_seed(run_seed, "site-batch", batch_index)
+    tier = "none"
+    backoff_s = 0.0
+    with span("manager.site.batch", batch=batch_index,
+              admitted=len(decision.admitted),
+              quarantined=len(quarantined)) as batch_sp:
+        if not injecting:
+            char = characterize_mix(
+                mix, scheduled.efficiencies, manager.model
+            )
+            run = manager.launch(
+                scheduled, policy, budget_w, characterization=char,
+                options=SimulationOptions(
+                    noise_std=noise_std, seed=batch_seed
+                ),
+            )
+            result = run.result
+        else:
+            from repro.faults.degradation import plan_with_degradation
+            from repro.faults.schedule import FaultKind
+            from repro.sim.execution import simulate_mix
+
+            # Plan through the degradation ladder: sensor dropouts
+            # blind characterization, forcing the clamp tier.
+            blinded = bool(fault_schedule.sensor_dropout_at(clock))
+            char = None if blinded else characterize_mix(
+                mix, scheduled.efficiencies, manager.model
+            )
+            plan = plan_with_degradation(
+                policy, batch_budget_w, characterization=char,
+                host_count=scheduled.mix.total_nodes,
+                min_cap_w=manager.model.power_model.min_cap_w,
+                tdp_w=manager.model.power_model.tdp_w,
+                config=degradation,
+            )
+            tier, backoff_s = plan.tier, plan.backoff_s
+            caps = plan.caps_w
+            if char is not None and plan.tier == "replan" \
+                    and policy.application_aware:
+                caps = apply_job_runtime(char, caps)
+            result = simulate_mix(
+                scheduled.mix, caps, scheduled.efficiencies,
+                manager.model,
+                SimulationOptions(
+                    noise_std=noise_std, seed=batch_seed,
+                    fault_schedule=fault_schedule.engine_slice(clock),
+                ),
+                policy_name=policy.name, budget_w=batch_budget_w,
+            )
+        duration = float(np.max(result.job_elapsed_s)) + backoff_s
+        planned_overshoot_ws = 0.0
+        overshoot_ws = 0.0
+        if injecting:
+            # Post-plan compliance against the launch budget, judged
+            # on the iteration power trace...
+            planned_overshoot_ws = result.budget_overshoot_watt_seconds(
+                batch_budget_w
+            )
+            overshoot_ws = planned_overshoot_ws
+            # ...plus the reaction window of any budget drop landing
+            # mid-batch, charged at the batch's mean draw until the
+            # actuator responds.
+            mean_p = result.mean_system_power_w
+            for event in fault_schedule.of_kind(FaultKind.BUDGET_CHANGE):
+                if clock < event.time_s < clock + duration:
+                    dipped = fault_schedule.budget_at(
+                        max(event.time_s, event.end_s), budget_w
+                    )
+                    window = min(
+                        reaction_s, clock + duration - event.time_s
+                    )
+                    overshoot_ws += max(0.0, mean_p - dipped) * window
+        if batch_sp is not None:
+            batch_sp.set_attribute("degradation_tier", tier)
+            batch_sp.set_attribute("duration_s", duration)
+    record = BatchRecord(
+        start_s=clock,
+        end_s=clock + duration,
+        admitted=decision.admitted,
+        deferred=decision.deferred,
+        mean_power_w=result.mean_system_power_w,
+        energy_j=result.total_energy_j,
+        budget_w=float(batch_budget_w),
+        degradation_tier=tier,
+        quarantined=quarantined,
+        planned_overshoot_ws=planned_overshoot_ws,
+        overshoot_ws=overshoot_ws,
+        backoff_s=backoff_s,
+    )
+    if enabled():
+        registry = get_registry()
+        utilization = result.mean_system_power_w / batch_budget_w
+        registry.gauge("manager.site.utilization").set(utilization)
+        registry.histogram("manager.site.batch_duration_s").observe(duration)
+        registry.counter("manager.site.batches").inc()
+        registry.counter("manager.site.jobs_completed").inc(
+            len(result.job_names)
+        )
+        emit(
+            "manager.site", "batch_complete",
+            batch=batch_index, policy=policy.name,
+            admitted=len(decision.admitted),
+            deferred=len(decision.deferred),
+            duration_s=duration,
+            mean_power_w=float(result.mean_system_power_w),
+            utilization=utilization,
+        )
+    # The ladder's decision latency delays the launch, so it is charged
+    # to every job's completion: elapsed + backoff keeps the float
+    # operation order of ``duration`` and lands the critical-path job
+    # exactly on ``record.end_s`` (fault-free, backoff is 0.0 and the
+    # historical values are reproduced bit-for-bit).
+    completions = tuple(
+        clock + (float(elapsed) + backoff_s)
+        for elapsed in result.job_elapsed_s
+    )
+    return BatchExecution(
+        record=record,
+        job_names=tuple(result.job_names),
+        completion_s=completions,
+    )
+
+
 def run_site_simulation(
     arrivals: Sequence[Arrival],
     cluster: Cluster,
@@ -177,7 +380,10 @@ def run_site_simulation(
 
     Jobs are admitted in batches whenever the cluster is free; a job that
     can never fit (its own estimate exceeds the budget or the cluster) is
-    reported in ``never_admitted`` rather than looping forever.
+    reported in ``never_admitted`` rather than looping forever.  Jobs
+    still pending (or unarrived) when the ``max_batches`` round limit
+    cuts the shift short are reported separately in ``truncated`` — they
+    are unfinished work, not admission rejections.
 
     ``run_seed`` selects the noise stream for the whole shift: ``None``
     keeps the legacy per-batch seeds (the batch index), while an integer
@@ -228,16 +434,9 @@ def _run_shift(
 ) -> SiteSimulationResult:
     """The shift loop proper (see :func:`run_site_simulation`)."""
     if injecting:
-        from repro.faults.degradation import plan_with_degradation
-        from repro.faults.schedule import FaultKind
-        from repro.sim.execution import simulate_mix
-
         # Clock points at which fault state can change: re-check the
         # world there when an admission round comes up empty.
-        fault_boundaries = sorted({
-            t for e in fault_schedule.events for t in (e.time_s, e.end_s)
-            if np.isfinite(t)
-        })
+        fault_boundaries = fault_schedule.boundaries()
     if not arrivals:
         raise ValueError("need at least one arrival")
     # JobRequest carries its lifecycle state, so submitting the caller's
@@ -254,23 +453,28 @@ def _run_shift(
 
     queue = JobQueue()
     arrival_time: Dict[str, float] = {}
-    pending_stream = list(arrivals)
+    # Cursor into the sorted stream — O(1) per arrival, where the
+    # historical list.pop(0) walked the whole tail every admission.
+    stream_pos = 0
     clock = 0.0
     batches: List[BatchRecord] = []
     completed: List[str] = []
+    failed: List[str] = []
     turnaround: Dict[str, float] = {}
 
     for _ in range(max_batches):
         # Admit everything that has arrived by the current clock; if the
         # queue is empty, jump to the next arrival.
-        while pending_stream and pending_stream[0].time_s <= clock:
-            arrival = pending_stream.pop(0)
+        while stream_pos < len(arrivals) \
+                and arrivals[stream_pos].time_s <= clock:
+            arrival = arrivals[stream_pos]
+            stream_pos += 1
             queue.submit(arrival.request)
             arrival_time[arrival.request.name] = arrival.time_s
         if not queue.pending():
-            if not pending_stream:
+            if stream_pos >= len(arrivals):
                 break
-            clock = pending_stream[0].time_s
+            clock = arrivals[stream_pos].time_s
             continue
 
         # Query the fault timeline at the site clock.  Fault-free these
@@ -281,10 +485,12 @@ def _run_shift(
         quarantined: Tuple[int, ...] = ()
         if injecting:
             batch_budget_w = fault_schedule.budget_at(clock, budget_w)
-            failed = fault_schedule.failed_hosts_at(clock)
-            if failed:
-                healthy = [i for i in range(len(cluster)) if i not in failed]
-                quarantined = tuple(sorted(failed))
+            failed_hosts = fault_schedule.failed_hosts_at(clock)
+            if failed_hosts:
+                healthy = [
+                    i for i in range(len(cluster)) if i not in failed_hosts
+                ]
+                quarantined = tuple(sorted(failed_hosts))
                 if healthy:
                     batch_cluster = cluster.subset(healthy)
                 else:
@@ -307,148 +513,48 @@ def _run_shift(
             # (its estimate alone exceeds capacity) and try again.
             stuck = queue.pending()[0]
             queue.mark(stuck.name, JobState.FAILED)
+            failed.append(stuck.name)
             continue
 
-        admitted = [queue.get(name) for name in decision.admitted]
-        mix = WorkloadMix(
-            name=f"batch-{len(batches)}",
-            jobs=tuple(r.to_job() for r in admitted),
+        execution = execute_admitted_batch(
+            clock=clock,
+            batch_index=len(batches),
+            admitted=[queue.get(name) for name in decision.admitted],
+            decision=decision,
+            batch_cluster=batch_cluster,
+            policy=policy,
+            budget_w=budget_w,
+            batch_budget_w=batch_budget_w,
+            quarantined=quarantined,
+            manager=manager,
+            noise_std=noise_std,
+            run_seed=run_seed,
+            fault_schedule=fault_schedule,
+            degradation=degradation,
+            reaction_s=reaction_s,
+            injecting=injecting,
         )
-        scheduled = Scheduler(
-            batch_cluster, shuffle_seed=len(batches)
-        ).allocate(mix)
-        if run_seed is None:
-            batch_seed = len(batches)
-        else:
-            from repro.parallel.seeding import child_seed
-
-            batch_seed = child_seed(run_seed, "site-batch", len(batches))
-        tier = "none"
-        backoff_s = 0.0
-        with span("manager.site.batch", batch=len(batches),
-                  admitted=len(decision.admitted),
-                  quarantined=len(quarantined)) as batch_sp:
-            if not injecting:
-                char = characterize_mix(
-                    mix, scheduled.efficiencies, manager.model
-                )
-                run = manager.launch(
-                    scheduled, policy, budget_w, characterization=char,
-                    options=SimulationOptions(
-                        noise_std=noise_std, seed=batch_seed
-                    ),
-                )
-                result = run.result
-            else:
-                # Plan through the degradation ladder: sensor dropouts
-                # blind characterization, forcing the clamp tier.
-                blinded = bool(fault_schedule.sensor_dropout_at(clock))
-                char = None if blinded else characterize_mix(
-                    mix, scheduled.efficiencies, manager.model
-                )
-                plan = plan_with_degradation(
-                    policy, batch_budget_w, characterization=char,
-                    host_count=scheduled.mix.total_nodes,
-                    min_cap_w=manager.model.power_model.min_cap_w,
-                    tdp_w=manager.model.power_model.tdp_w,
-                    config=degradation,
-                )
-                tier, backoff_s = plan.tier, plan.backoff_s
-                caps = plan.caps_w
-                if char is not None and plan.tier == "replan" \
-                        and policy.application_aware:
-                    caps = apply_job_runtime(char, caps)
-                result = simulate_mix(
-                    scheduled.mix, caps, scheduled.efficiencies,
-                    manager.model,
-                    SimulationOptions(
-                        noise_std=noise_std, seed=batch_seed,
-                        fault_schedule=fault_schedule.engine_slice(clock),
-                    ),
-                    policy_name=policy.name, budget_w=batch_budget_w,
-                )
-            duration = float(np.max(result.job_elapsed_s)) + backoff_s
-            planned_overshoot_ws = 0.0
-            overshoot_ws = 0.0
-            if injecting:
-                # Post-plan compliance against the launch budget, judged
-                # on the iteration power trace...
-                planned_overshoot_ws = result.budget_overshoot_watt_seconds(
-                    batch_budget_w
-                )
-                overshoot_ws = planned_overshoot_ws
-                # ...plus the reaction window of any budget drop landing
-                # mid-batch, charged at the batch's mean draw until the
-                # actuator responds.
-                mean_p = result.mean_system_power_w
-                for event in fault_schedule.of_kind(FaultKind.BUDGET_CHANGE):
-                    if clock < event.time_s < clock + duration:
-                        dipped = fault_schedule.budget_at(
-                            max(event.time_s, event.end_s), budget_w
-                        )
-                        window = min(
-                            reaction_s, clock + duration - event.time_s
-                        )
-                        overshoot_ws += max(0.0, mean_p - dipped) * window
-            if batch_sp is not None:
-                batch_sp.set_attribute("degradation_tier", tier)
-                batch_sp.set_attribute("duration_s", duration)
-        batches.append(
-            BatchRecord(
-                start_s=clock,
-                end_s=clock + duration,
-                admitted=decision.admitted,
-                deferred=decision.deferred,
-                mean_power_w=result.mean_system_power_w,
-                energy_j=result.total_energy_j,
-                budget_w=float(batch_budget_w),
-                degradation_tier=tier,
-                quarantined=quarantined,
-                planned_overshoot_ws=planned_overshoot_ws,
-                overshoot_ws=overshoot_ws,
-                backoff_s=backoff_s,
-            )
-        )
-        if enabled():
-            registry = get_registry()
-            utilization = result.mean_system_power_w / batch_budget_w
-            registry.gauge("manager.site.utilization").set(utilization)
-            registry.histogram("manager.site.batch_duration_s").observe(duration)
-            registry.counter("manager.site.batches").inc()
-            registry.counter("manager.site.jobs_completed").inc(
-                len(result.job_names)
-            )
-            emit(
-                "manager.site", "batch_complete",
-                batch=len(batches) - 1, policy=policy.name,
-                admitted=len(decision.admitted),
-                deferred=len(decision.deferred),
-                duration_s=duration,
-                mean_power_w=float(result.mean_system_power_w),
-                utilization=utilization,
-            )
-        for name, elapsed in zip(result.job_names, result.job_elapsed_s):
+        batches.append(execution.record)
+        for name, completion in zip(execution.job_names,
+                                    execution.completion_s):
             queue.mark(name, JobState.RUNNING)
             queue.mark(name, JobState.COMPLETED)
             completed.append(name)
-            turnaround[name] = clock + float(elapsed) - arrival_time[name]
-        clock += duration
+            turnaround[name] = completion - arrival_time[name]
+        clock = execution.record.end_s
 
-    never = tuple(
-        r.name for r in list(queue.pending())
-    ) + tuple(a.request.name for a in pending_stream)
-    failed = tuple(
-        name for name in arrival_time
-        if name not in completed and name not in never
+    truncated = tuple(r.name for r in queue.pending()) + tuple(
+        a.request.name for a in arrivals[stream_pos:]
     )
     result = SiteSimulationResult(
         policy_name=policy.name,
         budget_w=float(budget_w),
         batches=tuple(batches),
         completed=tuple(completed),
-        never_admitted=never + failed,
+        never_admitted=tuple(failed),
         job_turnaround_s=turnaround,
         fault_schedule_name=fault_schedule.name if injecting else "",
+        truncated=truncated,
     )
     if enabled():
         registry = get_registry()

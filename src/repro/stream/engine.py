@@ -1,0 +1,573 @@
+"""The streaming site engine: sustained load through the admission stack.
+
+Two operating modes over one :class:`~repro.stream.events.EventLoop`:
+
+**Replay (drain) mode** — :func:`stream_site_simulation` runs a pre-built
+arrival list through the engine with the *exact* round semantics of
+:func:`~repro.manager.site_simulation.run_site_simulation`: one batch in
+flight at a time on the whole cluster, admission whenever the cluster
+drains, the same per-round accounting (an empty-queue clock jump, a
+dropped unschedulable head, a fault-boundary wait, and an executed batch
+each consume one round of ``max_batches``).  Both loops execute batches
+through the shared
+:func:`~repro.manager.site_simulation.execute_admitted_batch` physics, so
+a replay is **bit-identical** to the batch call — the property suite pins
+this.
+
+**Rolling mode** — the long-lived service shape of ROADMAP item 1:
+multiple batches in flight, `PowerAwareAdmission` re-run on every
+capacity-freed event (a batch completing, the budget moving, a fault
+boundary passing) against whatever has genuinely arrived, arrivals pulled
+lazily from a generator (one lookahead event in the heap), queue
+backpressure via ``max_pending``, and aggregate :class:`StreamStats`
+instead of per-job records when ``record_jobs=False`` — the configuration
+that holds memory flat through millions of arrivals per simulated day.
+
+In rolling mode each in-flight batch reserves its admitted-set estimate
+(`decision.admitted_power_w`) out of the facility budget and is launched
+with that reservation as its budget, so the sum of concurrent batch
+budgets never exceeds the facility budget in force at their launches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.policy import Policy
+from repro.hardware.cluster import Cluster
+from repro.manager.admission import PowerAwareAdmission
+from repro.manager.power_manager import PowerManager
+from repro.manager.queue import JobQueue, JobRequest, JobState
+from repro.manager.site_simulation import (
+    Arrival,
+    BatchExecution,
+    BatchRecord,
+    SiteSimulationResult,
+    execute_admitted_batch,
+)
+from repro.stream.events import EventKind, EventLoop
+from repro.telemetry import emit, enabled, get_registry, span
+from repro.units import ensure_positive
+
+__all__ = ["StreamStats", "SiteStreamEngine", "stream_site_simulation"]
+
+
+@dataclass
+class StreamStats:
+    """Aggregate counters the engine maintains in O(1) memory.
+
+    The memory-bounded substitute for the batch call's per-job dicts:
+    everything the bench and the daemon's ``stats`` op report comes from
+    here, regardless of how many jobs have flowed through.
+    """
+
+    arrivals: int = 0
+    rejected: int = 0
+    batches: int = 0
+    jobs_completed: int = 0
+    jobs_failed: int = 0
+    energy_j: float = 0.0
+    overshoot_ws: float = 0.0
+    turnaround_sum_s: float = 0.0
+    turnaround_max_s: float = 0.0
+    peak_pending: int = 0
+    peak_tracked_jobs: int = 0
+    peak_in_flight: int = 0
+    clock_s: float = 0.0
+
+    def mean_turnaround_s(self) -> float:
+        """Mean submission-to-completion time over completed jobs."""
+        if not self.jobs_completed:
+            return 0.0
+        return self.turnaround_sum_s / self.jobs_completed
+
+    def snapshot(self) -> Dict[str, float]:
+        """A plain-dict view (telemetry ticks, daemon ``stats`` replies)."""
+        out = dataclasses.asdict(self)
+        out["mean_turnaround_s"] = self.mean_turnaround_s()
+        return out
+
+
+class SiteStreamEngine:
+    """Event-driven site loop over the shared batch physics.
+
+    Parameters mirror :func:`run_site_simulation` where they overlap;
+    the streaming knobs:
+
+    rolling:
+        False = replay semantics (one batch in flight, whole cluster,
+        bit-identical to the batch shift loop); True = sustained-load
+        semantics (concurrent batches over free hosts, admission on
+        capacity-freed events).
+    max_pending:
+        Queue backpressure: an arrival landing while this many jobs are
+        pending is rejected (counted in ``stats.rejected``; the daemon
+        surfaces it as an error reply).  ``None`` = unbounded.
+    record_jobs / record_batches:
+        When False, per-job turnarounds / per-batch records are folded
+        into :class:`StreamStats` instead of being kept — the
+        bounded-memory configuration for sustained load.
+    tick_interval_s:
+        When set, a TELEMETRY_TICK event fires every interval of
+        simulated time, emitting a ``stream.engine``/``tick`` event with
+        the stats snapshot (the daemon's pub/sub feed).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        policy: Policy,
+        budget_w: float,
+        admission: Optional[PowerAwareAdmission] = None,
+        manager: Optional[PowerManager] = None,
+        noise_std: float = 0.004,
+        run_seed: Optional[int] = None,
+        fault_schedule=None,
+        degradation=None,
+        reaction_s: float = 1.0,
+        rolling: bool = False,
+        max_pending: Optional[int] = None,
+        record_jobs: bool = True,
+        record_batches: bool = True,
+        tick_interval_s: Optional[float] = None,
+    ) -> None:
+        ensure_positive(budget_w, "budget_w")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be positive or None")
+        if tick_interval_s is not None:
+            ensure_positive(tick_interval_s, "tick_interval_s")
+        self.cluster = cluster
+        self.policy = policy
+        self.base_budget_w = float(budget_w)
+        self.budget_w = float(budget_w)
+        self.manager = manager if manager is not None else PowerManager()
+        self.admission = admission if admission is not None else \
+            PowerAwareAdmission(model=self.manager.model)
+        self.noise_std = noise_std
+        self.run_seed = run_seed
+        self.fault_schedule = fault_schedule
+        self.degradation = degradation
+        self.reaction_s = reaction_s
+        self.injecting = fault_schedule is not None and fault_schedule.active
+        self.rolling = rolling
+        self.max_pending = max_pending
+        self.record_jobs = record_jobs
+        self.record_batches = record_batches
+        self.tick_interval_s = tick_interval_s
+
+        self.loop = EventLoop()
+        self.queue = JobQueue()
+        self.clock = 0.0
+        self.stats = StreamStats()
+        self.batches: List[BatchRecord] = []
+        self.completed: List[str] = []
+        self.failed: List[str] = []
+        self.turnaround_s: Dict[str, float] = {}
+        self._arrival_time: Dict[str, float] = {}
+        self._source: Optional[Iterator[Arrival]] = None
+        self._batch_counter = 0
+        # Rolling-mode occupancy: host ids currently free, and the watt
+        # reservations of in-flight batches.
+        self._free_ids: Set[int] = set(range(len(cluster)))
+        self._reserved_w = 0.0
+        self._in_flight = 0
+        self._tick_scheduled = False
+        # Rolling mode re-runs admission at fault boundaries as timeline
+        # events; replay mode handles boundaries inline (matching the
+        # batch shift loop), so its heap carries only arrivals.
+        if self.injecting and rolling:
+            for t in fault_schedule.boundaries():
+                self.loop.push(t, EventKind.FAULT_BOUNDARY)
+
+    # ------------------------------------------------------------------
+    # feeding the timeline
+    def attach_source(self, source: Iterator[Arrival]) -> None:
+        """Feed arrivals lazily from a time-ordered iterator.
+
+        Exactly one lookahead arrival lives in the event heap at any
+        time; the next is pulled when it is delivered.
+        """
+        if self._source is not None:
+            raise ValueError("a source is already attached")
+        self._source = iter(source)
+        self._pull_arrival()
+
+    def submit(self, request: JobRequest, time_s: Optional[float] = None) -> float:
+        """Schedule one job arrival (the daemon's ``submit`` op).
+
+        Defaults to the current clock; past times are clamped to it (an
+        event-driven service cannot admit into its own history).
+        Returns the effective arrival time.
+        """
+        t = self.clock if time_s is None else max(float(time_s), self.clock)
+        self.loop.push(t, EventKind.ARRIVAL, request=request)
+        return t
+
+    def set_budget(self, budget_w: float, time_s: Optional[float] = None) -> float:
+        """Schedule a facility budget change (mid-stream re-planning)."""
+        ensure_positive(budget_w, "budget_w")
+        t = self.clock if time_s is None else max(float(time_s), self.clock)
+        self.loop.push(t, EventKind.BUDGET_CHANGE, budget_w=float(budget_w))
+        return t
+
+    def _pull_arrival(self) -> None:
+        assert self._source is not None
+        try:
+            arrival = next(self._source)
+        except StopIteration:
+            self._source = None
+            return
+        self.loop.push(arrival.time_s, EventKind.ARRIVAL,
+                       request=arrival.request)
+
+    # ------------------------------------------------------------------
+    # event handlers
+    def _on_arrival(self, request: JobRequest, time_s: float) -> None:
+        self.stats.arrivals += 1
+        pending = len(self.queue.pending())
+        if self.max_pending is not None and pending >= self.max_pending:
+            self.stats.rejected += 1
+            if enabled():
+                emit("stream.engine", "job_rejected", name=request.name,
+                     pending=pending, max_pending=self.max_pending)
+            return
+        self.queue.submit(request)
+        self._arrival_time[request.name] = time_s
+        self.stats.peak_pending = max(self.stats.peak_pending, pending + 1)
+        self.stats.peak_tracked_jobs = max(
+            self.stats.peak_tracked_jobs, len(self.queue)
+        )
+
+    def _account_batch(self, execution: BatchExecution) -> None:
+        """Fold one finished batch into the engine's records and stats."""
+        record = execution.record
+        self.stats.batches += 1
+        self.stats.energy_j += record.energy_j
+        self.stats.overshoot_ws += record.overshoot_ws
+        if self.record_batches:
+            self.batches.append(record)
+        for name, completion in zip(execution.job_names,
+                                    execution.completion_s):
+            self.queue.mark(name, JobState.RUNNING)
+            self.queue.mark(name, JobState.COMPLETED)
+            turnaround = completion - self._arrival_time.pop(name)
+            self.stats.jobs_completed += 1
+            self.stats.turnaround_sum_s += turnaround
+            self.stats.turnaround_max_s = max(
+                self.stats.turnaround_max_s, turnaround
+            )
+            if self.record_jobs:
+                self.completed.append(name)
+                self.turnaround_s[name] = turnaround
+            else:
+                self.queue.forget(name)
+
+    def _fail_head(self) -> None:
+        stuck = self.queue.pending()[0]
+        self.queue.mark(stuck.name, JobState.FAILED)
+        self._arrival_time.pop(stuck.name, None)
+        self.stats.jobs_failed += 1
+        if self.record_jobs:
+            self.failed.append(stuck.name)
+        else:
+            self.queue.forget(stuck.name)
+        if enabled():
+            emit("stream.engine", "job_failed", name=stuck.name)
+
+    def _fault_state(self) -> Tuple[float, Optional[Cluster], Tuple[int, ...],
+                                    Set[int]]:
+        """(budget in force, schedulable cluster, quarantined, failed ids)."""
+        if not self.injecting:
+            return self.budget_w, self.cluster, (), set()
+        budget = self.fault_schedule.budget_at(self.clock, self.budget_w)
+        failed_hosts = set(self.fault_schedule.failed_hosts_at(self.clock))
+        if not failed_hosts:
+            return budget, self.cluster, (), set()
+        healthy = [i for i in range(len(self.cluster))
+                   if i not in failed_hosts]
+        quarantined = tuple(sorted(failed_hosts))
+        sub = self.cluster.subset(healthy) if healthy else None
+        return budget, sub, quarantined, failed_hosts
+
+    # ------------------------------------------------------------------
+    # rolling mode
+    def _idle(self) -> bool:
+        return (self._source is None and self._in_flight == 0
+                and not self.queue.pending())
+
+    def _schedule_tick(self) -> None:
+        if self.tick_interval_s is None or self._tick_scheduled:
+            return
+        self.loop.push(self.clock + self.tick_interval_s,
+                       EventKind.TELEMETRY_TICK)
+        self._tick_scheduled = True
+
+    def _on_tick(self) -> None:
+        self._tick_scheduled = False
+        self.stats.clock_s = self.clock
+        if enabled():
+            registry = get_registry()
+            registry.gauge("stream.engine.pending").set(
+                len(self.queue.pending())
+            )
+            registry.gauge("stream.engine.in_flight").set(self._in_flight)
+            emit("stream.engine", "tick", **self.stats.snapshot())
+        if not self._idle() or self.loop:
+            self._schedule_tick()
+
+    def _try_admit_rolling(self) -> None:
+        """Admit against free hosts and unreserved budget; launch batches.
+
+        Runs until nothing more fits — each launch frees nothing, so one
+        pass per triggering event suffices; the next BATCH_COMPLETE or
+        BUDGET_CHANGE re-triggers it.
+        """
+        while self.queue.pending():
+            budget_now, schedulable, quarantined, failed_hosts = \
+                self._fault_state()
+            free_healthy = sorted(self._free_ids - failed_hosts)
+            avail_w = budget_now - self._reserved_w
+            if not free_healthy or avail_w <= 0 or schedulable is None:
+                return
+            decision = self.admission.decide(
+                self.queue, avail_w, nodes_available=len(free_healthy),
+                mark=True,
+            )
+            if not decision.admitted:
+                if (self._in_flight == 0 and not self.injecting
+                        and len(free_healthy) == len(self.cluster)):
+                    # Full cluster, full budget, nothing in flight: the
+                    # head can never run anywhere — unschedulable.
+                    self._fail_head()
+                    continue
+                return  # wait for a capacity-freed event
+            host_ids = free_healthy[:decision.admitted_nodes]
+            batch_cluster = self.cluster.subset(host_ids)
+            share_w = decision.admitted_power_w
+            execution = execute_admitted_batch(
+                clock=self.clock,
+                batch_index=self._batch_counter,
+                admitted=[self.queue.get(n) for n in decision.admitted],
+                decision=decision,
+                batch_cluster=batch_cluster,
+                policy=self.policy,
+                budget_w=share_w,
+                batch_budget_w=share_w,
+                quarantined=quarantined,
+                manager=self.manager,
+                noise_std=self.noise_std,
+                run_seed=self.run_seed,
+                fault_schedule=self.fault_schedule,
+                degradation=self.degradation,
+                reaction_s=self.reaction_s,
+                injecting=self.injecting,
+            )
+            self._batch_counter += 1
+            self._free_ids.difference_update(host_ids)
+            self._reserved_w += share_w
+            self._in_flight += 1
+            self.stats.peak_in_flight = max(
+                self.stats.peak_in_flight, self._in_flight
+            )
+            self.loop.push(
+                execution.record.end_s, EventKind.BATCH_COMPLETE,
+                execution=execution, hosts=tuple(host_ids), share_w=share_w,
+            )
+
+    def run(self, max_events: Optional[int] = None) -> StreamStats:
+        """Pump the rolling-mode event loop until the timeline drains.
+
+        Telemetry ticks alone do not keep the engine alive: once the
+        source is exhausted, nothing is pending, and no batch is in
+        flight, remaining ticks are drained without rescheduling.
+        """
+        if not self.rolling:
+            raise ValueError("run() is rolling mode; use replay() instead")
+        processed = 0
+        self._schedule_tick()
+        with span("stream.engine.run", rolling=True) as sp:
+            while self.loop:
+                if max_events is not None and processed >= max_events:
+                    break
+                event = self.loop.pop()
+                self.clock = max(self.clock, event.time_s)
+                processed += 1
+                if event.kind is EventKind.ARRIVAL:
+                    self._on_arrival(event.payload["request"], event.time_s)
+                    if self._source is not None:
+                        self._pull_arrival()
+                    self._try_admit_rolling()
+                elif event.kind is EventKind.BATCH_COMPLETE:
+                    self._free_ids.update(event.payload["hosts"])
+                    self._reserved_w -= event.payload["share_w"]
+                    self._in_flight -= 1
+                    self._account_batch(event.payload["execution"])
+                    self._try_admit_rolling()
+                elif event.kind is EventKind.BUDGET_CHANGE:
+                    self.budget_w = event.payload["budget_w"]
+                    if enabled():
+                        emit("stream.engine", "budget_change",
+                             budget_w=self.budget_w, time_s=self.clock)
+                    self._try_admit_rolling()
+                elif event.kind is EventKind.FAULT_BOUNDARY:
+                    self._try_admit_rolling()
+                elif event.kind is EventKind.TELEMETRY_TICK:
+                    self._on_tick()
+            if sp is not None:
+                sp.set_attribute("events", processed)
+                sp.set_attribute("batches", self.stats.batches)
+        self.stats.clock_s = self.clock
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # replay (drain) mode
+    def replay(self, max_rounds: int = 100) -> SiteSimulationResult:
+        """Drain the attached source with the batch shift loop's semantics.
+
+        Round accounting matches :func:`run_site_simulation` exactly: an
+        empty-queue clock jump, a fault-boundary wait, a dropped
+        unschedulable head, and an executed batch each consume one of
+        ``max_rounds``.
+        """
+        if self.rolling:
+            raise ValueError("replay() is drain mode; rolling engines run()")
+        boundaries = self.fault_schedule.boundaries() if self.injecting \
+            else ()
+        for _ in range(max_rounds):
+            # Deliver everything that has arrived by the clock.
+            while True:
+                nxt = self.loop.peek()
+                if nxt is None or nxt.kind is not EventKind.ARRIVAL \
+                        or nxt.time_s > self.clock:
+                    break
+                event = self.loop.pop()
+                self._on_arrival(event.payload["request"], event.time_s)
+                if self._source is not None:
+                    self._pull_arrival()
+            if not self.queue.pending():
+                jump = self._next_arrival_time()
+                if jump is None:
+                    break
+                self.clock = jump
+                continue
+
+            budget_now, schedulable, quarantined, _ = self._fault_state()
+            can_admit = schedulable is not None and budget_now > 0
+            decision = self.admission.decide(
+                self.queue, budget_now, nodes_available=len(schedulable),
+                mark=True,
+            ) if can_admit else None
+            if decision is None or not decision.admitted:
+                if self.injecting:
+                    upcoming = [t for t in boundaries if t > self.clock]
+                    if upcoming:
+                        self.clock = upcoming[0]
+                        continue
+                self._fail_head()
+                continue
+
+            execution = execute_admitted_batch(
+                clock=self.clock,
+                batch_index=self._batch_counter,
+                admitted=[self.queue.get(n) for n in decision.admitted],
+                decision=decision,
+                batch_cluster=schedulable,
+                policy=self.policy,
+                budget_w=self.base_budget_w,
+                batch_budget_w=budget_now,
+                quarantined=quarantined,
+                manager=self.manager,
+                noise_std=self.noise_std,
+                run_seed=self.run_seed,
+                fault_schedule=self.fault_schedule,
+                degradation=self.degradation,
+                reaction_s=self.reaction_s,
+                injecting=self.injecting,
+            )
+            self._batch_counter += 1
+            self._account_batch(execution)
+            self.clock = execution.record.end_s
+
+        truncated = tuple(r.name for r in self.queue.pending()) \
+            + self._remaining_arrivals()
+        return SiteSimulationResult(
+            policy_name=self.policy.name,
+            budget_w=self.base_budget_w,
+            batches=tuple(self.batches),
+            completed=tuple(self.completed),
+            never_admitted=tuple(self.failed),
+            job_turnaround_s=dict(self.turnaround_s),
+            fault_schedule_name=self.fault_schedule.name
+            if self.injecting else "",
+            truncated=truncated,
+        )
+
+    def _next_arrival_time(self) -> Optional[float]:
+        nxt = self.loop.peek()
+        while nxt is not None and nxt.kind is not EventKind.ARRIVAL:
+            # Drain non-arrival events (fault boundaries) that replay
+            # semantics handle inline off the heap.
+            self.loop.pop()
+            nxt = self.loop.peek()
+        return nxt.time_s if nxt is not None else None
+
+    def _remaining_arrivals(self) -> Tuple[str, ...]:
+        names: List[str] = []
+        while self.loop:
+            event = self.loop.pop()
+            if event.kind is EventKind.ARRIVAL:
+                names.append(event.payload["request"].name)
+                if self._source is not None:
+                    self._pull_arrival()
+        while self._source is not None:
+            try:
+                arrival = next(self._source)
+            except StopIteration:
+                self._source = None
+                break
+            names.append(arrival.request.name)
+        return tuple(names)
+
+
+def stream_site_simulation(
+    arrivals: Sequence[Arrival],
+    cluster: Cluster,
+    policy: Policy,
+    budget_w: float,
+    admission: Optional[PowerAwareAdmission] = None,
+    manager: Optional[PowerManager] = None,
+    noise_std: float = 0.004,
+    max_batches: int = 100,
+    run_seed: Optional[int] = None,
+    fault_schedule=None,
+    degradation=None,
+    reaction_s: float = 1.0,
+) -> SiteSimulationResult:
+    """Replay a pre-built arrival list through the streaming engine.
+
+    Signature-compatible with :func:`run_site_simulation` and —
+    fault-free — bit-identical to it: same batches, same turnarounds,
+    same energy, float for float.  The property suite pins this contract.
+    """
+    if not arrivals:
+        raise ValueError("need at least one arrival")
+    engine = SiteStreamEngine(
+        cluster, policy, budget_w, admission=admission, manager=manager,
+        noise_std=noise_std, run_seed=run_seed,
+        fault_schedule=fault_schedule, degradation=degradation,
+        reaction_s=reaction_s, rolling=False,
+    )
+    # The batch call copies requests so callers can replay one arrival
+    # list repeatedly; match that here.
+    copies = [
+        dataclasses.replace(a, request=dataclasses.replace(a.request))
+        for a in arrivals
+    ]
+    from repro.stream.arrivals import replay_stream
+
+    engine.attach_source(replay_stream(copies))
+    with span("stream.engine.replay", policy=policy.name,
+              arrivals=len(arrivals)):
+        return engine.replay(max_rounds=max_batches)

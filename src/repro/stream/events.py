@@ -1,0 +1,110 @@
+"""Heap-ordered discrete-event core for the streaming site engine.
+
+Modeled on NRM's ``nrmd`` event loop: every state change of the simulated
+site — a job arriving, the facility budget moving, a fault boundary, a
+batch finishing, a telemetry tick — is an :class:`Event` in one totally
+ordered timeline.  The :class:`EventLoop` is a plain binary heap keyed by
+``(time, kind priority, sequence)``:
+
+* *time* orders the simulation;
+* *kind priority* breaks ties deterministically at equal times — budget
+  changes apply before admission re-runs, completions free capacity
+  before a same-instant arrival is considered, telemetry observes the
+  settled state last;
+* *sequence* preserves submission order among otherwise identical events
+  (two jobs arriving at the same instant are admitted in the order they
+  were scheduled, matching the stable sort of the batch shift loop).
+
+The loop is synchronous and allocation-light on purpose: the asyncio
+daemon (:mod:`repro.stream.daemon`) feeds it and pumps it, but the
+deterministic replay contract lives entirely here.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["EventKind", "Event", "EventLoop"]
+
+
+class EventKind(enum.IntEnum):
+    """Event classes, ordered by same-instant application priority."""
+
+    #: Facility budget moves (mid-stream ``set_budget``).
+    BUDGET_CHANGE = 0
+    #: A fault-schedule boundary: fault state may differ after this point.
+    FAULT_BOUNDARY = 1
+    #: An in-flight batch finished; its hosts and budget share free up.
+    BATCH_COMPLETE = 2
+    #: A job submission enters the admission queue.
+    ARRIVAL = 3
+    #: Periodic telemetry snapshot (observes the settled instant).
+    TELEMETRY_TICK = 4
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timeline entry.
+
+    ``payload`` carries kind-specific data (the :class:`JobRequest` of an
+    arrival, the new budget of a budget change, the batch handle of a
+    completion); ``seq`` is the loop-assigned tiebreaker.
+    """
+
+    time_s: float
+    kind: EventKind
+    payload: Dict[str, Any] = field(default_factory=dict)
+    seq: int = -1
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError("event time must be non-negative")
+
+
+class EventLoop:
+    """A deterministic min-heap of :class:`Event` objects.
+
+    Push/pop are O(log n); the heap never holds more than the *scheduled
+    but undelivered* horizon (one lookahead arrival per generator stream,
+    one completion per in-flight batch, one pending tick), which is what
+    keeps the engine's memory bounded under sustained arrival traffic.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._seq = itertools.count()
+
+    def push(self, time_s: float, kind: EventKind, **payload: Any) -> Event:
+        """Schedule an event; returns it with its sequence assigned."""
+        event = Event(
+            time_s=float(time_s), kind=kind, payload=dict(payload),
+            seq=next(self._seq),
+        )
+        heapq.heappush(
+            self._heap, (event.time_s, int(event.kind), event.seq, event)
+        )
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from an empty event loop")
+        return heapq.heappop(self._heap)[-1]
+
+    def peek(self) -> Optional[Event]:
+        """The earliest event without removing it (None when empty)."""
+        return self._heap[0][-1] if self._heap else None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest event (None when empty)."""
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -128,3 +128,154 @@ class TestDecide:
             PowerAwareAdmission(execution_model).decide(
                 queue, budget_w=100.0, nodes_available=-1
             )
+
+
+class TestFeasibleJudgesUsableBudget:
+    def test_feasible_uses_margined_budget_not_raw(self, execution_model):
+        """Regression: feasible() once compared against the raw budget, so
+        a decision that consumed its safety head-room passed silently."""
+        queue = JobQueue()
+        queue.submit(_request("a", nodes=2, hint=200.0))
+        decision = PowerAwareAdmission(
+            execution_model, safety_margin=0.5
+        ).decide(queue, budget_w=1000.0, nodes_available=10)
+        # 400 W fits under usable 500 W; judged against usable, not 1000.
+        assert decision.usable_budget_w == pytest.approx(500.0)
+        assert decision.safety_margin == 0.5
+        assert decision.feasible()
+
+    def test_overfull_decision_reported_infeasible(self, execution_model):
+        """A decision whose admitted power exceeds the margined budget must
+        say so, even while under the raw budget."""
+        from repro.manager.admission import AdmissionDecision
+
+        decision = AdmissionDecision(
+            admitted=("a",), deferred=(), estimates_w={"a": 950.0},
+            budget_w=1000.0, nodes_available=10, safety_margin=0.1,
+        )
+        assert decision.admitted_power_w <= decision.budget_w
+        assert not decision.feasible()
+
+
+class TestStarvationBound:
+    def test_blocked_head_gains_reservation(self, execution_model):
+        """EASY backfill stops jumping a head that has been bypassed
+        max_bypass_rounds times: the starved job eventually runs."""
+        admission = PowerAwareAdmission(
+            execution_model, max_bypass_rounds=3, safety_margin=0.0
+        )
+        # The head needs 6 nodes; only 4 are ever available, so small
+        # jobs backfill past it every round.
+        rounds_until_reserved = None
+        for round_index in range(6):
+            queue = JobQueue()
+            queue.submit(_request("head", nodes=6, hint=200.0))
+            queue.submit(_request(f"small-{round_index}", nodes=2,
+                                  hint=200.0))
+            decision = admission.decide(
+                queue, budget_w=5000.0, nodes_available=4
+            )
+            if decision.reserved_head:
+                rounds_until_reserved = round_index
+                break
+            assert decision.admitted == (f"small-{round_index}",)
+        # Bypassed on rounds 0-2; round 3 holds the reservation.
+        assert rounds_until_reserved == 3
+        assert decision.admitted == ()
+        assert decision.deferred[0] == "head"
+
+    def test_reservation_clears_once_head_runs(self, execution_model):
+        admission = PowerAwareAdmission(
+            execution_model, max_bypass_rounds=1, safety_margin=0.0
+        )
+        queue = JobQueue()
+        queue.submit(_request("head", nodes=6, hint=200.0))
+        queue.submit(_request("small", nodes=2, hint=200.0))
+        first = admission.decide(queue, budget_w=5000.0, nodes_available=4)
+        assert first.admitted == ("small",)
+        # Head now fits: reservation held, then cleared by admission.
+        second = admission.decide(queue, budget_w=5000.0, nodes_available=6)
+        assert second.admitted == ("head",)
+        assert second.reserved_head
+        queue2 = JobQueue()
+        queue2.submit(_request("next-head", nodes=2, hint=200.0))
+        third = admission.decide(queue2, budget_w=5000.0, nodes_available=6)
+        assert not third.reserved_head
+
+    def test_dry_runs_do_not_age_the_bound(self, execution_model):
+        admission = PowerAwareAdmission(
+            execution_model, max_bypass_rounds=1, safety_margin=0.0
+        )
+        queue = JobQueue()
+        queue.submit(_request("head", nodes=6, hint=200.0))
+        queue.submit(_request("small", nodes=2, hint=200.0))
+        for _ in range(5):
+            probe = admission.decide(
+                queue, budget_w=5000.0, nodes_available=4, mark=False
+            )
+            assert not probe.reserved_head
+        # The head's allowance is untouched by dry runs.
+        marked = admission.decide(queue, budget_w=5000.0, nodes_available=4)
+        assert marked.admitted == ("small",)
+        assert not marked.reserved_head
+
+    def test_unbounded_bypass_when_disabled(self, execution_model):
+        admission = PowerAwareAdmission(
+            execution_model, max_bypass_rounds=None, safety_margin=0.0
+        )
+        for round_index in range(10):
+            queue = JobQueue()
+            queue.submit(_request("head", nodes=6, hint=200.0))
+            queue.submit(_request(f"s-{round_index}", nodes=2, hint=200.0))
+            decision = admission.decide(
+                queue, budget_w=5000.0, nodes_available=4
+            )
+            assert decision.admitted == (f"s-{round_index}",)
+            assert not decision.reserved_head
+
+    def test_rejects_bad_bypass_bound(self, execution_model):
+        with pytest.raises(ValueError, match="max_bypass_rounds"):
+            PowerAwareAdmission(execution_model, max_bypass_rounds=0)
+
+
+class TestEstimateCache:
+    def test_shared_shapes_characterized_once(self, execution_model):
+        """A million-arrival stream of a few job classes must not
+        characterize per job: the cache keys on (config, nodes)."""
+        admission = PowerAwareAdmission(execution_model)
+        first = admission.estimate_job_power_w(_request("a", nodes=4))
+        assert len(admission._estimate_cache) == 1
+        second = admission.estimate_job_power_w(_request("b", nodes=4))
+        assert second == first
+        assert len(admission._estimate_cache) == 1
+        admission.estimate_job_power_w(_request("c", nodes=6))
+        assert len(admission._estimate_cache) == 2
+
+    def test_hints_bypass_the_cache(self, execution_model):
+        admission = PowerAwareAdmission(execution_model)
+        admission.estimate_job_power_w(_request("a", nodes=4, hint=150.0))
+        assert admission._estimate_cache == {}
+
+
+class TestRaplFloorBound:
+    def test_estimates_never_below_the_rapl_floor(self, execution_model):
+        """Regression: a low user hint (e.g. 120 W/node, below the 136 W
+        RAPL floor) let admission admit a set the allocator could not
+        legally cap down to, and the launch blew up mid-simulation."""
+        admission = PowerAwareAdmission(execution_model)
+        floor_w = execution_model.power_model.min_cap_w
+        estimate = admission.estimate_job_power_w(
+            _request("low", nodes=7, hint=120.0)
+        )
+        assert estimate == 7 * floor_w
+
+    def test_below_floor_budget_defers_instead_of_admitting(
+            self, execution_model):
+        admission = PowerAwareAdmission(execution_model)
+        queue = JobQueue()
+        queue.submit(_request("low", nodes=7, hint=120.0))
+        decision = admission.decide(
+            queue, budget_w=900.0, nodes_available=12
+        )
+        assert decision.admitted == ()
+        assert decision.deferred == ("low",)

@@ -149,3 +149,79 @@ class TestScheduling:
             arrivals, site_cluster, create_policy("MixedAdaptive"), budget
         )
         assert mixed.makespan_s <= static.makespan_s * 1.001
+
+
+class TestBackoffCharging:
+    def test_completions_include_decision_latency(self, site_cluster,
+                                                  monkeypatch):
+        """Regression: per-job completions once used ``clock + elapsed``
+        while the batch end advanced by ``max(elapsed) + backoff_s``, so
+        degraded batches "completed" jobs before the batch ended.  The
+        ladder's latency must be charged to every completion."""
+        import dataclasses as dc
+
+        from repro.faults import degradation as degradation_mod
+        from repro.faults.schedule import FaultSchedule
+
+        real_plan = degradation_mod.plan_with_degradation
+
+        def delayed_plan(*args, **kwargs):
+            return dc.replace(real_plan(*args, **kwargs), backoff_s=1.5)
+
+        monkeypatch.setattr(
+            degradation_mod, "plan_with_degradation", delayed_plan
+        )
+        # An active-but-inert schedule routes batches through the ladder.
+        schedule = FaultSchedule(name="inert").budget_drop(1e6, 2800.0)
+        arrivals = [_arrival("a", 0.0), _arrival("b", 0.0)]
+        result = run_site_simulation(
+            arrivals, site_cluster, create_policy("StaticCaps"),
+            budget_w=12 * 235.0, fault_schedule=schedule,
+        )
+        batch = result.batches[0]
+        assert batch.backoff_s == 1.5
+        completions = [
+            result.job_turnaround_s[name] + 0.0 for name in ("a", "b")
+        ]
+        # The critical-path job finishes exactly at the batch end; nobody
+        # finishes after it, and everybody carries the 1.5 s latency.
+        assert max(completions) == batch.end_s
+        assert all(c <= batch.end_s for c in completions)
+        assert min(completions) > batch.backoff_s
+
+
+class TestTruncationStatus:
+    def test_truncated_jobs_not_labeled_never_admitted(self, site_cluster):
+        """Regression: jobs still pending (or unarrived) at the
+        max_batches limit were reported as never_admitted, conflating
+        unfinished work with admission rejections."""
+        arrivals = [_arrival(f"j{i}", float(i)) for i in range(5)]
+        result = run_site_simulation(
+            arrivals, site_cluster, create_policy("StaticCaps"),
+            budget_w=12 * 235.0, max_batches=1,
+        )
+        # Only j0 has arrived when the single allowed batch launches.
+        assert result.completed == ("j0",)
+        assert result.never_admitted == ()
+        assert set(result.truncated) == {"j1", "j2", "j3", "j4"}
+
+    def test_rejected_job_still_never_admitted(self, site_cluster):
+        arrivals = [
+            _arrival("ok", 0.0, nodes=4),
+            _arrival("whale", 0.0, nodes=500),
+        ]
+        result = run_site_simulation(
+            arrivals, site_cluster, create_policy("StaticCaps"),
+            budget_w=12 * 235.0,
+        )
+        assert result.never_admitted == ("whale",)
+        assert result.truncated == ()
+
+    def test_full_run_truncates_nothing(self, site_cluster):
+        arrivals = [_arrival(f"j{i}", float(i)) for i in range(3)]
+        result = run_site_simulation(
+            arrivals, site_cluster, create_policy("StaticCaps"),
+            budget_w=12 * 235.0,
+        )
+        assert result.truncated == ()
+        assert set(result.completed) == {f"j{i}" for i in range(3)}

@@ -1,0 +1,121 @@
+"""Unit tests: the ``repro.stream.v1`` wire protocol."""
+
+import pytest
+
+from repro.manager.queue import JobRequest
+from repro.stream import messages as msg
+from repro.workload.kernel import KernelConfig, Precision, VectorWidth
+
+
+def _request(name="wire-job"):
+    return JobRequest(
+        name=name,
+        config=KernelConfig(intensity=2.0, vector=VectorWidth.XMM,
+                            precision=Precision.SINGLE,
+                            waiting_fraction=0.5, imbalance=2),
+        node_count=6, iterations=40, power_hint_w=190.0,
+    )
+
+
+class TestEnvelope:
+    def test_builders_validate_clean(self):
+        for message in (
+            msg.submit_message(_request()),
+            msg.set_budget_message(1200.0),
+            msg.stats_message(),
+            msg.subscribe_message(kinds=["tick"]),
+            msg.unsubscribe_message(),
+            msg.shutdown_message(),
+        ):
+            assert msg.validate_upstream(message) == []
+        for message in (
+            msg.ack_message("submit"),
+            msg.error_message("nope"),
+            msg.stats_reply({"arrivals": 1}),
+            msg.event_message("stream.engine", "tick", {"clock_s": 1.0}),
+        ):
+            assert msg.validate_downstream(message) == []
+
+    def test_schema_tag_required(self):
+        bad = msg.stats_message()
+        bad["schema"] = "repro.stream.v0"
+        problems = msg.validate_upstream(bad)
+        assert any("schema mismatch" in p for p in problems)
+
+    def test_unknown_op_reported(self):
+        problems = msg.validate_upstream(
+            {"schema": msg.STREAM_SCHEMA, "op": "reboot"}
+        )
+        assert any("unknown op" in p for p in problems)
+
+    def test_missing_fields_reported(self):
+        problems = msg.validate_upstream(
+            {"schema": msg.STREAM_SCHEMA, "op": "set_budget"}
+        )
+        assert any("budget_w" in p for p in problems)
+
+    def test_bool_is_not_a_number(self):
+        problems = msg.validate_upstream(
+            {"schema": msg.STREAM_SCHEMA, "op": "set_budget",
+             "budget_w": True}
+        )
+        assert problems
+
+    def test_submit_job_fields_checked(self):
+        problems = msg.validate_upstream(
+            {"schema": msg.STREAM_SCHEMA, "op": "submit",
+             "job": {"name": "x"}}
+        )
+        assert any("intensity" in p for p in problems)
+
+    def test_non_object_rejected(self):
+        assert msg.validate_upstream([1, 2]) != []
+        assert msg.validate_downstream("hi") != []
+
+
+class TestFraming:
+    def test_round_trip(self):
+        frame = msg.encode_message(msg.stats_message())
+        assert frame.endswith(b"\n")
+        assert msg.decode_message(frame) == msg.stats_message()
+
+    def test_malformed_json_raises(self):
+        with pytest.raises(ValueError, match="malformed frame"):
+            msg.decode_message(b"{nope\n")
+
+    def test_non_object_frame_raises(self):
+        with pytest.raises(ValueError, match="must decode to an object"):
+            msg.decode_message(b"[1,2]\n")
+
+
+class TestJobSpec:
+    def test_payload_round_trip(self):
+        original = _request()
+        rebuilt = msg.job_request_from_payload(msg.job_payload(original))
+        assert rebuilt.name == original.name
+        assert rebuilt.config == original.config
+        assert rebuilt.node_count == original.node_count
+        assert rebuilt.iterations == original.iterations
+        assert rebuilt.power_hint_w == original.power_hint_w
+
+    def test_defaults_fill_in(self):
+        request = msg.job_request_from_payload(
+            {"name": "d", "intensity": 4.0, "node_count": 2,
+             "iterations": 10}
+        )
+        assert request.config.vector is VectorWidth.YMM
+        assert request.power_hint_w is None
+
+    def test_bad_vector_is_value_error(self):
+        with pytest.raises(ValueError, match="bad kernel spec"):
+            msg.job_request_from_payload(
+                {"name": "d", "intensity": 4.0, "node_count": 2,
+                 "iterations": 10, "vector": "zmm"}
+            )
+
+    def test_domain_errors_surface(self):
+        with pytest.raises(ValueError):
+            msg.job_request_from_payload(
+                {"name": "d", "intensity": 4.0, "node_count": 0,
+                 "iterations": 10}
+            )
