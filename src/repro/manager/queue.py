@@ -73,6 +73,18 @@ class JobRequest:
         )
 
 
+#: Legal lifecycle transitions, hoisted out of :meth:`JobQueue.mark` —
+#: the streaming engine marks every job three times (allocated, running,
+#: completed), so rebuilding this table per call showed up in profiles.
+_VALID_TRANSITIONS: Dict[JobState, frozenset] = {
+    JobState.PENDING: frozenset({JobState.ALLOCATED, JobState.FAILED}),
+    JobState.ALLOCATED: frozenset({JobState.RUNNING, JobState.FAILED}),
+    JobState.RUNNING: frozenset({JobState.COMPLETED, JobState.FAILED}),
+    JobState.COMPLETED: frozenset(),
+    JobState.FAILED: frozenset(),
+}
+
+
 class JobQueue:
     """FIFO admission queue with state tracking.
 
@@ -103,6 +115,16 @@ class JobQueue:
         """Pending requests in submission order."""
         return list(self._pending.values())
 
+    def pending_count(self) -> int:
+        """Number of pending requests, O(1)."""
+        return len(self._pending)
+
+    def peek_pending(self) -> Optional[JobRequest]:
+        """The head-of-queue pending request, O(1) (None when empty)."""
+        if not self._pending:
+            return None
+        return next(iter(self._pending.values()))
+
     def get(self, name: str) -> JobRequest:
         """Look up a request by name."""
         try:
@@ -113,14 +135,7 @@ class JobQueue:
     def mark(self, name: str, state: JobState) -> None:
         """Transition a job's state (validated against the lifecycle)."""
         request = self.get(name)
-        valid = {
-            JobState.PENDING: {JobState.ALLOCATED, JobState.FAILED},
-            JobState.ALLOCATED: {JobState.RUNNING, JobState.FAILED},
-            JobState.RUNNING: {JobState.COMPLETED, JobState.FAILED},
-            JobState.COMPLETED: set(),
-            JobState.FAILED: set(),
-        }
-        if state not in valid[request.state]:
+        if state not in _VALID_TRANSITIONS[request.state]:
             raise ValueError(
                 f"illegal transition {request.state.value} -> {state.value} "
                 f"for job {name!r}"

@@ -44,6 +44,29 @@ class ScheduledMix:
         if np.unique(self.node_ids).size != n:
             raise ValueError("a node cannot be allocated to two hosts")
 
+    @classmethod
+    def trusted(
+        cls,
+        mix: WorkloadMix,
+        node_ids: np.ndarray,
+        efficiencies: np.ndarray,
+    ) -> "ScheduledMix":
+        """Construct without the duplicate-allocation scan.
+
+        For callers that build the allocation as a permutation of
+        ``arange(n)`` themselves (the streaming engine's batch planner,
+        which schedules thousands of small batches per simulated shift)
+        the ``np.unique`` uniqueness proof in ``__post_init__`` is pure
+        overhead — a permutation cannot double-book a node.  Shapes are
+        the caller's responsibility too; misuse surfaces as an engine
+        shape error rather than a scheduler error.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "mix", mix)
+        object.__setattr__(self, "node_ids", node_ids)
+        object.__setattr__(self, "efficiencies", efficiencies)
+        return self
+
     def job_node_ids(self, job_index: int) -> np.ndarray:
         """Node ids allocated to one job."""
         offsets = self.mix.job_offsets()

@@ -60,10 +60,10 @@ import numpy as np
 from repro.runtime.agent import Agent, AgentBatch, SampleBatch
 from repro.runtime.controller import EpochResult
 from repro.runtime.reports import JobReport, report_from_arrays
-from repro.sim.batch import stack_layouts
+from repro.sim.batch import stack_job_layouts
 from repro.sim.engine import ExecutionModel
 from repro.telemetry import ScopedTimer, emit, enabled, get_registry, span
-from repro.workload.job import Job, WorkloadMix
+from repro.workload.job import Job
 
 __all__ = [
     "ControllerRunSpec",
@@ -261,12 +261,7 @@ class ControllerBatch:
         self.model = model if model is not None else ExecutionModel()
         self.hosts = int(hosts)
         self.run_count = len(specs)
-        self._layouts = stack_layouts(
-            [
-                WorkloadMix(name=s.job.name, jobs=(s.job,)).layout()
-                for s in specs
-            ]
-        )
+        self._layouts = stack_job_layouts([s.job for s in specs])
         self._eff = np.stack([s.efficiencies for s in specs])
         self._noise = np.array([s.noise_std for s in specs], dtype=float)
         self._barrier = np.array(

@@ -46,9 +46,15 @@ from repro.sim.execution import (
 )
 from repro.sim.results import MixRunResult
 from repro.telemetry import ScopedTimer, emit, enabled, get_registry, span
-from repro.workload.job import HostLayout, WorkloadMix
+from repro.workload.job import HostLayout, Job, WorkloadMix
 
-__all__ = ["LayoutBatch", "stack_layouts", "simulate_cap_batch"]
+__all__ = [
+    "LayoutBatch",
+    "stack_layouts",
+    "stack_job_layouts",
+    "simulate_cap_batch",
+    "simulate_layout_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -143,6 +149,79 @@ def stack_layouts(layouts: Sequence[HostLayout]) -> LayoutBatch:
         gflop=np.stack([la.gflop for la in layouts]),
         compute_ceiling_index=np.stack(remapped),
         ceiling_names=tuple(names),
+    )
+
+
+#: Identity-keyed memo for :func:`_stack_layouts_cached`.  Values hold
+#: strong references to the source layouts so the ``id`` keys stay valid
+#: for the lifetime of the entry.
+_STACK_CACHE: dict = {}
+_STACK_CACHE_LIMIT = 128
+
+
+def _stack_layouts_cached(layouts: Sequence[HostLayout]) -> LayoutBatch:
+    """:func:`stack_layouts`, memoised on layout *identity*.
+
+    The streaming engine's batched rolling mode stacks the same shared
+    read-only layout objects (one per job shape, primed by the batch
+    planner) group after group, so the stacked batch can be reused
+    outright instead of re-gathering ``S × hosts`` physics arrays per
+    step.  Layouts are immutable by contract (:meth:`WorkloadMix.layout`
+    marks the arrays read-only), which is what makes the stacked result
+    shareable; callers that mutate layouts must use :func:`stack_layouts`
+    directly.
+    """
+    first = layouts[0]
+    scenarios = len(layouts)
+    if all(layout is first for layout in layouts):
+        # All rows share one layout object (the planner's primed-layout
+        # case): the stacked batch is S copies of a single row, built by
+        # repeating a one-row stack instead of re-gathering S rows.
+        key = (id(first), scenarios)
+        entry = _STACK_CACHE.get(key)
+        if entry is not None and entry[0][0] is first:
+            return entry[1]
+        single = stack_layouts([first])
+        batch = LayoutBatch(
+            job_index=single.job_index,
+            job_boundaries=single.job_boundaries,
+            critical=np.repeat(single.critical, scenarios, axis=0),
+            kappa=np.repeat(single.kappa, scenarios, axis=0),
+            poll_kappa=np.repeat(single.poll_kappa, scenarios, axis=0),
+            traffic_gb=np.repeat(single.traffic_gb, scenarios, axis=0),
+            gflop=np.repeat(single.gflop, scenarios, axis=0),
+            compute_ceiling_index=np.repeat(
+                single.compute_ceiling_index, scenarios, axis=0
+            ),
+            ceiling_names=single.ceiling_names,
+        )
+        held = (first,)
+    else:
+        key = tuple(id(layout) for layout in layouts)
+        entry = _STACK_CACHE.get(key)
+        if entry is not None:
+            held, batch = entry
+            if all(a is b for a, b in zip(held, layouts)):
+                return batch
+        batch = stack_layouts(layouts)
+        held = tuple(layouts)
+    if len(_STACK_CACHE) >= _STACK_CACHE_LIMIT:
+        _STACK_CACHE.clear()
+    _STACK_CACHE[key] = (held, batch)
+    return batch
+
+
+def stack_job_layouts(jobs: Sequence[Job]) -> LayoutBatch:
+    """Stack one single-job layout per job into a :class:`LayoutBatch`.
+
+    The batched controller runtime and the streaming engine's batched
+    rolling mode both step many independent single-job runs in lockstep;
+    each run's layout is the layout of a one-job mix over its own hosts.
+    All jobs must share a node count (the common job block structure
+    :func:`stack_layouts` requires).
+    """
+    return stack_layouts(
+        [WorkloadMix(name=job.name, jobs=(job,)).layout() for job in jobs]
     )
 
 
@@ -292,5 +371,157 @@ def simulate_cap_batch(
                 "sim.execution", "mix_batch_simulated",
                 mix=mix.name, hosts=layout.host_count, scenarios=scenarios,
                 cache_hits=hits, iterations=n_iter, wall_s=timer.elapsed_s,
+            )
+    return results  # type: ignore[return-value]
+
+
+def simulate_layout_batch(
+    mixes: Sequence[WorkloadMix],
+    caps_sw: np.ndarray,
+    efficiencies_sw: np.ndarray,
+    model: Optional[ExecutionModel] = None,
+    options: Optional[SimulationOptions] = None,
+    seeds: Optional[Sequence[int]] = None,
+    policy_names: Union[str, Sequence[str]] = "unmanaged",
+    budgets_w: Union[float, Sequence[float]] = 0.0,
+) -> List[MixRunResult]:
+    """Simulate ``S`` *independent mixes* on ``S`` host rows in one pass.
+
+    Where :func:`simulate_cap_batch` sweeps cap vectors over one mix on
+    one host allocation, this entry point batches whole co-resident
+    *runs*: scenario ``s`` is mix ``mixes[s]`` on its own hosts with its
+    own efficiencies row — the shape of the streaming engine's rolling
+    mode, where several admitted batches occupy disjoint node subsets at
+    once.  All mixes must share one job block structure (same per-job
+    node counts) and one iteration count, the precondition of
+    :func:`stack_layouts`; callers group heterogeneous batches by that
+    structure signature first.
+
+    Parameters
+    ----------
+    mixes:
+        One workload mix per scenario, length ``S``.
+    caps_sw / efficiencies_sw:
+        ``(S, hosts)`` matrices; row ``s`` is scenario ``s``'s per-host
+        caps and host efficiencies.
+    seeds / policy_names / budgets_w:
+        As in :func:`simulate_cap_batch`.
+
+    Returns
+    -------
+    list of MixRunResult
+        Element ``s`` is **bit-identical** to
+        ``simulate_mix(mixes[s], caps_sw[s], efficiencies_sw[s], ...)``
+        with the matching seed: the engine body is a pure elementwise
+        ufunc chain over the host axis with per-scenario contiguous
+        reductions, so stacking independent rows cannot change any
+        element (pinned by ``tests/property/test_stream_properties.py``).
+
+    Per-scenario cache keys are the *serial* keys, so a layout batch
+    interoperates with serial runs through any installed
+    :func:`~repro.parallel.cache.active_cache` exactly as cap batches do.
+    """
+    if not mixes:
+        raise ValueError("simulate_layout_batch needs at least one mix")
+    if options is None:
+        options = DEFAULT_OPTIONS
+    model = model if model is not None else ExecutionModel()
+    layouts = [mix.layout() for mix in mixes]
+    hosts = layouts[0].host_count
+    scenarios = len(mixes)
+    caps = np.asarray(caps_sw, dtype=float)
+    eff = np.asarray(efficiencies_sw, dtype=float)
+    if caps.shape != (scenarios, hosts):
+        raise ValueError(
+            f"caps_sw must have shape ({scenarios}, {hosts}), got {caps.shape}"
+        )
+    if eff.shape != (scenarios, hosts):
+        raise ValueError(
+            f"efficiencies_sw must have shape ({scenarios}, {hosts}), "
+            f"got {eff.shape}"
+        )
+    n_iter = mixes[0].common_iterations()
+    for mix in mixes[1:]:
+        if mix.common_iterations() != n_iter:
+            raise ValueError(
+                "all mixes in a layout batch must share one iteration count"
+            )
+    if seeds is None:
+        seed_list = [int(options.seed)] * scenarios
+    else:
+        seed_list = [int(s) for s in seeds]
+        if len(seed_list) != scenarios:
+            raise ValueError(
+                f"seeds must have length {scenarios}, got {len(seed_list)}"
+            )
+    names = _per_scenario(policy_names, scenarios, "policy_names", str)
+    budgets = _per_scenario(budgets_w, scenarios, "budgets_w", float)
+
+    from repro.parallel.cache import active_cache
+
+    with span("sim.simulate_layout_batch", hosts=hosts,
+              scenarios=scenarios) as trace_sp:
+        cache = active_cache()
+        results: List[Optional[MixRunResult]] = [None] * scenarios
+        keys: List[Optional[str]] = [None] * scenarios
+        misses = list(range(scenarios))
+        if cache is not None:
+            from repro.io.serialize import result_from_dict
+
+            misses = []
+            for s in range(scenarios):
+                opts_s = dataclasses.replace(options, seed=seed_list[s])
+                keys[s] = cache.key(
+                    "simulate", mixes[s], caps[s], eff[s], model, opts_s,
+                    names[s], budgets[s],
+                )
+                payload = cache.get(keys[s])
+                if payload is not None:
+                    results[s] = result_from_dict(payload)
+                else:
+                    misses.append(s)
+        hits = scenarios - len(misses)
+        if trace_sp is not None:
+            trace_sp.set_attribute("cache_hits", hits)
+
+        with ScopedTimer("sim.execution.simulate_layout_batch_s") as timer:
+            if misses:
+                batch = _stack_layouts_cached([layouts[s] for s in misses])
+                out = _execute_scenarios(
+                    batch, caps[misses], eff[misses], model, n_iter,
+                    options.noise_std, options.barrier_overhead_s,
+                    [seed_list[s] for s in misses],
+                    fault_schedule=options.fault_schedule,
+                )
+                for row, s in enumerate(misses):
+                    results[s] = MixRunResult(
+                        mix_name=mixes[s].name,
+                        policy_name=names[s],
+                        budget_w=budgets[s],
+                        job_names=mixes[s].job_names,
+                        iteration_times_s=out.job_iter_times[row],
+                        iteration_energy_j=out.iteration_energy[row],
+                        host_energy_j=out.host_energy[row],
+                        host_mean_power_w=out.host_mean_power[row],
+                        host_job_index=layouts[s].job_index,
+                        total_gflop=float(out.total_gflop[row]),
+                    )
+        if cache is not None and misses:
+            from repro.io.serialize import result_to_dict
+
+            for s in misses:
+                cache.put(keys[s], result_to_dict(results[s]))
+
+        if enabled():
+            registry = get_registry()
+            registry.counter("sim.execution.batch_runs").inc()
+            if misses:
+                registry.counter("sim.execution.runs").inc(len(misses))
+            if hits:
+                registry.counter("sim.execution.cache_hits").inc(hits)
+            emit(
+                "sim.execution", "layout_batch_simulated",
+                hosts=hosts, scenarios=scenarios, cache_hits=hits,
+                iterations=n_iter, wall_s=timer.elapsed_s,
             )
     return results  # type: ignore[return-value]

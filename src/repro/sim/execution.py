@@ -224,6 +224,13 @@ def _execute_scenarios(
     caps_sw:
         Cap matrix of shape ``(S, hosts)``; clamped into the RAPL range
         here, exactly as the serial path does.
+    efficiencies:
+        Host-variation multipliers, shape ``(hosts,)`` shared by every
+        scenario or ``(S, hosts)`` with one row per scenario (the
+        layout-batch case: independent runs on disjoint host subsets).
+        Efficiencies only enter elementwise ufunc chains
+        (``model.frequencies`` / ``power_at_freq`` / ``poll_power``), so
+        either shape broadcasts without changing any element's value.
     seeds:
         One noise seed per scenario (ignored when ``noise_std == 0``).
 
@@ -295,7 +302,11 @@ def _execute_scenarios(
         # scale it in place (multiplication commutes bitwise).
         host_times = np.empty((scenarios, n_iter, hosts))
         for s in range(scenarios):
-            rng = np.random.default_rng(seeds[s])
+            # Generator(PCG64(seed)) is the stream default_rng(seed)
+            # builds for an int seed, minus the seed-normalisation layer
+            # — this loop runs once per in-flight batch at streaming
+            # rates.
+            rng = np.random.Generator(np.random.PCG64(seeds[s]))
             host_times[s] = rng.lognormal(mean=0.0, sigma=noise_std,
                                           size=(n_iter, hosts))
         host_times *= t_compute[:, np.newaxis, :]

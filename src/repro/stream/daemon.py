@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.stream import messages as msg
 from repro.stream.engine import SiteStreamEngine
-from repro.telemetry import get_bus
+from repro.telemetry import enabled, get_bus, get_registry, span
 
 __all__ = ["StreamDaemon", "run_daemon_once"]
 
@@ -46,6 +46,13 @@ class _Subscriber:
         if len(self.buffer) >= self.max_backlog:
             self.buffer.pop(0)
             self.dropped += 1
+            # Backpressure drops must be observable, not silent: the
+            # per-flush error frame only reaches the slow client itself,
+            # while this counter surfaces the drop rate to operators.
+            if enabled():
+                get_registry().counter(
+                    "stream.daemon.frames_dropped"
+                ).inc()
         self.buffer.append(msg.event_message(source, kind, payload))
 
 
@@ -189,55 +196,65 @@ class StreamDaemon:
         if problems:
             return msg.error_message("; ".join(problems))
         op = message["op"]
-        if op == "subscribe":
-            self._subscribers[client_id] = _Subscriber(
-                message.get("kinds"), self.max_backlog
-            )
-            return msg.ack_message("subscribe")
-        if op == "unsubscribe":
-            self._subscribers.pop(client_id, None)
-            return msg.ack_message("unsubscribe")
-        if op == "shutdown":
-            self._stopping.set()
-            return msg.ack_message("shutdown")
+        if op in ("subscribe", "unsubscribe", "shutdown"):
+            # Control ops never touch the engine; span them outside the
+            # lock (the handlers are synchronous).
+            with span("stream.daemon.dispatch", op=op, client=client_id):
+                if op == "subscribe":
+                    self._subscribers[client_id] = _Subscriber(
+                        message.get("kinds"), self.max_backlog
+                    )
+                elif op == "unsubscribe":
+                    self._subscribers.pop(client_id, None)
+                else:
+                    self._stopping.set()
+                return msg.ack_message(op)
 
         async with self._lock:
-            engine = self.engine
-            if op == "submit":
-                job = message["job"]
-                try:
-                    request = msg.job_request_from_payload(job)
-                    if engine.max_pending is not None and \
-                            len(engine.queue.pending()) >= engine.max_pending:
-                        # Surface backpressure as a reply, not a silent
-                        # drop: the engine would reject it anyway.
-                        return msg.error_message(
-                            "queue full", name=request.name,
-                            max_pending=engine.max_pending,
-                        )
-                    time_s = engine.submit(request, job.get("time_s"))
-                    # Pump inside the guard: a domain error surfacing
-                    # mid-timeline (duplicate name, bad spec) becomes an
-                    # error reply, not a dropped connection.
-                    engine.run()
-                except (ValueError, KeyError) as exc:
-                    return msg.error_message(str(exc))
-                return msg.ack_message(
-                    "submit", name=request.name, time_s=time_s,
-                )
-            if op == "set_budget":
-                try:
-                    time_s = engine.set_budget(float(message["budget_w"]))
-                except ValueError as exc:
-                    return msg.error_message(str(exc))
+            # The span opens after the lock is held: everything inside
+            # is synchronous (no awaits), so the trace context cannot
+            # interleave with another client's handler.
+            with span("stream.daemon.dispatch", op=op, client=client_id):
+                return self._dispatch_engine_op(op, message)
+
+    def _dispatch_engine_op(self, op: str,
+                            message: Dict[str, object]) -> Dict[str, object]:
+        engine = self.engine
+        if op == "submit":
+            job = message["job"]
+            try:
+                request = msg.job_request_from_payload(job)
+                if engine.max_pending is not None and \
+                        len(engine.queue.pending()) >= engine.max_pending:
+                    # Surface backpressure as a reply, not a silent
+                    # drop: the engine would reject it anyway.
+                    return msg.error_message(
+                        "queue full", name=request.name,
+                        max_pending=engine.max_pending,
+                    )
+                time_s = engine.submit(request, job.get("time_s"))
+                # Pump inside the guard: a domain error surfacing
+                # mid-timeline (duplicate name, bad spec) becomes an
+                # error reply, not a dropped connection.
                 engine.run()
-                return msg.ack_message(
-                    "set_budget", budget_w=float(message["budget_w"]),
-                    time_s=time_s,
-                )
-            if op == "stats":
-                engine.stats.clock_s = engine.clock
-                return msg.stats_reply(engine.stats.snapshot())
+            except (ValueError, KeyError) as exc:
+                return msg.error_message(str(exc))
+            return msg.ack_message(
+                "submit", name=request.name, time_s=time_s,
+            )
+        if op == "set_budget":
+            try:
+                time_s = engine.set_budget(float(message["budget_w"]))
+            except ValueError as exc:
+                return msg.error_message(str(exc))
+            engine.run()
+            return msg.ack_message(
+                "set_budget", budget_w=float(message["budget_w"]),
+                time_s=time_s,
+            )
+        if op == "stats":
+            engine.stats.clock_s = engine.clock
+            return msg.stats_reply(engine.stats.snapshot())
         return msg.error_message(f"unhandled op {op!r}")
 
 

@@ -37,17 +37,20 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.policy import Policy
 from repro.hardware.cluster import Cluster
-from repro.manager.admission import PowerAwareAdmission
+from repro.manager.admission import AdmissionDecision, PowerAwareAdmission
 from repro.manager.power_manager import PowerManager
 from repro.manager.queue import JobQueue, JobRequest, JobState
 from repro.manager.site_simulation import (
     Arrival,
     BatchExecution,
+    BatchPlanner,
     BatchRecord,
     SiteSimulationResult,
     execute_admitted_batch,
+    execute_planned_batches,
+    plan_admitted_batch,
 )
-from repro.stream.events import EventKind, EventLoop
+from repro.stream.events import Event, EventKind, EventLoop
 from repro.telemetry import emit, enabled, get_registry, span
 from repro.units import ensure_positive
 
@@ -113,6 +116,30 @@ class SiteStreamEngine:
         When set, a TELEMETRY_TICK event fires every interval of
         simulated time, emitting a ``stream.engine``/``tick`` event with
         the stats snapshot (the daemon's pub/sub feed).
+    batched_physics:
+        Rolling-mode only.  When True, every admission flush executes all
+        batches it admitted through the staged
+        :func:`~repro.manager.site_simulation.plan_admitted_batch` /
+        :func:`~repro.manager.site_simulation.execute_planned_batches`
+        pipeline — one vectorised ``(S, hosts)`` engine pass per job
+        structure group instead of one scalar call per batch — with
+        memoised characterization/allocation planning.  Bit-identical to
+        the scalar path (pinned by the stream property suite).  Runs with
+        an *active* fault schedule fall back to scalar per-batch physics
+        (fault windows are sliced at each batch's own clock).
+    admission_interval_s:
+        Rolling-mode only.  When set, admission is *quantised*: arrivals
+        and capacity events schedule one deferred ADMISSION flush this
+        far ahead instead of re-running admission inline, so a burst of
+        events pays for one pass and co-arriving batches launch together
+        (the high-rate configuration that feeds ``batched_physics`` wide
+        groups).  ``None`` keeps the classic admit-on-every-event
+        semantics.
+    per_job_batches:
+        Rolling-mode only.  When True, each admitted job launches as its
+        own single-job batch instead of co-scheduling one batch per
+        admission pass — uniform job structure (wide vectorised groups)
+        and per-job completion granularity.
     """
 
     def __init__(
@@ -132,12 +159,24 @@ class SiteStreamEngine:
         record_jobs: bool = True,
         record_batches: bool = True,
         tick_interval_s: Optional[float] = None,
+        batched_physics: bool = False,
+        admission_interval_s: Optional[float] = None,
+        per_job_batches: bool = False,
     ) -> None:
         ensure_positive(budget_w, "budget_w")
         if max_pending is not None and max_pending < 1:
             raise ValueError("max_pending must be positive or None")
         if tick_interval_s is not None:
             ensure_positive(tick_interval_s, "tick_interval_s")
+        if admission_interval_s is not None:
+            ensure_positive(admission_interval_s, "admission_interval_s")
+        if not rolling and (batched_physics or per_job_batches
+                            or admission_interval_s is not None):
+            raise ValueError(
+                "batched_physics, admission_interval_s and per_job_batches "
+                "are rolling-mode knobs; replay mode is pinned to the "
+                "batch shift loop's scalar semantics"
+            )
         self.cluster = cluster
         self.policy = policy
         self.base_budget_w = float(budget_w)
@@ -156,6 +195,9 @@ class SiteStreamEngine:
         self.record_jobs = record_jobs
         self.record_batches = record_batches
         self.tick_interval_s = tick_interval_s
+        self.batched_physics = batched_physics
+        self.admission_interval_s = admission_interval_s
+        self.per_job_batches = per_job_batches
 
         self.loop = EventLoop()
         self.queue = JobQueue()
@@ -174,6 +216,30 @@ class SiteStreamEngine:
         self._reserved_w = 0.0
         self._in_flight = 0
         self._tick_scheduled = False
+        # Slot-reused periodic events (allocation-free re-arming).
+        self._tick_event: Optional[Event] = None
+        self._admission_event: Optional[Event] = None
+        self._admission_scheduled = False
+        # Memoised planner for the staged batch pipeline.
+        self._planner = BatchPlanner(self.manager, policy) \
+            if batched_physics else None
+        self._host_eff = cluster.efficiencies
+        # Homogeneous-cluster fast path: when every host efficiency is
+        # equal, any subset's efficiency vector is the same constant
+        # slice, so the per-batch gather (and the physically inert
+        # scheduler shuffle) can be skipped.  One shared read-only
+        # vector per batch size.
+        eff = cluster.efficiencies
+        self._uniform_hosts = bool((eff == eff[0]).all()) if len(eff) else True
+        self._uniform_eff: Dict[int, object] = {}
+        # Incremental-admission gate: set to the (unreserved watts, free
+        # hosts) snapshot whenever a full admission pass deferred every
+        # pending job; while capacity stays at that snapshot, a new
+        # arrival only needs its own tail judged (estimates are
+        # deterministic and `fits` is monotone in capacity, so the full
+        # pass would re-defer the prefix identically).  Any capacity or
+        # fault-state change invalidates it.
+        self._blocked_key: Optional[Tuple[float, int]] = None
         # Rolling mode re-runs admission at fault boundaries as timeline
         # events; replay mode handles boundaries inline (matching the
         # batch shift loop), so its heap carries only arrivals.
@@ -224,21 +290,23 @@ class SiteStreamEngine:
 
     # ------------------------------------------------------------------
     # event handlers
-    def _on_arrival(self, request: JobRequest, time_s: float) -> None:
+    def _on_arrival(self, request: JobRequest, time_s: float) -> bool:
+        """Track one arrival; returns False when backpressure rejected it."""
         self.stats.arrivals += 1
-        pending = len(self.queue.pending())
+        pending = self.queue.pending_count()
         if self.max_pending is not None and pending >= self.max_pending:
             self.stats.rejected += 1
             if enabled():
                 emit("stream.engine", "job_rejected", name=request.name,
                      pending=pending, max_pending=self.max_pending)
-            return
+            return False
         self.queue.submit(request)
         self._arrival_time[request.name] = time_s
-        self.stats.peak_pending = max(self.stats.peak_pending, pending + 1)
-        self.stats.peak_tracked_jobs = max(
-            self.stats.peak_tracked_jobs, len(self.queue)
-        )
+        if pending >= self.stats.peak_pending:
+            self.stats.peak_pending = pending + 1
+        if len(self.queue) > self.stats.peak_tracked_jobs:
+            self.stats.peak_tracked_jobs = len(self.queue)
+        return True
 
     def _account_batch(self, execution: BatchExecution) -> None:
         """Fold one finished batch into the engine's records and stats."""
@@ -295,14 +363,30 @@ class SiteStreamEngine:
     # rolling mode
     def _idle(self) -> bool:
         return (self._source is None and self._in_flight == 0
-                and not self.queue.pending())
+                and not self.queue.pending_count())
 
     def _schedule_tick(self) -> None:
         if self.tick_interval_s is None or self._tick_scheduled:
             return
-        self.loop.push(self.clock + self.tick_interval_s,
-                       EventKind.TELEMETRY_TICK)
+        t = self.clock + self.tick_interval_s
+        if self._tick_event is None:
+            self._tick_event = self.loop.push(t, EventKind.TELEMETRY_TICK)
+        else:
+            # Slot reuse: re-arm the delivered tick event instead of
+            # allocating a fresh one per interval.
+            self.loop.repush(self._tick_event, t)
         self._tick_scheduled = True
+
+    def _schedule_admission_flush(self) -> None:
+        """Arm the deferred ADMISSION event (quantised-admission mode)."""
+        if self._admission_scheduled:
+            return
+        t = self.clock + self.admission_interval_s
+        if self._admission_event is None:
+            self._admission_event = self.loop.push(t, EventKind.ADMISSION)
+        else:
+            self.loop.repush(self._admission_event, t)
+        self._admission_scheduled = True
 
     def _on_tick(self) -> None:
         self._tick_scheduled = False
@@ -310,12 +394,44 @@ class SiteStreamEngine:
         if enabled():
             registry = get_registry()
             registry.gauge("stream.engine.pending").set(
-                len(self.queue.pending())
+                self.queue.pending_count()
             )
             registry.gauge("stream.engine.in_flight").set(self._in_flight)
             emit("stream.engine", "tick", **self.stats.snapshot())
         if not self._idle() or self.loop:
             self._schedule_tick()
+
+    def _split_decision(self, decision):
+        """Yield ``(sub_decision, names)`` launch groups for one pass.
+
+        Default: the whole admitted set as one co-scheduled batch (the
+        classic semantics).  With ``per_job_batches`` every admitted job
+        becomes its own single-job batch — uniform job structure, so the
+        batched step groups wide.
+        """
+        if not self.per_job_batches or len(decision.admitted) <= 1:
+            yield decision, decision.admitted
+            return
+        for name in decision.admitted:
+            # Field-for-field what dataclasses.replace(decision,
+            # admitted=(name,)) builds, without the per-call field
+            # introspection — this runs once per admitted job.
+            sub = AdmissionDecision(
+                (name,), decision.deferred, decision.estimates_w,
+                decision.budget_w, decision.nodes_available,
+                decision.safety_margin, decision.reserved_head,
+                self.queue.get(name).node_count,
+            )
+            yield sub, (name,)
+
+    def _subset_eff(self, count: int):
+        """The shared constant efficiency slice for a uniform cluster."""
+        eff = self._uniform_eff.get(count)
+        if eff is None:
+            eff = self._host_eff[:count].copy()
+            eff.setflags(write=False)
+            self._uniform_eff[count] = eff
+        return eff
 
     def _try_admit_rolling(self) -> None:
         """Admit against free hosts and unreserved budget; launch batches.
@@ -323,14 +439,27 @@ class SiteStreamEngine:
         Runs until nothing more fits — each launch frees nothing, so one
         pass per triggering event suffices; the next BATCH_COMPLETE or
         BUDGET_CHANGE re-triggers it.
+
+        Structured as collect-then-execute: admission decisions and
+        occupancy updates happen first (each launch group reserves its
+        hosts and watts immediately, so successive ``decide`` calls see
+        the shrunken capacity), then all collected batches execute — as
+        one vectorised grouped pass when ``batched_physics`` is on, or
+        scalar per-batch calls otherwise.  Execution has no feedback into
+        admission (completions only land via future BATCH_COMPLETE
+        events), so the split cannot change any decision; per-row
+        bit-identity of the batched step makes the two execute paths
+        indistinguishable in the results.
         """
-        while self.queue.pending():
+        collected: List[Tuple] = []  # (batch_index, sub_decision, names,
+        #                              host_ids, share_w, quarantined)
+        while self.queue.pending_count():
             budget_now, schedulable, quarantined, failed_hosts = \
                 self._fault_state()
             free_healthy = sorted(self._free_ids - failed_hosts)
             avail_w = budget_now - self._reserved_w
             if not free_healthy or avail_w <= 0 or schedulable is None:
-                return
+                break
             decision = self.admission.decide(
                 self.queue, avail_w, nodes_available=len(free_healthy),
                 mark=True,
@@ -342,39 +471,137 @@ class SiteStreamEngine:
                     # head can never run anywhere — unschedulable.
                     self._fail_head()
                     continue
-                return  # wait for a capacity-freed event
-            host_ids = free_healthy[:decision.admitted_nodes]
-            batch_cluster = self.cluster.subset(host_ids)
-            share_w = decision.admitted_power_w
-            execution = execute_admitted_batch(
-                clock=self.clock,
-                batch_index=self._batch_counter,
-                admitted=[self.queue.get(n) for n in decision.admitted],
-                decision=decision,
-                batch_cluster=batch_cluster,
-                policy=self.policy,
-                budget_w=share_w,
-                batch_budget_w=share_w,
-                quarantined=quarantined,
-                manager=self.manager,
-                noise_std=self.noise_std,
-                run_seed=self.run_seed,
-                fault_schedule=self.fault_schedule,
-                degradation=self.degradation,
-                reaction_s=self.reaction_s,
-                injecting=self.injecting,
-            )
-            self._batch_counter += 1
-            self._free_ids.difference_update(host_ids)
-            self._reserved_w += share_w
-            self._in_flight += 1
-            self.stats.peak_in_flight = max(
-                self.stats.peak_in_flight, self._in_flight
-            )
-            self.loop.push(
+                # Wait for a capacity-freed event; remember the capacity
+                # snapshot so arrivals until then take the incremental
+                # single-job admission path.
+                self._blocked_key = (avail_w, len(free_healthy))
+                break
+            self._blocked_key = None
+            cursor = 0
+            for sub_decision, names in self._split_decision(decision):
+                nodes = sub_decision.admitted_nodes
+                host_ids = free_healthy[cursor:cursor + nodes]
+                cursor += nodes
+                share_w = sub_decision.admitted_power_w
+                self._free_ids.difference_update(host_ids)
+                self._reserved_w += share_w
+                self._in_flight += 1
+                if self._in_flight > self.stats.peak_in_flight:
+                    self.stats.peak_in_flight = self._in_flight
+                collected.append((
+                    self._batch_counter, sub_decision, names, host_ids,
+                    share_w, quarantined,
+                ))
+                self._batch_counter += 1
+        if collected:
+            self._execute_collected(collected)
+
+    def _execute_collected(self, collected: List[Tuple]) -> None:
+        """Execute one admission pass's launch groups; push completions."""
+        use_batched = self.batched_physics and not self.injecting
+        with span("stream.engine.admit", batches=len(collected),
+                  batched=use_batched) as sp:
+            if use_batched:
+                uniform = self._uniform_hosts
+                planned = [
+                    plan_admitted_batch(
+                        clock=self.clock,
+                        batch_index=batch_index,
+                        admitted=[self.queue.get(n) for n in names],
+                        decision=sub_decision,
+                        host_efficiencies=(
+                            self._subset_eff(len(host_ids)) if uniform
+                            else self._host_eff[host_ids]
+                        ),
+                        policy=self.policy,
+                        budget_w=share_w,
+                        batch_budget_w=share_w,
+                        quarantined=quarantined,
+                        manager=self.manager,
+                        run_seed=self.run_seed,
+                        planner=self._planner,
+                        uniform_hosts=uniform,
+                    )
+                    for batch_index, sub_decision, names, host_ids,
+                    share_w, quarantined in collected
+                ]
+                executions = execute_planned_batches(
+                    planned, self.manager, self.noise_std
+                )
+            else:
+                executions = [
+                    execute_admitted_batch(
+                        clock=self.clock,
+                        batch_index=batch_index,
+                        admitted=[self.queue.get(n) for n in names],
+                        decision=sub_decision,
+                        batch_cluster=self.cluster.subset(host_ids),
+                        policy=self.policy,
+                        budget_w=share_w,
+                        batch_budget_w=share_w,
+                        quarantined=quarantined,
+                        manager=self.manager,
+                        noise_std=self.noise_std,
+                        run_seed=self.run_seed,
+                        fault_schedule=self.fault_schedule,
+                        degradation=self.degradation,
+                        reaction_s=self.reaction_s,
+                        injecting=self.injecting,
+                    )
+                    for batch_index, sub_decision, names, host_ids,
+                    share_w, quarantined in collected
+                ]
+            if sp is not None:
+                sp.set_attribute(
+                    "jobs", sum(len(c[2]) for c in collected)
+                )
+        push = self.loop.push
+        for entry, execution in zip(collected, executions):
+            push(
                 execution.record.end_s, EventKind.BATCH_COMPLETE,
-                execution=execution, hosts=tuple(host_ids), share_w=share_w,
+                execution=execution, hosts=tuple(entry[3]),
+                share_w=entry[4],
             )
+
+    def _admit_after_arrival(self, request: JobRequest) -> None:
+        """Admission following one accepted arrival (non-quantised mode).
+
+        The hot path under backlog: when the last full pass deferred
+        everything and capacity has not moved since, only the new tail
+        needs judging — ``decide_arrival`` is O(1) in queue depth.  Any
+        mismatch with the remembered capacity snapshot (or an active
+        fault schedule, whose budget/host state varies with the clock)
+        falls back to the full pass.
+        """
+        key = self._blocked_key
+        if key is not None and not self.injecting:
+            avail_w = self.budget_w - self._reserved_w
+            free = len(self._free_ids)
+            if (avail_w, free) == key:
+                decision = self.admission.decide_arrival(
+                    self.queue, request, avail_w, free, mark=True,
+                )
+                if not decision.admitted:
+                    return  # still blocked at unchanged capacity
+                free_healthy = sorted(self._free_ids)
+                nodes = decision.admitted_nodes
+                host_ids = free_healthy[:nodes]
+                share_w = decision.admitted_power_w
+                self._free_ids.difference_update(host_ids)
+                self._reserved_w += share_w
+                self._in_flight += 1
+                if self._in_flight > self.stats.peak_in_flight:
+                    self.stats.peak_in_flight = self._in_flight
+                entry = (
+                    self._batch_counter, decision, decision.admitted,
+                    host_ids, share_w, (),
+                )
+                self._batch_counter += 1
+                # The prefix stays blocked at the shrunken capacity.
+                self._blocked_key = (avail_w - share_w, free - nodes)
+                self._execute_collected([entry])
+                return
+        self._try_admit_rolling()
 
     def run(self, max_events: Optional[int] = None) -> StreamStats:
         """Pump the rolling-mode event loop until the timeline drains.
@@ -387,37 +614,82 @@ class SiteStreamEngine:
             raise ValueError("run() is rolling mode; use replay() instead")
         processed = 0
         self._schedule_tick()
+        # Hoist hot-loop lookups: the dispatch below runs once per event
+        # at sustained arrival rates, so kind members and bound methods
+        # are locals rather than repeated attribute loads.
+        ARRIVAL = EventKind.ARRIVAL
+        BATCH_COMPLETE = EventKind.BATCH_COMPLETE
+        BUDGET_CHANGE = EventKind.BUDGET_CHANGE
+        FAULT_BOUNDARY = EventKind.FAULT_BOUNDARY
+        ADMISSION = EventKind.ADMISSION
+        TELEMETRY_TICK = EventKind.TELEMETRY_TICK
+        pop = self.loop.pop
+        quantised = self.admission_interval_s is not None
+        kind_counts = [0] * len(EventKind)
         with span("stream.engine.run", rolling=True) as sp:
             while self.loop:
                 if max_events is not None and processed >= max_events:
                     break
-                event = self.loop.pop()
-                self.clock = max(self.clock, event.time_s)
+                event = pop()
+                if event.time_s > self.clock:
+                    self.clock = event.time_s
                 processed += 1
-                if event.kind is EventKind.ARRIVAL:
-                    self._on_arrival(event.payload["request"], event.time_s)
+                kind = event.kind
+                kind_counts[kind] += 1
+                if kind is ARRIVAL:
+                    request = event.payload["request"]
+                    accepted = self._on_arrival(request, event.time_s)
                     if self._source is not None:
                         self._pull_arrival()
-                    self._try_admit_rolling()
-                elif event.kind is EventKind.BATCH_COMPLETE:
-                    self._free_ids.update(event.payload["hosts"])
-                    self._reserved_w -= event.payload["share_w"]
+                    if not accepted:
+                        continue  # queue unchanged; nothing to admit
+                    if quantised:
+                        self._schedule_admission_flush()
+                    else:
+                        self._admit_after_arrival(request)
+                elif kind is BATCH_COMPLETE:
+                    payload = event.payload
+                    self._free_ids.update(payload["hosts"])
+                    self._reserved_w -= payload["share_w"]
                     self._in_flight -= 1
-                    self._account_batch(event.payload["execution"])
-                    self._try_admit_rolling()
-                elif event.kind is EventKind.BUDGET_CHANGE:
+                    self._blocked_key = None
+                    self._account_batch(payload["execution"])
+                    if quantised:
+                        if self.queue.pending_count():
+                            self._schedule_admission_flush()
+                    else:
+                        self._try_admit_rolling()
+                elif kind is BUDGET_CHANGE:
                     self.budget_w = event.payload["budget_w"]
+                    self._blocked_key = None
                     if enabled():
                         emit("stream.engine", "budget_change",
                              budget_w=self.budget_w, time_s=self.clock)
+                    if quantised:
+                        if self.queue.pending_count():
+                            self._schedule_admission_flush()
+                    else:
+                        self._try_admit_rolling()
+                elif kind is FAULT_BOUNDARY:
+                    self._blocked_key = None
+                    if quantised:
+                        if self.queue.pending_count():
+                            self._schedule_admission_flush()
+                    else:
+                        self._try_admit_rolling()
+                elif kind is ADMISSION:
+                    self._admission_scheduled = False
                     self._try_admit_rolling()
-                elif event.kind is EventKind.FAULT_BOUNDARY:
-                    self._try_admit_rolling()
-                elif event.kind is EventKind.TELEMETRY_TICK:
+                elif kind is TELEMETRY_TICK:
                     self._on_tick()
             if sp is not None:
                 sp.set_attribute("events", processed)
                 sp.set_attribute("batches", self.stats.batches)
+                for k in EventKind:
+                    if kind_counts[k]:
+                        sp.set_attribute(
+                            f"events_{k.name.lower()}", kind_counts[k]
+                        )
         self.stats.clock_s = self.clock
         return self.stats
 

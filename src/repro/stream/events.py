@@ -2,9 +2,9 @@
 
 Modeled on NRM's ``nrmd`` event loop: every state change of the simulated
 site — a job arriving, the facility budget moving, a fault boundary, a
-batch finishing, a telemetry tick — is an :class:`Event` in one totally
-ordered timeline.  The :class:`EventLoop` is a plain binary heap keyed by
-``(time, kind priority, sequence)``:
+batch finishing, a deferred admission flush, a telemetry tick — is an
+:class:`Event` in one totally ordered timeline.  The :class:`EventLoop`
+is a plain binary heap keyed by ``(time, kind priority, sequence)``:
 
 * *time* orders the simulation;
 * *kind priority* breaks ties deterministically at equal times — budget
@@ -18,6 +18,17 @@ ordered timeline.  The :class:`EventLoop` is a plain binary heap keyed by
 The loop is synchronous and allocation-light on purpose: the asyncio
 daemon (:mod:`repro.stream.daemon`) feeds it and pumps it, but the
 deterministic replay contract lives entirely here.
+
+Hot-path notes
+--------------
+At sustained arrival rates the loop is the engine's inner loop, so
+:meth:`EventLoop.push` allocates exactly one :class:`Event` (slotted, no
+``__dict__``) plus the heap's tie-break tuple — the payload keyword dict
+is adopted as-is rather than copied, and the tuple's kind component is
+the precomputed ``kind.value`` integer rather than an ``int()`` call.
+Periodic events (telemetry ticks, admission flushes) avoid even the
+event allocation: :meth:`EventLoop.repush` re-arms a delivered event
+object at a new time, so a million-tick stream reuses one slot.
 """
 
 from __future__ import annotations
@@ -25,7 +36,6 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 __all__ = ["EventKind", "Event", "EventLoop"]
@@ -42,27 +52,56 @@ class EventKind(enum.IntEnum):
     BATCH_COMPLETE = 2
     #: A job submission enters the admission queue.
     ARRIVAL = 3
+    #: A deferred admission flush (the quantised-admission rolling mode):
+    #: runs after every capacity change of its instant has applied, so
+    #: one flush sees the settled state.
+    ADMISSION = 4
     #: Periodic telemetry snapshot (observes the settled instant).
-    TELEMETRY_TICK = 4
+    TELEMETRY_TICK = 5
 
 
-@dataclass(frozen=True)
 class Event:
     """One timeline entry.
 
     ``payload`` carries kind-specific data (the :class:`JobRequest` of an
     arrival, the new budget of a budget change, the batch handle of a
-    completion); ``seq`` is the loop-assigned tiebreaker.
+    completion); ``seq`` is the loop-assigned tiebreaker.  Slotted and
+    mutable so the loop can re-arm periodic events in place; treat
+    delivered events as owned by the loop whenever they were scheduled
+    through :meth:`EventLoop.repush`.
     """
 
-    time_s: float
-    kind: EventKind
-    payload: Dict[str, Any] = field(default_factory=dict)
-    seq: int = -1
+    __slots__ = ("time_s", "kind", "payload", "seq")
 
-    def __post_init__(self) -> None:
-        if self.time_s < 0:
+    def __init__(
+        self,
+        time_s: float,
+        kind: EventKind,
+        payload: Optional[Dict[str, Any]] = None,
+        seq: int = -1,
+    ) -> None:
+        if time_s < 0:
             raise ValueError("event time must be non-negative")
+        self.time_s = time_s
+        self.kind = kind
+        self.payload = payload if payload is not None else {}
+        self.seq = seq
+
+    def __repr__(self) -> str:
+        return (
+            f"Event(time_s={self.time_s!r}, kind={self.kind!r}, "
+            f"payload={self.payload!r}, seq={self.seq!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (
+            self.time_s == other.time_s
+            and self.kind == other.kind
+            and self.payload == other.payload
+            and self.seq == other.seq
+        )
 
 
 class EventLoop:
@@ -79,14 +118,32 @@ class EventLoop:
         self._seq = itertools.count()
 
     def push(self, time_s: float, kind: EventKind, **payload: Any) -> Event:
-        """Schedule an event; returns it with its sequence assigned."""
-        event = Event(
-            time_s=float(time_s), kind=kind, payload=dict(payload),
-            seq=next(self._seq),
-        )
-        heapq.heappush(
-            self._heap, (event.time_s, int(event.kind), event.seq, event)
-        )
+        """Schedule an event; returns it with its sequence assigned.
+
+        The keyword dict is adopted by the event (it is freshly built by
+        the ``**`` call syntax, so no copy is needed on the hot path).
+        """
+        seq = next(self._seq)
+        event = Event(float(time_s), kind, payload, seq)
+        heapq.heappush(self._heap, (event.time_s, kind.value, seq, event))
+        return event
+
+    def repush(self, event: Event, time_s: float) -> Event:
+        """Re-arm a *delivered* event at a new time, reusing its slot.
+
+        The allocation-free path for periodic events: the caller keeps
+        the event object it got back from :meth:`push`, and after each
+        delivery re-arms it here instead of allocating a fresh one.  The
+        event must not still be in the heap (its heap entry holds the old
+        time and would corrupt the ordering).
+        """
+        t = float(time_s)
+        if t < 0:
+            raise ValueError("event time must be non-negative")
+        seq = next(self._seq)
+        event.time_s = t
+        event.seq = seq
+        heapq.heappush(self._heap, (t, event.kind.value, seq, event))
         return event
 
     def pop(self) -> Event:

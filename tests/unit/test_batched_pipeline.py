@@ -1,0 +1,233 @@
+"""Unit tests: the staged fault-free batch pipeline and its caches.
+
+The streaming engine's vectorised path decomposes
+``execute_admitted_batch`` into ``plan_admitted_batch`` →
+``execute_planned_batches`` → ``finish_planned_batch``.  These tests pin
+the decomposition's contract at the function level — bit-identity to the
+monolithic call, memo-hit object reuse, trusted-constructor semantics,
+and the stacked-layout identity cache — independently of the event loop
+(which the stream property suite covers end to end).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import create_policy
+from repro.hardware.cluster import Cluster
+from repro.manager.admission import AdmissionDecision
+from repro.manager.power_manager import PowerManager
+from repro.manager.queue import JobRequest
+from repro.manager.scheduler import ScheduledMix, Scheduler
+from repro.manager.site_simulation import (
+    BatchPlanner,
+    execute_admitted_batch,
+    execute_planned_batches,
+    plan_admitted_batch,
+)
+from repro.sim import batch as sim_batch
+from repro.workload.job import Job, WorkloadMix
+from repro.workload.kernel import KernelConfig
+
+
+def _request(name, nodes=3, intensity=8.0, iterations=5, hint=180.0):
+    return JobRequest(
+        name=name, config=KernelConfig(intensity=intensity),
+        node_count=nodes, iterations=iterations, power_hint_w=hint,
+    )
+
+
+def _decision(admitted, budget_w=2500.0, nodes=12):
+    return AdmissionDecision(
+        tuple(r.name for r in admitted), (),
+        {r.name: float(r.power_hint_w) for r in admitted},
+        budget_w, nodes,
+    )
+
+
+def _monolithic(clock, index, admitted, decision, cluster, policy,
+                budget_w, manager):
+    node_ids = tuple(range(sum(r.node_count for r in admitted)))
+    return execute_admitted_batch(
+        clock=clock, batch_index=index, admitted=admitted,
+        decision=decision, batch_cluster=cluster.subset(node_ids),
+        policy=policy, budget_w=budget_w, batch_budget_w=budget_w,
+        quarantined=(), manager=manager, noise_std=0.0, run_seed=None,
+        fault_schedule=None, degradation=None, reaction_s=0.0,
+        injecting=False,
+    )
+
+
+def _staged(clock, index, admitted, decision, cluster, policy,
+            budget_w, manager, planner=None, uniform=False):
+    hosts = sum(r.node_count for r in admitted)
+    eff = cluster.efficiencies[:hosts]
+    return plan_admitted_batch(
+        clock=clock, batch_index=index, admitted=admitted,
+        decision=decision,
+        host_efficiencies=eff if uniform else eff.copy(),
+        policy=policy, budget_w=budget_w, batch_budget_w=budget_w,
+        quarantined=(), manager=manager, run_seed=None,
+        planner=planner, uniform_hosts=uniform,
+    )
+
+
+class TestStagedPipelineIdentity:
+    @pytest.mark.parametrize("variation_seed", [None, 5])
+    def test_matches_monolithic_batch(self, variation_seed):
+        if variation_seed is None:
+            cluster = Cluster(node_count=12, variation=None, seed=0)
+        else:
+            cluster = Cluster(node_count=12, seed=variation_seed)
+        uniform = variation_seed is None
+        policy = create_policy("MixedAdaptive")
+        manager = PowerManager()
+        planner = BatchPlanner(manager, policy)
+        batches = [
+            [_request("a0", nodes=3), _request("a1", nodes=2)],
+            [_request("b0", nodes=4, intensity=2.0)],
+        ]
+        planned, expected = [], []
+        for index, admitted in enumerate(batches):
+            decision = _decision(admitted)
+            expected.append(_monolithic(
+                10.0 * index, index, admitted, decision, cluster,
+                policy, 2500.0, manager,
+            ))
+            planned.append(_staged(
+                10.0 * index, index, admitted, decision, cluster,
+                policy, 2500.0, manager, planner=planner, uniform=uniform,
+            ))
+        executed = execute_planned_batches(planned, manager, 0.0)
+        assert executed == expected
+
+    def test_grouping_preserves_input_order(self):
+        cluster = Cluster(node_count=16, variation=None, seed=0)
+        policy = create_policy("StaticCaps")
+        manager = PowerManager()
+        planner = BatchPlanner(manager, policy)
+        # Two interleaved shapes: grouping must not reorder executions.
+        shapes = [3, 5, 3, 5]
+        planned = []
+        for index, nodes in enumerate(shapes):
+            admitted = [_request(f"j{index}", nodes=nodes)]
+            planned.append(_staged(
+                float(index), index, admitted, _decision(admitted),
+                cluster, policy, 2500.0, manager, planner=planner,
+                uniform=True,
+            ))
+        executed = execute_planned_batches(planned, manager, 0.0)
+        assert [e.record.start_s for e in executed] == \
+            [float(i) for i in range(len(shapes))]
+        assert [e.job_names for e in executed] == \
+            [(f"j{i}",) for i in range(len(shapes))]
+
+
+class TestBatchPlannerMemo:
+    def test_same_shape_reuses_caps_object(self):
+        cluster = Cluster(node_count=12, variation=None, seed=0)
+        policy = create_policy("JobAdaptive")
+        manager = PowerManager()
+        planner = BatchPlanner(manager, policy)
+        admitted = [_request("x", nodes=4)]
+        first = _staged(0.0, 0, admitted, _decision(admitted), cluster,
+                        policy, 2500.0, manager, planner=planner,
+                        uniform=True)
+        again = [_request("y", nodes=4)]  # same shape, different name
+        second = _staged(5.0, 1, again, _decision(again), cluster,
+                         policy, 2500.0, manager, planner=planner,
+                         uniform=True)
+        assert second.effective_caps is first.effective_caps
+        assert not first.effective_caps.flags.writeable
+
+    def test_budget_keys_caps_separately(self):
+        cluster = Cluster(node_count=12, variation=None, seed=0)
+        policy = create_policy("StaticCaps")
+        manager = PowerManager()
+        planner = BatchPlanner(manager, policy)
+        admitted = [_request("x", nodes=4)]
+        low = _staged(0.0, 0, admitted, _decision(admitted), cluster,
+                      policy, 1200.0, manager, planner=planner,
+                      uniform=True)
+        high = _staged(0.0, 1, admitted, _decision(admitted), cluster,
+                       policy, 2500.0, manager, planner=planner,
+                       uniform=True)
+        assert low.effective_caps is not high.effective_caps
+
+    def test_relabel_controls_characterization_name(self):
+        cluster = Cluster(node_count=12, variation=None, seed=0)
+        policy = create_policy("MixedAdaptive")
+        manager = PowerManager()
+        planner = BatchPlanner(manager, policy)
+        mix = WorkloadMix(name="batch-0", jobs=(
+            Job(name="x", config=KernelConfig(intensity=8.0),
+                node_count=4, iterations=5),
+        ))
+        scheduled = Scheduler(
+            Cluster(node_count=4, variation=None, seed=0), shuffle_seed=None
+        ).allocate(mix)
+        char0, _ = planner.plan(scheduled, 2500.0)
+        renamed = WorkloadMix(name="batch-1", jobs=mix.jobs)
+        rescheduled = ScheduledMix.trusted(
+            renamed, scheduled.node_ids, scheduled.efficiencies
+        )
+        char1, _ = planner.plan(rescheduled, 2500.0, relabel=True)
+        assert char1.mix_name == "batch-1"
+        char2, _ = planner.plan(rescheduled, 2500.0, relabel=False)
+        assert char2 is char0  # memo object, label untouched
+
+
+class TestTrustedScheduledMix:
+    def test_skips_validation(self):
+        mix = WorkloadMix(name="m", jobs=(
+            Job(name="j", config=KernelConfig(intensity=8.0),
+                node_count=2, iterations=3),
+        ))
+        doubled = np.array([0, 0])
+        with pytest.raises(ValueError):
+            ScheduledMix(mix=mix, node_ids=doubled,
+                         efficiencies=np.ones(2))
+        trusted = ScheduledMix.trusted(mix, doubled, np.ones(2))
+        assert trusted.node_ids is doubled
+
+    def test_equivalent_to_validated_constructor(self):
+        mix = WorkloadMix(name="m", jobs=(
+            Job(name="j", config=KernelConfig(intensity=8.0),
+                node_count=3, iterations=3),
+        ))
+        ids = np.array([2, 0, 1])
+        eff = np.array([1.0, 0.9, 1.1])
+        a = ScheduledMix(mix=mix, node_ids=ids, efficiencies=eff)
+        b = ScheduledMix.trusted(mix, ids, eff)
+        assert (a.node_ids == b.node_ids).all()
+        assert (a.efficiencies == b.efficiencies).all()
+        assert (b.job_node_ids(0) == ids).all()
+
+
+class TestStackedLayoutCache:
+    def _mix(self, name="m", nodes=3):
+        return WorkloadMix(name=name, jobs=(
+            Job(name="j", config=KernelConfig(intensity=8.0),
+                node_count=nodes, iterations=4),
+        ))
+
+    def test_identity_hit_returns_same_stack(self):
+        layout = self._mix().layout()
+        first = sim_batch._stack_layouts_cached([layout, layout])
+        second = sim_batch._stack_layouts_cached([layout, layout])
+        assert second is first
+
+    def test_repeat_fast_path_matches_general_stack(self):
+        layout = self._mix().layout()
+        fast = sim_batch._stack_layouts_cached([layout] * 3)
+        general = sim_batch.stack_layouts([layout] * 3)
+        np.testing.assert_array_equal(fast.critical, general.critical)
+        np.testing.assert_array_equal(
+            fast.job_boundaries, general.job_boundaries
+        )
+
+    def test_cache_bounded(self):
+        sim_batch._STACK_CACHE.clear()
+        for nodes in range(1, sim_batch._STACK_CACHE_LIMIT + 3):
+            layout = self._mix(name=f"m{nodes}", nodes=nodes).layout()
+            sim_batch._stack_layouts_cached([layout, layout])
+        assert len(sim_batch._STACK_CACHE) <= sim_batch._STACK_CACHE_LIMIT

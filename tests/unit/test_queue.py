@@ -81,3 +81,15 @@ class TestJobQueue:
         q.submit(_request("b"))
         q.mark("a", JobState.ALLOCATED)
         assert [r.name for r in q.pending()] == ["b"]
+
+    def test_pending_count_and_peek_are_constant_time_views(self):
+        q = JobQueue()
+        assert q.pending_count() == 0
+        assert q.peek_pending() is None
+        q.submit(_request("a"))
+        q.submit(_request("b"))
+        assert q.pending_count() == 2
+        assert q.peek_pending().name == "a"
+        q.mark("a", JobState.ALLOCATED)
+        assert q.pending_count() == 1
+        assert q.peek_pending().name == "b"

@@ -185,3 +185,47 @@ class TestDaemon:
             await daemon.stop()
 
         asyncio.run(body())
+
+
+class TestObservability:
+    def test_drop_oldest_increments_frames_dropped_counter(self):
+        from repro.stream.daemon import _Subscriber
+        from repro.telemetry import get_registry, reset
+
+        reset()
+        try:
+            sub = _Subscriber(None, max_backlog=2)
+            for i in range(5):
+                sub.offer("src", "kind", {"i": i})
+            assert sub.dropped == 3
+            assert len(sub.buffer) == 2
+            counters = get_registry().counter_values()
+            assert counters["stream.daemon.frames_dropped"] == 3.0
+        finally:
+            reset()
+
+    def test_dispatch_emits_tracing_spans(self):
+        from repro.telemetry import get_tracer, set_tracing
+
+        async def body():
+            async def inner(daemon, client):
+                factory = synthetic_job_factory(prefix="traced")
+                assert (await client.rpc(
+                    msg.submit_message(factory(0))
+                ))["type"] == "ack"
+                assert (await client.rpc(
+                    msg.stats_message()
+                ))["type"] == "stats"
+
+            await _with_daemon(_engine(), inner)
+
+        previous = set_tracing(True)
+        get_tracer().clear()
+        try:
+            asyncio.run(body())
+            dispatches = get_tracer().finished("stream.daemon.dispatch")
+            ops = [s.attributes["op"] for s in dispatches]
+            assert "submit" in ops and "stats" in ops
+        finally:
+            set_tracing(previous)
+            get_tracer().clear()

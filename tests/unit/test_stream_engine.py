@@ -246,3 +246,73 @@ class TestReplayEdgeCases:
             engine.attach_source(burst_stream(
                 1, 1.0, 1, synthetic_job_factory()
             ))
+
+
+class TestEventRepush:
+    def test_repush_rearms_a_delivered_event(self):
+        loop = EventLoop()
+        event = loop.push(1.0, EventKind.ARRIVAL, name="a")
+        popped = loop.pop()
+        assert popped is event
+        loop.repush(popped, 4.0)
+        again = loop.pop()
+        assert again is event
+        assert again.time_s == 4.0
+        assert again.payload == {"name": "a"}
+
+    def test_repush_keeps_kind_priority(self):
+        loop = EventLoop()
+        arrival = loop.push(1.0, EventKind.ARRIVAL)
+        loop.pop()
+        loop.repush(arrival, 2.0)
+        loop.push(2.0, EventKind.BATCH_COMPLETE)
+        assert loop.pop().kind is EventKind.BATCH_COMPLETE
+        assert loop.pop() is arrival
+
+
+class TestBatchedPhysicsKnobs:
+    def test_knobs_require_rolling(self, cluster):
+        for kwargs in (
+            {"batched_physics": True},
+            {"per_job_batches": True},
+            {"admission_interval_s": 2.0},
+        ):
+            with pytest.raises(ValueError, match="rolling"):
+                _engine(cluster, rolling=False, **kwargs)
+
+    def test_admission_interval_must_be_positive(self, cluster):
+        with pytest.raises(ValueError):
+            _engine(cluster, admission_interval_s=0.0)
+        with pytest.raises(ValueError):
+            _engine(cluster, admission_interval_s=-1.0)
+
+    def test_quantised_admission_piles_up_concurrency(self, cluster):
+        engine = _engine(
+            cluster, batched_physics=True, admission_interval_s=2.0,
+            per_job_batches=True,
+        )
+        engine.attach_source(burst_stream(
+            5, 0.5, 2, synthetic_job_factory(node_count=2, power_hint_w=120.0)
+        ))
+        stats = engine.run()
+        assert stats.jobs_completed == 10
+        assert stats.peak_in_flight >= 2
+
+    def test_batched_run_matches_scalar_run(self, cluster):
+        def run(batched):
+            engine = _engine(
+                cluster, record_batches=True,
+                batched_physics=batched, admission_interval_s=3.0,
+                per_job_batches=True,
+            )
+            engine.attach_source(poisson_stream(
+                0.5, 60.0, synthetic_job_factory(node_count=2), seed=4
+            ))
+            stats = engine.run()
+            return stats, engine.batches, engine.turnaround_s
+
+        stats_b, batches_b, turn_b = run(True)
+        stats_s, batches_s, turn_s = run(False)
+        assert stats_b == stats_s
+        assert batches_b == batches_s
+        assert turn_b == turn_s
