@@ -180,6 +180,48 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("facility", help="Fig. 1 facility-trace statistics")
 
+    p_fsim = sub.add_parser(
+        "facility-sim",
+        help="hierarchical facility campaign: budget-broker tree over "
+             "sharded multi-cluster site simulations (50k+ nodes)",
+    )
+    p_fsim.add_argument("--clusters", type=_positive_int, default=16,
+                        metavar="N", help="leaf clusters (default 16)")
+    p_fsim.add_argument("--nodes-per-cluster", type=_positive_int,
+                        default=3200, metavar="N",
+                        help="nodes per cluster (default 3200; the "
+                             "defaults simulate 51 200 nodes)")
+    p_fsim.add_argument("--jobs", type=_positive_int, default=48,
+                        metavar="N",
+                        help="arriving jobs per cluster (default 48)")
+    p_fsim.add_argument("--window", type=float, default=300.0, metavar="S",
+                        help="broker rebalance window (default 300 s)")
+    p_fsim.add_argument("--horizon", type=float, default=3600.0,
+                        metavar="S",
+                        help="facility horizon (default 3600 s)")
+    p_fsim.add_argument("--broker-policy", default="demand",
+                        choices=("uniform", "demand", "priority"),
+                        help="apportionment policy at the facility broker")
+    p_fsim.add_argument("--policy", default="MixedAdaptive",
+                        choices=POLICY_NAMES,
+                        help="node-level allocation policy in the leaves")
+    p_fsim.add_argument("--budget-fraction", type=float, default=None,
+                        metavar="FRAC",
+                        help="constant top budget as a fraction of "
+                             "aggregate capacity (default: sample the "
+                             "Fig. 1 trace for a time-varying budget)")
+    p_fsim.add_argument("--no-feeder-dips", action="store_true",
+                        dest="no_feeder_dips",
+                        help="disable the local feeder-limit fault dips")
+    p_fsim.add_argument("--seed", type=int, default=23,
+                        help="facility seed (deterministic campaigns)")
+    p_fsim.add_argument("--rows", type=_positive_int, default=8,
+                        metavar="N",
+                        help="per-cluster table rows to print (default 8)")
+    p_fsim.add_argument("--telemetry-out", metavar="DIR",
+                        help="dump the metrics snapshot, event log, span "
+                             "tree, and provenance ledger here")
+
     p_site = sub.add_parser(
         "site", help="arrival-driven site simulation with noise replays"
     )
@@ -823,6 +865,62 @@ def _cmd_facility() -> int:
     return 0
 
 
+def _cmd_facility_sim(args: argparse.Namespace) -> int:
+    """The hierarchical facility campaign (ROADMAP item 2)."""
+    import time
+
+    from repro.experiments.facility_scale import (
+        FacilityCampaignConfig, campaign_rows, run_facility_campaign,
+    )
+
+    config = FacilityCampaignConfig(
+        clusters=args.clusters,
+        nodes_per_cluster=args.nodes_per_cluster,
+        jobs_per_cluster=args.jobs,
+        window_s=args.window,
+        horizon_s=args.horizon,
+        broker_policy=args.broker_policy,
+        policy=args.policy,
+        budget_fraction=args.budget_fraction,
+        feeder_dips=not args.no_feeder_dips,
+        seed=args.seed,
+    )
+    start = time.perf_counter()
+    result = run_facility_campaign(config, workers=args.workers)
+    wall_s = time.perf_counter() - start
+
+    summary = result.summary()
+    budget_src = "constant" if args.budget_fraction is not None \
+        else "Fig. 1 trace"
+    print(render_table(
+        ["statistic", "value"],
+        [[k, f"{v:,.1f}"] for k, v in summary.items()]
+        + [["wall_s", f"{wall_s:.2f}"],
+           ["clusters_per_s", f"{len(result.clusters) / wall_s:,.1f}"]],
+        title=f"Facility campaign ({result.broker_policy} broker, "
+              f"{budget_src} budget)",
+    ))
+    rows = campaign_rows(result)[:args.rows]
+    print(render_table(
+        ["cluster", "nodes", "alloc span (W)", "done", "turnaround (s)"],
+        [[str(r["cluster"]), f"{r['nodes']:,.0f}",
+          f"{r['min_allocation_w']:,.0f}-{r['max_allocation_w']:,.0f}",
+          f"{r['jobs_completed']:.0f}", f"{r['mean_turnaround_s']:.2f}"]
+         for r in rows],
+        title=f"First {len(rows)} clusters",
+    ))
+    if args.telemetry_out:
+        _dump_telemetry(
+            args.telemetry_out, kind="facility-sim", config=config,
+            inputs={"clusters": len(result.clusters),
+                    "nodes": result.total_nodes,
+                    "broker_policy": result.broker_policy,
+                    "epochs": len(result.epoch_s)},
+            seed=config.seed,
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -832,6 +930,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         activate_cache(cache_dir=args.cache_dir)
     if args.command == "facility":
         return _cmd_facility()
+    if args.command == "facility-sim":
+        return _cmd_facility_sim(args)
     if args.command == "bench-compare":
         return _cmd_bench_compare(args.baseline, args.candidate,
                                   args.tolerance, args.metric_tolerances)

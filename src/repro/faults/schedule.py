@@ -28,8 +28,9 @@ results (pinned by ``tests/property/test_fault_properties.py``).
 from __future__ import annotations
 
 import enum
+from bisect import bisect_right
 from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -227,17 +228,75 @@ class FaultSchedule:
         wanted = set(kinds)
         return tuple(e for e in self.events if e.kind in wanted)
 
+    # Lazy per-schedule query indices.  A schedule is frozen, so the
+    # event tuple never changes after __post_init__ and the indices are
+    # built once on first query; derived schedules (``replace``-based
+    # builders, ``shifted``, ``engine_slice``) are new instances and
+    # rebuild their own.  Stored via object.__setattr__ because the
+    # dataclass is frozen; they are not fields, so equality, repr and
+    # pickling of the schedule are unaffected.
+    def _budget_index(
+        self,
+    ) -> Tuple[Tuple[FaultEvent, ...], List[float]]:
+        cached = self.__dict__.get("_budget_idx")
+        if cached is None:
+            events = self.of_kind(FaultKind.BUDGET_CHANGE)
+            cached = (events, [e.time_s for e in events])
+            object.__setattr__(self, "_budget_idx", cached)
+        return cached
+
+    def _node_index(self) -> Tuple[List[float], Tuple[FrozenSet[int], ...]]:
+        cached = self.__dict__.get("_node_idx")
+        if cached is None:
+            events = self.of_kind(FaultKind.NODE_FAILURE,
+                                  FaultKind.NODE_RECOVERY)
+            failed: set = set()
+            prefixes = [frozenset()]
+            for event in events:
+                if event.kind is FaultKind.NODE_FAILURE:
+                    failed.update(event.host_ids)
+                else:
+                    failed.difference_update(event.host_ids)
+                prefixes.append(frozenset(failed))
+            cached = ([e.time_s for e in events], tuple(prefixes))
+            object.__setattr__(self, "_node_idx", cached)
+        return cached
+
+    def _dropout_index(
+        self,
+    ) -> Tuple[Tuple[FaultEvent, ...], List[float]]:
+        cached = self.__dict__.get("_dropout_idx")
+        if cached is None:
+            events = self.of_kind(FaultKind.SENSOR_DROPOUT)
+            cached = (events, [e.time_s for e in events])
+            object.__setattr__(self, "_dropout_idx", cached)
+        return cached
+
     def budget_at(self, time_s: float, base_budget_w: float) -> float:
         """The facility budget in force at ``time_s``.
 
         Step changes apply from their event time; ramped changes
         interpolate linearly from the pre-event budget to the target over
         ``duration_s``.
+
+        Bisects to the events already started at ``time_s`` and replays
+        only from the last *completed* change (which overwrites any
+        earlier budget), so per-query cost is O(log E + ramps in flight)
+        instead of O(E) — bit-identical to the full scan, pinned by the
+        fault property suite.
         """
         budget = float(base_budget_w)
-        for event in self.of_kind(FaultKind.BUDGET_CHANGE):
-            if time_s < event.time_s:
+        events, times = self._budget_index()
+        n = bisect_right(times, time_s)
+        start = n - 1
+        while start >= 0:
+            event = events[start]
+            if not (event.duration_s > 0 and time_s < event.end_s):
                 break
+            start -= 1
+        if start < 0:
+            start = 0
+        for event in events[start:n]:
             if event.duration_s > 0 and time_s < event.end_s:
                 frac = (time_s - event.time_s) / event.duration_s
                 budget = budget + frac * (event.budget_w - budget)
@@ -246,22 +305,20 @@ class FaultSchedule:
         return budget
 
     def failed_hosts_at(self, time_s: float) -> FrozenSet[int]:
-        """Hosts out of the pool at ``time_s`` (failures minus recoveries)."""
-        failed: set = set()
-        for event in self.events:
-            if event.time_s > time_s:
-                break
-            if event.kind is FaultKind.NODE_FAILURE:
-                failed.update(event.host_ids)
-            elif event.kind is FaultKind.NODE_RECOVERY:
-                failed.difference_update(event.host_ids)
-        return frozenset(failed)
+        """Hosts out of the pool at ``time_s`` (failures minus recoveries).
+
+        Served from precomputed prefix snapshots over the node events in
+        timeline order, found by bisection — O(log E) per query.
+        """
+        times, prefixes = self._node_index()
+        return prefixes[bisect_right(times, time_s)]
 
     def sensor_dropout_at(self, time_s: float) -> Tuple[FaultEvent, ...]:
         """Sensor-dropout windows covering ``time_s``."""
+        events, times = self._dropout_index()
         return tuple(
-            e for e in self.of_kind(FaultKind.SENSOR_DROPOUT)
-            if e.time_s <= time_s < e.end_s
+            e for e in events[:bisect_right(times, time_s)]
+            if time_s < e.end_s
         )
 
     def noise_sigma_at(self, time_s: float, base_sigma: float) -> float:

@@ -1,0 +1,41 @@
+"""Facility-scale hierarchical power simulation.
+
+A facility → cluster → rack → node budget-broker tree over the existing
+site-simulation physics: :mod:`repro.hierarchy.broker` is the pure
+apportionment layer (pluggable uniform / demand-weighted / priority
+policies), :mod:`repro.hierarchy.facility` plans the tree open loop and
+shards the leaf clusters across :class:`~repro.parallel.runner.ParallelRunner`
+workers under a strict determinism contract.
+"""
+
+from repro.hierarchy.broker import (
+    BROKER_POLICIES,
+    BudgetBroker,
+    ChildSignal,
+    apportion,
+)
+from repro.hierarchy.facility import (
+    ClusterOutcome,
+    ClusterSpec,
+    FacilityConfig,
+    FacilitySimulationResult,
+    build_cluster,
+    cluster_arrivals,
+    facility_budget_series,
+    run_facility_simulation,
+)
+
+__all__ = [
+    "BROKER_POLICIES",
+    "BudgetBroker",
+    "ChildSignal",
+    "apportion",
+    "ClusterOutcome",
+    "ClusterSpec",
+    "FacilityConfig",
+    "FacilitySimulationResult",
+    "build_cluster",
+    "cluster_arrivals",
+    "facility_budget_series",
+    "run_facility_simulation",
+]

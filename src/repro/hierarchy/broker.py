@@ -1,0 +1,285 @@
+"""Budget brokers — the apportionment layer of the facility tree.
+
+A broker receives a time-varying power allocation from its parent and
+splits it among its children.  The split is a *pure function* of the
+budget and the children's signals (capacity, floor, demand, weight,
+priority, fault cap), which is what makes the whole hierarchy trivially
+shardable: every level can be planned open-loop before any leaf physics
+runs, so cluster simulations never need to rendezvous mid-flight and
+the result is bit-identical regardless of worker count.
+
+Three policies ship (registered in :data:`BROKER_POLICIES`):
+
+``uniform``
+    Equal shares above the floors, waterfilled against each child's
+    ceiling so watts a small child cannot take spill to its siblings.
+``demand``
+    Shares proportional to ``weight x max(demand, floor)`` — the
+    demand-weighted split Bartolini et al.'s facility architecture
+    applies between islands.
+``priority``
+    Strict priority order (ties broken by child index): each child is
+    filled to ``min(ceiling, max(demand, floor))`` before the next sees
+    a watt; leftover budget is then granted by headroom in the same
+    order.
+
+All policies share the same guard rails: every child's allocation is
+clamped to its *ceiling* — ``min(capacity, fault cap)``, so a
+fault-schedule budget event on a child caps it and the freed watts
+rebalance to its siblings — and floors are granted first (scaled
+proportionally when the budget cannot cover them all).  A broker never
+allocates more than its own budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry import emit, enabled, get_registry
+
+__all__ = [
+    "BROKER_POLICIES",
+    "BudgetBroker",
+    "ChildSignal",
+    "apportion",
+]
+
+#: Below this many watts a residual is considered fully granted; purely
+#: a loop-termination guard, never added to any allocation.
+_EPS_W = 1e-9
+
+
+@dataclass(frozen=True)
+class ChildSignal:
+    """What a broker knows about one child when it splits a budget.
+
+    Attributes
+    ----------
+    name:
+        Child identity (cluster or rack name); used for telemetry only.
+    capacity_w:
+        The child's hardware ceiling (sum of node TDPs).
+    floor_w:
+        Watts the child should receive before any discretionary split
+        (it cannot run anything useful below this).
+    demand_w:
+        The child's current demand signal — estimated draw of the work
+        it wants to start.  Only the demand-aware policies read it.
+    weight:
+        Multiplier for the demand-weighted split (procurement share).
+    priority:
+        Higher wins under the ``priority`` policy.
+    cap_w:
+        Absolute allocation cap from the child's own fault schedule
+        (a local feeder limit); ``None`` means no cap beyond capacity.
+    """
+
+    name: str
+    capacity_w: float
+    floor_w: float = 0.0
+    demand_w: float = 0.0
+    weight: float = 1.0
+    priority: int = 0
+    cap_w: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.capacity_w <= 0:
+            raise ValueError("capacity_w must be positive")
+        if self.floor_w < 0:
+            raise ValueError("floor_w must be non-negative")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+        if self.cap_w is not None and self.cap_w <= 0:
+            raise ValueError("cap_w must be positive when set")
+
+    @property
+    def ceiling_w(self) -> float:
+        """The hard allocation limit: capacity clamped by the fault cap."""
+        if self.cap_w is None:
+            return self.capacity_w
+        return min(self.capacity_w, self.cap_w)
+
+
+def _waterfill(amount_w: float, weights: Sequence[float],
+               headroom_w: Sequence[float]) -> List[float]:
+    """Split ``amount_w`` proportionally to ``weights``, respecting
+    per-child headroom; watts a saturated child cannot take spill to the
+    rest.  At least one child saturates per round, so the loop runs at
+    most ``len(weights)`` times."""
+    n = len(weights)
+    grants = [0.0] * n
+    active = [i for i in range(n)
+              if headroom_w[i] > _EPS_W and weights[i] > 0.0]
+    remaining = float(amount_w)
+    for _ in range(n + 1):
+        if remaining <= _EPS_W or not active:
+            break
+        total_weight = sum(weights[i] for i in active)
+        granted = 0.0
+        unsaturated: List[int] = []
+        for i in active:
+            share = remaining * weights[i] / total_weight
+            room = headroom_w[i] - grants[i]
+            if share < room:
+                grants[i] += share
+                granted += share
+                unsaturated.append(i)
+            else:
+                granted += room
+                grants[i] = headroom_w[i]
+        remaining -= granted
+        if len(unsaturated) == len(active):
+            break  # nobody saturated: everything was granted this round
+        active = unsaturated
+    return grants
+
+
+def _floors_first(
+    budget_w: float, children: Sequence[ChildSignal],
+) -> Tuple[Optional[List[float]], List[float], List[float], float]:
+    """Grant floors (scaled when the budget cannot cover them) and
+    return ``(final_or_None, base, ceilings, spare)``."""
+    ceilings = [c.ceiling_w for c in children]
+    floors = [min(c.floor_w, ceiling)
+              for c, ceiling in zip(children, ceilings)]
+    total_floor = sum(floors)
+    if total_floor >= budget_w:
+        if total_floor <= 0.0:
+            return [0.0] * len(children), floors, ceilings, 0.0
+        scale = budget_w / total_floor
+        return [f * scale for f in floors], floors, ceilings, 0.0
+    return None, floors, ceilings, budget_w - total_floor
+
+
+def _policy_uniform(budget_w: float,
+                    children: Sequence[ChildSignal]) -> List[float]:
+    final, floors, ceilings, spare = _floors_first(budget_w, children)
+    if final is not None:
+        return final
+    headroom = [c - f for c, f in zip(ceilings, floors)]
+    extra = _waterfill(spare, [1.0] * len(children), headroom)
+    return [f + e for f, e in zip(floors, extra)]
+
+
+def _policy_demand(budget_w: float,
+                   children: Sequence[ChildSignal]) -> List[float]:
+    final, floors, ceilings, spare = _floors_first(budget_w, children)
+    if final is not None:
+        return final
+    weights = [
+        c.weight * max(c.demand_w, f, _EPS_W)
+        for c, f in zip(children, floors)
+    ]
+    headroom = [c - f for c, f in zip(ceilings, floors)]
+    extra = _waterfill(spare, weights, headroom)
+    return [f + e for f, e in zip(floors, extra)]
+
+
+def _policy_priority(budget_w: float,
+                     children: Sequence[ChildSignal]) -> List[float]:
+    final, floors, ceilings, spare = _floors_first(budget_w, children)
+    if final is not None:
+        return final
+    order = sorted(range(len(children)),
+                   key=lambda i: (-children[i].priority, i))
+    allocs = list(floors)
+    remaining = spare
+    # Pass 1: demand-driven fills, highest priority first.
+    for i in order:
+        if remaining <= _EPS_W:
+            break
+        want = min(ceilings[i],
+                   max(children[i].demand_w, floors[i])) - allocs[i]
+        give = min(max(want, 0.0), remaining)
+        allocs[i] += give
+        remaining -= give
+    # Pass 2: leftover budget by headroom, same order.
+    for i in order:
+        if remaining <= _EPS_W:
+            break
+        give = min(ceilings[i] - allocs[i], remaining)
+        allocs[i] += give
+        remaining -= give
+    return allocs
+
+
+#: Pluggable apportionment policies, by name.
+BROKER_POLICIES: Dict[
+    str, Callable[[float, Sequence[ChildSignal]], List[float]]
+] = {
+    "uniform": _policy_uniform,
+    "demand": _policy_demand,
+    "priority": _policy_priority,
+}
+
+
+def apportion(policy: str, budget_w: float,
+              children: Sequence[ChildSignal]) -> Tuple[float, ...]:
+    """Split ``budget_w`` among ``children`` under the named policy.
+
+    Pure and deterministic: identical inputs yield bit-identical
+    allocations.  A single child receives exactly
+    ``min(budget_w, ceiling_w)`` — no float round-trip — which is what
+    pins the degenerate one-cluster facility bit-identical to a plain
+    :func:`~repro.manager.site_simulation.run_site_simulation`.
+    """
+    if policy not in BROKER_POLICIES:
+        raise ValueError(
+            f"unknown broker policy {policy!r}; "
+            f"choose from {sorted(BROKER_POLICIES)}"
+        )
+    if budget_w <= 0:
+        raise ValueError("budget_w must be positive")
+    if not children:
+        raise ValueError("a broker needs at least one child")
+    if len(children) == 1:
+        return (min(float(budget_w), children[0].ceiling_w),)
+    return tuple(BROKER_POLICIES[policy](float(budget_w), children))
+
+
+@dataclass(frozen=True)
+class BudgetBroker:
+    """One node of the budget tree: a named, levelled apportioner.
+
+    ``level`` is purely descriptive ("facility", "cluster", "rack") and
+    flows into telemetry so operators can see where watts moved.
+    """
+
+    name: str
+    level: str
+    policy: str = "uniform"
+
+    def __post_init__(self) -> None:
+        if self.policy not in BROKER_POLICIES:
+            raise ValueError(
+                f"unknown broker policy {self.policy!r}; "
+                f"choose from {sorted(BROKER_POLICIES)}"
+            )
+
+    def apportion(self, budget_w: float,
+                  children: Sequence[ChildSignal]) -> Tuple[float, ...]:
+        """Split ``budget_w``; counts the apportionment in telemetry."""
+        allocations = apportion(self.policy, budget_w, children)
+        if enabled():
+            get_registry().counter(
+                f"hierarchy.broker.{self.level}.apportionments"
+            ).inc()
+        return allocations
+
+    def rebalanced(self, epoch: int, budget_w: float,
+                   children: Sequence[ChildSignal],
+                   allocations: Sequence[float]) -> None:
+        """Record that this broker's split changed at ``epoch``."""
+        if not enabled():
+            return
+        get_registry().counter(
+            f"hierarchy.broker.{self.level}.rebalances"
+        ).inc()
+        emit(
+            "hierarchy.broker", "rebalance",
+            broker=self.name, level=self.level, policy=self.policy,
+            epoch=epoch, budget_w=float(budget_w),
+            allocations={c.name: float(a)
+                         for c, a in zip(children, allocations)},
+        )

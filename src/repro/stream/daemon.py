@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.stream import messages as msg
 from repro.stream.engine import SiteStreamEngine
@@ -37,14 +38,16 @@ class _Subscriber:
     def __init__(self, kinds: Optional[List[str]], max_backlog: int) -> None:
         self.kinds = set(kinds) if kinds is not None else None
         self.max_backlog = max_backlog
-        self.buffer: List[Dict[str, object]] = []
+        # A deque keeps drop-oldest eviction O(1); a list.pop(0) here
+        # costs O(max_backlog) per frame once a slow client saturates.
+        self.buffer: Deque[Dict[str, object]] = deque()
         self.dropped = 0
 
     def offer(self, source: str, kind: str, payload: Dict[str, object]) -> None:
         if self.kinds is not None and kind not in self.kinds:
             return
         if len(self.buffer) >= self.max_backlog:
-            self.buffer.pop(0)
+            self.buffer.popleft()
             self.dropped += 1
             # Backpressure drops must be observable, not silent: the
             # per-flush error frame only reaches the slow client itself,
@@ -140,7 +143,8 @@ class StreamDaemon:
         sub = self._subscribers.get(client_id)
         if sub is None or not sub.buffer:
             return
-        buffered, sub.buffer = sub.buffer, []
+        buffered = list(sub.buffer)
+        sub.buffer.clear()
         if sub.dropped:
             buffered.insert(0, msg.error_message(
                 "subscriber backlog overflow", dropped=sub.dropped,

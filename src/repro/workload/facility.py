@@ -142,8 +142,20 @@ def generate_facility_trace(
         ramp = np.linspace(0, np.pi, max(end - start, 1))
         power[start:end] -= config.dip_depth_mw * np.sin(ramp)
 
-    power += config.mean_draw_mw - np.mean(power)  # re-centre after dips
-    power = np.clip(power, 0.05, 0.97 * config.rating_mw)
+    # Re-centre onto the configured mean *through* the clip: clipping a
+    # re-centred trace pushes the realized mean back off target (deep or
+    # overlapping maintenance dips used to leave it visibly low), so
+    # iterate shift-then-clip until the clipped mean converges.  The
+    # shift only moves the whole trace, so the cycle/noise/dip shape is
+    # preserved; convergence is monotone because clipping is a
+    # contraction in the mean.
+    lo, hi = 0.05, 0.97 * config.rating_mw
+    power = np.clip(power + (config.mean_draw_mw - np.mean(power)), lo, hi)
+    for _ in range(64):
+        error = config.mean_draw_mw - float(np.mean(power))
+        if abs(error) <= 1e-9:
+            break
+        power = np.clip(power + error, lo, hi)
 
     daily = moving_average(power, config.samples_per_day)
     return FacilityTrace(

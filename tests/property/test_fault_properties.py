@@ -221,3 +221,117 @@ class TestScheduleQueryProperties:
     @settings(max_examples=100, deadline=None)
     def test_noise_sigma_never_below_base(self, schedule, t, base):
         assert schedule.noise_sigma_at(t, base) >= base
+
+
+# ----------------------------------------------------------------------
+# bisect fast paths vs the reference linear scans
+# ----------------------------------------------------------------------
+def _scan_budget_at(schedule, time_s, base_budget_w):
+    """The original O(E) linear scan ``budget_at`` (reference)."""
+    budget = float(base_budget_w)
+    for event in schedule.of_kind(FaultKind.BUDGET_CHANGE):
+        if time_s < event.time_s:
+            break
+        if event.duration_s > 0 and time_s < event.end_s:
+            frac = (time_s - event.time_s) / event.duration_s
+            budget = budget + frac * (event.budget_w - budget)
+        else:
+            budget = float(event.budget_w)
+    return budget
+
+
+def _scan_failed_hosts_at(schedule, time_s):
+    """The original O(E) linear scan ``failed_hosts_at`` (reference)."""
+    failed = set()
+    for event in schedule.events:
+        if event.time_s > time_s:
+            break
+        if event.kind is FaultKind.NODE_FAILURE:
+            failed.update(event.host_ids)
+        elif event.kind is FaultKind.NODE_RECOVERY:
+            failed.difference_update(event.host_ids)
+    return frozenset(failed)
+
+
+def _scan_sensor_dropout_at(schedule, time_s):
+    """The original O(E) linear filter ``sensor_dropout_at`` (reference)."""
+    return tuple(
+        e for e in schedule.of_kind(FaultKind.SENSOR_DROPOUT)
+        if e.time_s <= time_s < e.end_s
+    )
+
+
+def _query_times(schedule, draw_times):
+    """Fuzzed query instants plus every exact boundary of the schedule
+    (the off-by-one hot spots of any bisect)."""
+    times = list(draw_times)
+    for event in schedule.events:
+        times.append(event.time_s)
+        if np.isfinite(event.end_s):
+            times.append(event.end_s)
+            times.append(np.nextafter(event.end_s, -np.inf))
+        times.append(np.nextafter(event.time_s, np.inf))
+    return times
+
+
+class TestScheduleFastPathBitIdentity:
+    """The bisect/prefix fast paths must be bit-identical to the scans."""
+
+    @given(schedule=fault_schedules(),
+           draw_times=st.lists(st.floats(0.0, 700.0, allow_nan=False),
+                               min_size=1, max_size=8),
+           base=st.floats(500.0, 20000.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_budget_at_matches_scan(self, schedule, draw_times, base):
+        for t in _query_times(schedule, draw_times):
+            assert schedule.budget_at(t, base) == \
+                _scan_budget_at(schedule, t, base)
+
+    @given(schedule=fault_schedules(),
+           draw_times=st.lists(st.floats(0.0, 700.0, allow_nan=False),
+                               min_size=1, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_failed_hosts_at_matches_scan(self, schedule, draw_times):
+        for t in _query_times(schedule, draw_times):
+            assert schedule.failed_hosts_at(t) == \
+                _scan_failed_hosts_at(schedule, t)
+
+    @given(schedule=fault_schedules(),
+           draw_times=st.lists(st.floats(0.0, 700.0, allow_nan=False),
+                               min_size=1, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_sensor_dropout_at_matches_scan(self, schedule, draw_times):
+        for t in _query_times(schedule, draw_times):
+            assert schedule.sensor_dropout_at(t) == \
+                _scan_sensor_dropout_at(schedule, t)
+
+    @given(base=st.floats(500.0, 20000.0, allow_nan=False),
+           t=st.floats(0.0, 200.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_budget_at_overlapping_ramps_match_scan(self, base, t):
+        # Hand-built worst case: chained, overlapping ramps with a step
+        # in the middle — the in-flight-ramp replay after the last
+        # completed change must interpolate exactly like the scan.
+        schedule = (FaultSchedule()
+                    .budget_drop(10.0, 4000.0, ramp_s=60.0)
+                    .budget_drop(30.0, 9000.0, ramp_s=100.0)
+                    .budget_drop(50.0, 6000.0)
+                    .budget_drop(55.0, 7000.0, ramp_s=80.0)
+                    .budget_drop(60.0, 5000.0, ramp_s=90.0))
+        assert schedule.budget_at(t, base) == \
+            _scan_budget_at(schedule, t, base)
+
+    @given(schedule=fault_schedules(), dt=st.floats(-50.0, 50.0,
+                                                    allow_nan=False),
+           t=st.floats(0.0, 700.0, allow_nan=False),
+           base=st.floats(500.0, 20000.0, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_derived_schedules_rebuild_their_indices(self, schedule, dt, t,
+                                                     base):
+        # Warm the parent's lazy indices, then derive: the child must
+        # answer from its own (rebuilt) indices, not stale parent state.
+        schedule.budget_at(t, base)
+        schedule.failed_hosts_at(t)
+        moved = schedule.shifted(dt)
+        assert moved.budget_at(t, base) == _scan_budget_at(moved, t, base)
+        assert moved.failed_hosts_at(t) == _scan_failed_hosts_at(moved, t)

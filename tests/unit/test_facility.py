@@ -92,3 +92,39 @@ class TestTrace:
 
     def test_positive_power(self, trace):
         assert np.all(trace.power_mw > 0)
+
+
+class TestMeanRecentring:
+    """The mean-bias fix: re-centre *through* the clip, not before it.
+
+    Re-centring once before the clip let deep or overlapping maintenance
+    dips drag the realized mean below ``mean_draw_mw`` (the clip eats
+    part of the upward shift); the generator now iterates
+    shift-then-clip to tolerance.
+    """
+
+    def test_mean_exact_under_aggressive_dips(self):
+        for dips, depth in [(6, 0.6), (12, 0.9), (24, 1.2)]:
+            config = FacilityTraceConfig(
+                days=60, maintenance_dips=dips, dip_depth_mw=depth
+            )
+            stats = generate_facility_trace(config).statistics()
+            assert stats["mean_mw"] == pytest.approx(
+                config.mean_draw_mw, abs=1e-6
+            )
+
+    def test_clip_bounds_still_hold_under_aggressive_dips(self):
+        config = FacilityTraceConfig(
+            days=60, maintenance_dips=24, dip_depth_mw=1.2
+        )
+        trace = generate_facility_trace(config)
+        assert np.all(trace.power_mw >= 0.05 - 1e-12)
+        assert np.all(trace.power_mw <= 0.97 * config.rating_mw + 1e-12)
+
+    def test_mean_exact_on_custom_target(self):
+        config = FacilityTraceConfig(
+            mean_draw_mw=0.6, days=45, maintenance_dips=8,
+            dip_depth_mw=0.8, seed=11
+        )
+        stats = generate_facility_trace(config).statistics()
+        assert stats["mean_mw"] == pytest.approx(0.6, abs=1e-6)

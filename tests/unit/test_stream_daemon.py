@@ -204,6 +204,34 @@ class TestObservability:
         finally:
             reset()
 
+    def test_drop_oldest_eviction_order(self):
+        # Regression for the O(max_backlog)-per-drop list.pop(0) path:
+        # the deque must still evict strictly oldest-first, keep exactly
+        # the newest max_backlog frames in arrival order, and count
+        # every drop.
+        from repro.stream.daemon import _Subscriber
+        from repro.telemetry import get_registry, reset
+
+        reset()
+        try:
+            sub = _Subscriber(None, max_backlog=3)
+            for i in range(8):
+                sub.offer("src", "kind", {"i": i})
+            assert sub.dropped == 5
+            kept = [frame["payload"]["i"] for frame in sub.buffer]
+            assert kept == [5, 6, 7]
+            counters = get_registry().counter_values()
+            assert counters["stream.daemon.frames_dropped"] == 5.0
+            # Filtered-out kinds are never buffered, so they neither
+            # evict nor count as drops.
+            picky = _Subscriber(["wanted"], max_backlog=2)
+            for i in range(4):
+                picky.offer("src", "ignored", {"i": i})
+            assert picky.dropped == 0
+            assert len(picky.buffer) == 0
+        finally:
+            reset()
+
     def test_dispatch_emits_tracing_spans(self):
         from repro.telemetry import get_tracer, set_tracing
 
