@@ -215,12 +215,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable the local feeder-limit fault dips")
     p_fsim.add_argument("--seed", type=int, default=23,
                         help="facility seed (deterministic campaigns)")
+    p_fsim.add_argument("--engine", default="sharded",
+                        choices=("sharded", "fused"),
+                        help="leaf execution: 'sharded' fans clusters over "
+                             "workers; 'fused' advances all clusters in "
+                             "lockstep through shared stacked engine passes "
+                             "(bit-identical results)")
     p_fsim.add_argument("--rows", type=_positive_int, default=8,
                         metavar="N",
                         help="per-cluster table rows to print (default 8)")
     p_fsim.add_argument("--telemetry-out", metavar="DIR",
                         help="dump the metrics snapshot, event log, span "
                              "tree, and provenance ledger here")
+    p_fsim.add_argument("--profile", action="store_true",
+                        help="cProfile the campaign and write profile.pstats"
+                             " + profile.txt (span-attributed hot frames) "
+                             "under --telemetry-out (required)")
 
     p_site = sub.add_parser(
         "site", help="arrival-driven site simulation with noise replays"
@@ -282,6 +292,11 @@ def build_parser() -> argparse.ArgumentParser:
                                "protocol failure (the CI smoke)")
     p_stream.add_argument("--telemetry-out", metavar="DIR",
                           help="dump the metrics snapshot and event log here")
+    p_stream.add_argument("--profile", action="store_true",
+                          help="cProfile the stream run and write "
+                               "profile.pstats + profile.txt "
+                               "(span-attributed hot frames) under "
+                               "--telemetry-out (required)")
 
     p_faults = sub.add_parser(
         "faults",
@@ -402,6 +417,29 @@ def _dump_telemetry(out_dir: str, kind: str = "run", config: object = None,
     )
     print(f"\nWrote telemetry to {metrics_path}, {jsonl_path}, {csv_path}, "
           f"{trace_path}, {ledger_path}")
+
+
+def _maybe_profile(profile: bool):
+    """``profile_command()`` when profiling, else a null context."""
+    if not profile:
+        from contextlib import nullcontext
+
+        return nullcontext(None)
+    from repro.telemetry import profile_command
+
+    return profile_command()
+
+
+def _maybe_write_profile(out_dir: str, profiler) -> None:
+    """Write the profile artifacts when a profiler was active."""
+    if profiler is None:
+        return
+    from repro.telemetry import get_tracer, write_profile
+
+    pstats_path, txt_path = write_profile(
+        out_dir, profiler, get_tracer().finished()
+    )
+    print(f"Wrote profile to {pstats_path}, {txt_path}")
 
 
 def _cmd_telemetry(grid: ExperimentGrid, out: Optional[str]) -> int:
@@ -640,6 +678,15 @@ def _cmd_stream(grid: ExperimentGrid, args: argparse.Namespace) -> int:
         print("error: --admission-interval must be positive",
               file=sys.stderr)
         return 2
+    if args.profile:
+        if not args.telemetry_out:
+            print("error: --profile requires --telemetry-out",
+                  file=sys.stderr)
+            return 2
+        if args.serve or args.daemon_smoke:
+            print("error: --profile applies to batch runs, not --serve / "
+                  "--daemon-smoke", file=sys.stderr)
+            return 2
     engine, nodes, budget_w = _build_stream_engine(
         grid, args.policy, args.max_pending, args.seed,
         batched=args.batched,
@@ -691,7 +738,8 @@ def _cmd_stream(grid: ExperimentGrid, args: argparse.Namespace) -> int:
             return 2
         engine.set_budget(args.budget_drop * budget_w,
                           time_s=args.duration / 2.0)
-    stats = engine.run()
+    with _maybe_profile(args.profile) as profiler:
+        stats = engine.run()
     rows = [[k, f"{v:.3f}" if isinstance(v, float) else str(v)]
             for k, v in stats.snapshot().items()]
     print(render_table(
@@ -712,6 +760,7 @@ def _cmd_stream(grid: ExperimentGrid, args: argparse.Namespace) -> int:
                                 "max_pending": args.max_pending,
                                 "budget_w": float(budget_w)},
                         seed=args.seed)
+        _maybe_write_profile(args.telemetry_out, profiler)
     return 0
 
 
@@ -873,6 +922,9 @@ def _cmd_facility_sim(args: argparse.Namespace) -> int:
         FacilityCampaignConfig, campaign_rows, run_facility_campaign,
     )
 
+    if args.profile and not args.telemetry_out:
+        print("error: --profile requires --telemetry-out", file=sys.stderr)
+        return 2
     config = FacilityCampaignConfig(
         clusters=args.clusters,
         nodes_per_cluster=args.nodes_per_cluster,
@@ -886,7 +938,9 @@ def _cmd_facility_sim(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     start = time.perf_counter()
-    result = run_facility_campaign(config, workers=args.workers)
+    with _maybe_profile(args.profile) as profiler:
+        result = run_facility_campaign(config, workers=args.workers,
+                                       engine=args.engine)
     wall_s = time.perf_counter() - start
 
     summary = result.summary()
@@ -898,14 +952,16 @@ def _cmd_facility_sim(args: argparse.Namespace) -> int:
         + [["wall_s", f"{wall_s:.2f}"],
            ["clusters_per_s", f"{len(result.clusters) / wall_s:,.1f}"]],
         title=f"Facility campaign ({result.broker_policy} broker, "
-              f"{budget_src} budget)",
+              f"{budget_src} budget, {result.engine} engine)",
     ))
     rows = campaign_rows(result)[:args.rows]
     print(render_table(
-        ["cluster", "nodes", "alloc span (W)", "done", "turnaround (s)"],
+        ["cluster", "nodes", "alloc span (W)", "done", "turnaround (s)",
+         "rebal", "char hit%"],
         [[str(r["cluster"]), f"{r['nodes']:,.0f}",
           f"{r['min_allocation_w']:,.0f}-{r['max_allocation_w']:,.0f}",
-          f"{r['jobs_completed']:.0f}", f"{r['mean_turnaround_s']:.2f}"]
+          f"{r['jobs_completed']:.0f}", f"{r['mean_turnaround_s']:.2f}",
+          f"{r['rebalances']:.0f}", f"{100.0 * r['char_hit_ratio']:.0f}"]
          for r in rows],
         title=f"First {len(rows)} clusters",
     ))
@@ -915,9 +971,11 @@ def _cmd_facility_sim(args: argparse.Namespace) -> int:
             inputs={"clusters": len(result.clusters),
                     "nodes": result.total_nodes,
                     "broker_policy": result.broker_policy,
+                    "engine": result.engine,
                     "epochs": len(result.epoch_s)},
             seed=config.seed,
         )
+        _maybe_write_profile(args.telemetry_out, profiler)
     return 0
 
 

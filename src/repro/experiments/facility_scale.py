@@ -145,9 +145,17 @@ def build_facility_config(
 def run_facility_campaign(
     config: Optional[FacilityCampaignConfig] = None,
     workers: Optional[int] = None,
+    engine: str = "sharded",
 ) -> FacilitySimulationResult:
-    """Run the standard campaign; one call, the whole facility."""
-    return run_facility_simulation(build_facility_config(config), workers)
+    """Run the standard campaign; one call, the whole facility.
+
+    ``engine`` selects the leaf execution strategy (``"sharded"`` /
+    ``"fused"``, see :func:`run_facility_simulation`); the result is
+    bit-identical either way.
+    """
+    return run_facility_simulation(
+        build_facility_config(config), workers, engine=engine
+    )
 
 
 def campaign_rows(result: FacilitySimulationResult) -> List[Dict[str, object]]:
@@ -168,5 +176,7 @@ def campaign_rows(result: FacilitySimulationResult) -> List[Dict[str, object]]:
             "energy_j": site.total_energy_j,
             "mean_turnaround_s": site.mean_turnaround_s(),
             "peak_power_w": site.peak_power_w(),
+            "rebalances": float(outcome.rebalances),
+            "char_hit_ratio": outcome.char_cache_hit_ratio,
         })
     return rows

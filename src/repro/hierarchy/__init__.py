@@ -4,8 +4,11 @@ A facility → cluster → rack → node budget-broker tree over the existing
 site-simulation physics: :mod:`repro.hierarchy.broker` is the pure
 apportionment layer (pluggable uniform / demand-weighted / priority
 policies), :mod:`repro.hierarchy.facility` plans the tree open loop and
-shards the leaf clusters across :class:`~repro.parallel.runner.ParallelRunner`
-workers under a strict determinism contract.
+runs the leaf clusters — sharded across
+:class:`~repro.parallel.runner.ParallelRunner` workers, or fused
+through cross-cluster stacked engine passes
+(:mod:`repro.hierarchy.fused`) — under a strict determinism contract:
+both engines and every worker count are bit-identical.
 """
 
 from repro.hierarchy.broker import (
@@ -24,6 +27,7 @@ from repro.hierarchy.facility import (
     facility_budget_series,
     run_facility_simulation,
 )
+from repro.hierarchy.fused import run_fused_facility_leaves
 
 __all__ = [
     "BROKER_POLICIES",
@@ -38,4 +42,5 @@ __all__ = [
     "cluster_arrivals",
     "facility_budget_series",
     "run_facility_simulation",
+    "run_fused_facility_leaves",
 ]

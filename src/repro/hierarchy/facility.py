@@ -166,6 +166,28 @@ class ClusterOutcome:
     #: Rack-broker subdivision per epoch (one tuple per epoch).
     rack_allocations_w: Tuple[Tuple[float, ...], ...]
     result: SiteSimulationResult
+    #: Characterization-sharing statistics for this cluster's shift —
+    #: planner-memo hits/misses under the fused engine, shape-keyed
+    #: store hits/misses under the sharded one.  Excluded from equality:
+    #: the determinism contract covers the physics, and the two engines
+    #: share characterizations through different mechanisms.
+    char_cache_hits: int = field(default=0, compare=False)
+    char_cache_misses: int = field(default=0, compare=False)
+
+    @property
+    def char_cache_hit_ratio(self) -> float:
+        """Fraction of characterizations served from a shared cache."""
+        total = self.char_cache_hits + self.char_cache_misses
+        return self.char_cache_hits / total if total else 0.0
+
+    @property
+    def rebalances(self) -> int:
+        """Epoch boundaries where this cluster's allocation moved."""
+        return sum(
+            1 for prev, cur in zip(self.allocations_w,
+                                   self.allocations_w[1:])
+            if cur != prev
+        )
 
 
 @dataclass(frozen=True)
@@ -179,6 +201,12 @@ class FacilitySimulationResult:
     #: Top-level budget in force at each epoch.
     budgets_w: Tuple[float, ...]
     clusters: Tuple[ClusterOutcome, ...]
+    #: Which leaf engine produced the physics (``sharded``/``fused``).
+    #: Metadata, not physics: excluded from equality so the determinism
+    #: contract ``fused_result == sharded_result`` holds by ``==``.
+    engine: str = field(default="sharded", compare=False)
+    #: Facility-broker rebalance count over the horizon.
+    rebalances: int = field(default=0, compare=False)
 
     @property
     def total_nodes(self) -> int:
@@ -217,6 +245,13 @@ class FacilitySimulationResult:
         ]
         return float(sum(per_epoch) / len(per_epoch))
 
+    def char_cache_hit_ratio(self) -> float:
+        """Facility-wide fraction of characterizations served shared."""
+        hits = sum(c.char_cache_hits for c in self.clusters)
+        misses = sum(c.char_cache_misses for c in self.clusters)
+        total = hits + misses
+        return hits / total if total else 0.0
+
     def summary(self) -> Dict[str, float]:
         """The campaign dashboard row."""
         return {
@@ -228,6 +263,8 @@ class FacilitySimulationResult:
             "jobs_completed": float(self.completed_jobs()),
             "total_energy_j": self.total_energy_j,
             "mean_turnaround_s": self.mean_turnaround_s(),
+            "broker_rebalances": float(self.rebalances),
+            "char_cache_hit_ratio": self.char_cache_hit_ratio(),
         }
 
 
@@ -362,13 +399,20 @@ def _leaf_schedule(
 # ----------------------------------------------------------------------
 # the sharded leaf task (module-level: must pickle into pool workers)
 # ----------------------------------------------------------------------
-def _cluster_task(payload) -> SiteSimulationResult:
+def _cluster_task(payload) -> Tuple[SiteSimulationResult, Tuple[int, int]]:
+    """Simulate one leaf; returns the result plus this task's delta of
+    shape-keyed characterization-store hits/misses (``(0, 0)`` when no
+    store is active in the executing process)."""
     from repro.core.registry import create_policy
     from repro.manager.site_simulation import run_site_simulation
+    from repro.parallel.char_store import active_char_store
 
     (spec, facility_seed, policy_name, base_budget_w, schedule,
      noise_std, max_batches, run_seed) = payload
-    return run_site_simulation(
+    store = active_char_store()
+    hits0 = store.hits if store is not None else 0
+    misses0 = store.misses if store is not None else 0
+    result = run_site_simulation(
         cluster_arrivals(spec),
         build_cluster(spec, facility_seed),
         create_policy(policy_name),
@@ -378,6 +422,9 @@ def _cluster_task(payload) -> SiteSimulationResult:
         run_seed=run_seed,
         fault_schedule=schedule,
     )
+    if store is None:
+        return result, (0, 0)
+    return result, (store.hits - hits0, store.misses - misses0)
 
 
 # ----------------------------------------------------------------------
@@ -472,19 +519,76 @@ def _plan_facility(config: FacilityConfig) -> _FacilityPlan:
     )
 
 
+def _run_sharded_leaves(
+    config: FacilityConfig,
+    payloads: Sequence[tuple],
+    workers: Optional[int],
+) -> List[Tuple[SiteSimulationResult, Tuple[int, int]]]:
+    """Fan the leaf tasks over a pool, sharing characterizations.
+
+    If no shape-keyed characterization store is active, one is
+    activated for the duration of the fan-out: memory-only when the run
+    stays in-process, disk-backed (a temporary directory) when a pool
+    is used so workers share each other's entries read-through.  A
+    store the caller already activated is left in place (and its
+    directory reused).
+    """
+    import tempfile
+
+    from repro.parallel.char_store import (
+        activate_char_store,
+        active_char_store,
+        deactivate_char_store,
+    )
+
+    runner = ParallelRunner(workers)
+    existing = active_char_store()
+    temp_dir = None
+    try:
+        if existing is None:
+            cache_dir = None
+            if runner.parallel and len(payloads) > 1:
+                temp_dir = tempfile.TemporaryDirectory(
+                    prefix="repro-char-store-"
+                )
+                cache_dir = temp_dir.name
+            activate_char_store(cache_dir=cache_dir)
+        return runner.map(_cluster_task, payloads)
+    finally:
+        if existing is None:
+            deactivate_char_store()
+        if temp_dir is not None:
+            temp_dir.cleanup()
+
+
 def run_facility_simulation(
     config: FacilityConfig,
     workers: Optional[int] = None,
+    engine: str = "sharded",
 ) -> FacilitySimulationResult:
-    """Run the whole facility: plan the budget tree, shard the leaves.
+    """Run the whole facility: plan the budget tree, run the leaves.
 
-    ``workers`` follows :class:`ParallelRunner` semantics (``None``
-    reads ``$REPRO_WORKERS``); the result is bit-identical for every
-    worker count — the plan is open loop and leaf tasks are pure.
+    ``engine`` selects how leaf physics executes:
+
+    * ``"sharded"`` — one pure task per cluster fanned over
+      :class:`ParallelRunner` (``workers`` follows its semantics;
+      ``None`` reads ``$REPRO_WORKERS``), with a shape-keyed
+      characterization store shared across workers.
+    * ``"fused"`` — all clusters advance in lockstep in-process and
+      co-resident batches run through shared stacked engine passes
+      (:mod:`repro.hierarchy.fused`); ``workers`` is ignored.
+
+    The result is bit-identical across engines and worker counts — the
+    plan is open loop, leaf tasks are pure, and the fused engine shares
+    the scalar shift loop's statements.
     """
+    if engine not in ("sharded", "fused"):
+        raise ValueError(
+            f"engine must be 'sharded' or 'fused', got {engine!r}"
+        )
     with span("hierarchy.facility.run", facility=config.name,
               clusters=len(config.clusters), nodes=config.total_nodes,
-              broker_policy=config.broker_policy,
+              broker_policy=config.broker_policy, engine=engine,
               epochs=len(config.epoch_times_s())) as run_sp:
         with span("hierarchy.facility.plan"):
             plan = _plan_facility(config)
@@ -492,19 +596,37 @@ def run_facility_simulation(
             child_seed(config.seed, "facility-cluster", spec.name)
             for spec in config.clusters
         ]
-        payloads = [
-            (
-                spec, config.seed, config.policy,
-                float(plan.allocations_w[i][0]),
-                _leaf_schedule(spec, plan.epochs, plan.allocations_w[i],
-                               config.name),
-                config.noise_std, config.max_batches, seeds[i],
-            )
+        schedules = [
+            _leaf_schedule(spec, plan.epochs, plan.allocations_w[i],
+                           config.name)
             for i, spec in enumerate(config.clusters)
         ]
-        with span("hierarchy.facility.shards",
-                  shards=len(payloads)):
-            results = ParallelRunner(workers).map(_cluster_task, payloads)
+        base_budgets = [
+            float(plan.allocations_w[i][0])
+            for i in range(len(config.clusters))
+        ]
+        if engine == "fused":
+            from repro.hierarchy.fused import run_fused_facility_leaves
+
+            results, char_stats = run_fused_facility_leaves(
+                config, base_budgets, schedules, seeds
+            )
+        else:
+            payloads = [
+                (
+                    spec, config.seed, config.policy, base_budgets[i],
+                    schedules[i], config.noise_std, config.max_batches,
+                    seeds[i],
+                )
+                for i, spec in enumerate(config.clusters)
+            ]
+            with span("hierarchy.facility.shards",
+                      shards=len(payloads)):
+                shard_results = _run_sharded_leaves(
+                    config, payloads, workers
+                )
+            results = [result for result, _ in shard_results]
+            char_stats = [stats for _, stats in shard_results]
         outcomes = tuple(
             ClusterOutcome(
                 name=spec.name,
@@ -513,6 +635,8 @@ def run_facility_simulation(
                 allocations_w=plan.allocations_w[i],
                 rack_allocations_w=plan.rack_allocations_w[i],
                 result=results[i],
+                char_cache_hits=int(char_stats[i][0]),
+                char_cache_misses=int(char_stats[i][1]),
             )
             for i, spec in enumerate(config.clusters)
         )
@@ -523,6 +647,8 @@ def run_facility_simulation(
             epoch_s=plan.epochs,
             budgets_w=plan.budgets_w,
             clusters=outcomes,
+            engine=engine,
+            rebalances=plan.rebalances,
         )
         if enabled():
             registry = get_registry()

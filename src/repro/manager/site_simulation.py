@@ -69,11 +69,14 @@ __all__ = [
     "BatchPlanner",
     "PlannedBatch",
     "SiteSimulationResult",
+    "budget_only_schedule",
     "execute_admitted_batch",
     "execute_planned_batches",
     "finish_planned_batch",
     "plan_admitted_batch",
+    "plan_shift_batch",
     "run_site_simulation",
+    "shift_rounds",
 ]
 
 
@@ -369,7 +372,7 @@ def execute_admitted_batch(
 
 @dataclass(frozen=True)
 class PlannedBatch:
-    """A fault-free admitted batch, planned but not yet simulated.
+    """An admitted batch, planned but not yet simulated.
 
     The batched rolling path of the streaming engine splits
     :func:`execute_admitted_batch` into stages so the expensive middle —
@@ -383,6 +386,23 @@ class PlannedBatch:
     staged pipeline is bit-identical to per-batch
     :func:`execute_admitted_batch` calls (pinned by the stream property
     suite).
+
+    The trailing defaulted fields extend the stage split to the two
+    callers beyond the original fault-free stream case:
+
+    * ``group_key`` is the cross-site grouping context — the "cluster
+      dimension" of the fused facility engine.  Batches only fuse into
+      one stacked pass when it matches; ``None`` (shared physics) fuses
+      freely, which is correct whenever model and noise settings are
+      global, because everything else (caps, efficiencies, seeds,
+      budgets) is already per-row.
+    * ``tier`` / ``backoff_s`` / ``fault_schedule`` / ``reaction_s`` /
+      ``sim_budget_w`` carry the degradation-ladder outcome and the
+      compliance-accounting inputs of a *budget-only* fault batch (no
+      engine-applicable faults, no failed hosts, no sensor dropouts —
+      the case whose engine call is still the fault-free physics).
+      Fault-free batches leave them at their defaults and reproduce the
+      historical records bit-for-bit.
     """
 
     clock: float
@@ -395,6 +415,14 @@ class PlannedBatch:
     budget_w: float
     batch_budget_w: float
     quarantined: Tuple[int, ...]
+    group_key: object = None
+    tier: str = "none"
+    backoff_s: float = 0.0
+    fault_schedule: object = None
+    reaction_s: float = 1.0
+    #: Budget quoted on the result metadata (``None`` → ``budget_w``);
+    #: the scalar path quotes ``batch_budget_w`` on fault runs.
+    sim_budget_w: Optional[float] = None
 
     @property
     def mix(self) -> WorkloadMix:
@@ -432,6 +460,55 @@ class BatchPlanner:
         # shape-key tuple — it hashes every KernelConfig field — is
         # hashed once per plan call, not once per memo level.
         self._memo: Dict[tuple, dict] = {}
+        #: Characterization-level memo hits/misses (the physics-pass
+        #: savings a shared planner delivers across batches and, in the
+        #: fused facility engine, across clusters).
+        self.char_hits = 0
+        self.char_misses = 0
+
+    def _lookup(self, scheduled: "ScheduledMix") -> dict:
+        """The per-(shape, efficiencies) memo slot, characterized.
+
+        Seeds the mix's layout memo from the per-shape cache and counts
+        a characterization hit or miss; shared by :meth:`plan` and
+        :meth:`characterization`.
+        """
+        mix = scheduled.mix
+        shape_key = tuple(
+            (job.config, job.node_count, job.iterations) for job in mix.jobs
+        )
+        entry = self._memo.get(shape_key)
+        if entry is None:
+            entry = {"layout": mix.layout(),
+                     "iters": mix.common_iterations(), "by_eff": {}}
+            self._memo[shape_key] = entry
+        else:
+            object.__setattr__(mix, "_layout", entry["layout"])
+            object.__setattr__(mix, "_common_iterations", entry["iters"])
+        eff_key = scheduled.efficiencies.tobytes()
+        sub = entry["by_eff"].get(eff_key)
+        if sub is None:
+            self.char_misses += 1
+            char = characterize_mix(
+                mix, scheduled.efficiencies, self.manager.model
+            )
+            sub = {"char": char, "caps": {}}
+            entry["by_eff"][eff_key] = sub
+        else:
+            self.char_hits += 1
+        return sub
+
+    def characterization(self, scheduled: "ScheduledMix"):
+        """The memoised characterization alone (no cap allocation).
+
+        The budget-only fault path plans its caps through the
+        degradation ladder rather than the per-budget caps memo (the
+        faulted budget varies per epoch), but its characterization is
+        the same pure function of (shapes, efficiencies, model) —
+        numerically identical to the fresh ``characterize_mix`` call the
+        scalar fault path makes.
+        """
+        return self._lookup(scheduled)["char"]
 
     def plan(self, scheduled: "ScheduledMix", budget_w: float,
              relabel: bool = True):
@@ -451,29 +528,10 @@ class BatchPlanner:
         ``dataclasses.replace`` on every batch.
         """
         mix = scheduled.mix
-        shape_key = tuple(
-            (job.config, job.node_count, job.iterations) for job in mix.jobs
-        )
-        entry = self._memo.get(shape_key)
-        if entry is None:
-            entry = {"layout": mix.layout(),
-                     "iters": mix.common_iterations(), "by_eff": {}}
-            self._memo[shape_key] = entry
-        else:
-            object.__setattr__(mix, "_layout", entry["layout"])
-            object.__setattr__(mix, "_common_iterations", entry["iters"])
-        eff_key = scheduled.efficiencies.tobytes()
-        sub = entry["by_eff"].get(eff_key)
-        if sub is None:
-            char = characterize_mix(
-                mix, scheduled.efficiencies, self.manager.model
-            )
-            sub = {"char": char, "caps": {}}
-            entry["by_eff"][eff_key] = sub
-        else:
-            char = sub["char"]
-            if relabel and char.mix_name != mix.name:
-                char = dataclasses.replace(char, mix_name=mix.name)
+        sub = self._lookup(scheduled)
+        char = sub["char"]
+        if relabel and char.mix_name != mix.name:
+            char = dataclasses.replace(char, mix_name=mix.name)
         budget_key = float(budget_w)
         caps = sub["caps"].get(budget_key)
         if caps is None:
@@ -583,6 +641,139 @@ def plan_admitted_batch(
     )
 
 
+def budget_only_schedule(fault_schedule) -> bool:
+    """Whether every event of a schedule is a ``BUDGET_CHANGE``.
+
+    A budget-only schedule touches admission and compliance accounting
+    but never the engine: no failed hosts, no sensor dropouts, and
+    :meth:`~repro.faults.schedule.FaultSchedule.engine_slice` is ``None``
+    at every clock.  Such batches can therefore stage through the
+    batched pipeline — their engine call is the plain fault-free physics
+    — which is exactly the shape the facility broker's composed leaf
+    schedules take (allocation steps only).  Anything else falls back to
+    the scalar :func:`execute_admitted_batch` path per cluster.
+    """
+    from repro.faults.schedule import FaultKind
+
+    return all(
+        event.kind is FaultKind.BUDGET_CHANGE
+        for event in fault_schedule.events
+    )
+
+
+def plan_shift_batch(
+    *,
+    clock: float,
+    batch_index: int,
+    admitted: Sequence[JobRequest],
+    decision: AdmissionDecision,
+    cluster: Cluster,
+    policy: Policy,
+    budget_w: float,
+    batch_budget_w: float,
+    quarantined: Tuple[int, ...],
+    manager: PowerManager,
+    run_seed: Optional[int],
+    planner: BatchPlanner,
+    uniform_hosts: bool = False,
+    injecting: bool = False,
+    fault_schedule=None,
+    degradation=None,
+    reaction_s: float = 1.0,
+    group_key: object = None,
+) -> PlannedBatch:
+    """Stage 1 for the *shift loop*: schedule and plan one batch.
+
+    The shift loop's scheduling differs from the streaming engine's —
+    :class:`Scheduler` shuffles the **whole cluster** (``arange(len(
+    cluster))`` under ``default_rng(batch_index)``) and takes the first
+    ``mix.total_nodes`` entries, where :func:`plan_admitted_batch`
+    permutes an exactly-sized subset.  This stage replicates the shift
+    loop's draw bit-for-bit, so the fused facility engine's staged
+    batches match scalar :func:`shift_rounds` execution on
+    heterogeneous clusters too.  ``uniform_hosts=True`` (an all-equal
+    efficiency vector) skips the physically inert shuffle and binds a
+    read-only slice of the cluster's efficiencies — every simulated
+    quantity is unchanged; only the never-recorded ``node_ids`` differ.
+
+    ``injecting=True`` plans a *budget-only* fault batch (see
+    :func:`budget_only_schedule`): characterization from the planner's
+    memo — numerically identical to the scalar path's fresh call — and
+    caps through the same
+    :func:`~repro.faults.degradation.plan_with_degradation` ladder at
+    ``batch_budget_w``, with the schedule attached for stage 3's
+    compliance accounting.
+    """
+    mix = WorkloadMix(
+        name=f"batch-{batch_index}",
+        jobs=tuple(r.to_job() for r in admitted),
+    )
+    n = mix.total_nodes
+    if n > len(cluster):
+        raise ValueError(
+            f"mix {mix.name!r} needs {n} nodes but the partition has "
+            f"{len(cluster)}"
+        )
+    if uniform_hosts:
+        scheduled = ScheduledMix.trusted(
+            mix, _identity_order(n), cluster.efficiencies[:n]
+        )
+    else:
+        order = np.arange(len(cluster))
+        np.random.Generator(np.random.PCG64(batch_index)).shuffle(order)
+        node_ids = order[:n]
+        scheduled = ScheduledMix.trusted(
+            mix, node_ids, cluster.efficiencies[node_ids].copy()
+        )
+    if run_seed is None:
+        batch_seed = batch_index
+    else:
+        from repro.parallel.seeding import child_seed
+
+        batch_seed = child_seed(run_seed, "site-batch", batch_index)
+    tier = "none"
+    backoff_s = 0.0
+    sim_budget_w: Optional[float] = None
+    if not injecting:
+        _, effective_caps = planner.plan(scheduled, budget_w, relabel=False)
+        fault_schedule = None
+    else:
+        from repro.faults.degradation import plan_with_degradation
+
+        char = planner.characterization(scheduled)
+        plan = plan_with_degradation(
+            policy, batch_budget_w, characterization=char,
+            host_count=n,
+            min_cap_w=manager.model.power_model.min_cap_w,
+            tdp_w=manager.model.power_model.tdp_w,
+            config=degradation,
+        )
+        tier, backoff_s = plan.tier, plan.backoff_s
+        caps = plan.caps_w
+        if plan.tier == "replan" and policy.application_aware:
+            caps = apply_job_runtime(char, caps)
+        effective_caps = np.asarray(caps, dtype=float)
+        sim_budget_w = float(batch_budget_w)
+    return PlannedBatch(
+        clock=clock,
+        batch_index=batch_index,
+        decision=decision,
+        scheduled=scheduled,
+        effective_caps=effective_caps,
+        batch_seed=int(batch_seed),
+        policy=policy,
+        budget_w=float(budget_w),
+        batch_budget_w=float(batch_budget_w),
+        quarantined=quarantined,
+        group_key=group_key,
+        tier=tier,
+        backoff_s=backoff_s,
+        fault_schedule=fault_schedule,
+        reaction_s=reaction_s,
+        sim_budget_w=sim_budget_w,
+    )
+
+
 #: Memoised telemetry instrument handles for :func:`finish_planned_batch`
 #: — looked up once per registry generation instead of four name lookups
 #: per batch (thousands of batches per streamed shift).
@@ -608,11 +799,14 @@ def finish_planned_batch(planned: PlannedBatch, result,
                          scalars: Optional[tuple] = None) -> BatchExecution:
     """Stage 3: fold one simulated row back into a :class:`BatchExecution`.
 
-    The fault-free tail of :func:`execute_admitted_batch`, verbatim:
-    duration from the job critical path, the record fields, the
-    completion clocks (``backoff_s`` is identically zero on the staged
-    path — the degradation ladder only runs under active faults, which
-    fall back to the monolithic path), and the same per-batch telemetry.
+    The tail of :func:`execute_admitted_batch`, verbatim: duration from
+    the job critical path plus the ladder's ``backoff_s`` (identically
+    zero on fault-free batches), the record fields, the completion
+    clocks, and the same per-batch telemetry.  When the planned batch
+    carries a budget-only ``fault_schedule``, the scalar path's
+    compliance accounting runs too — overshoot against the launch budget
+    from the iteration power trace, plus the reaction window of
+    mid-batch budget drops — with the identical float operation order.
 
     ``scalars``, when given, is ``(job_elapsed_s, duration, mean_power,
     energy)`` precomputed for this row — :func:`execute_planned_batches`
@@ -621,7 +815,7 @@ def finish_planned_batch(planned: PlannedBatch, result,
     (same summands, same order, exact max), saving four numpy dispatches
     per batch on the hot path.
     """
-    backoff_s = 0.0
+    backoff_s = planned.backoff_s
     if scalars is None:
         elapsed = result.job_elapsed_s
         duration = float(np.max(elapsed)) + backoff_s
@@ -629,6 +823,27 @@ def finish_planned_batch(planned: PlannedBatch, result,
     else:
         elapsed, duration, mean_power_w, _ = scalars
         duration = duration + backoff_s
+    planned_overshoot_ws = 0.0
+    overshoot_ws = 0.0
+    if planned.fault_schedule is not None:
+        from repro.faults.schedule import FaultKind
+
+        fault_schedule = planned.fault_schedule
+        clock = planned.clock
+        planned_overshoot_ws = result.budget_overshoot_watt_seconds(
+            planned.batch_budget_w
+        )
+        overshoot_ws = planned_overshoot_ws
+        mean_p = mean_power_w
+        for event in fault_schedule.of_kind(FaultKind.BUDGET_CHANGE):
+            if clock < event.time_s < clock + duration:
+                dipped = fault_schedule.budget_at(
+                    max(event.time_s, event.end_s), planned.budget_w
+                )
+                window = min(
+                    planned.reaction_s, clock + duration - event.time_s
+                )
+                overshoot_ws += max(0.0, mean_p - dipped) * window
     record = BatchRecord(
         start_s=planned.clock,
         end_s=planned.clock + duration,
@@ -637,10 +852,10 @@ def finish_planned_batch(planned: PlannedBatch, result,
         mean_power_w=mean_power_w,
         energy_j=result.total_energy_j if scalars is None else scalars[3],
         budget_w=float(planned.batch_budget_w),
-        degradation_tier="none",
+        degradation_tier=planned.tier,
         quarantined=planned.quarantined,
-        planned_overshoot_ws=0.0,
-        overshoot_ws=0.0,
+        planned_overshoot_ws=planned_overshoot_ws,
+        overshoot_ws=overshoot_ws,
         backoff_s=backoff_s,
     )
     if enabled():
@@ -679,10 +894,14 @@ def execute_planned_batches(
 
     Batches are grouped by job block structure (``job_boundaries``) and
     iteration count — the preconditions of
-    :func:`~repro.sim.batch.simulate_layout_batch` — and each group runs
-    as one ``(S, hosts)`` engine pass.  Per-row bit-identity to the
-    serial ``simulate_mix`` call makes grouping invisible in the results:
-    only wall clock changes.  Executions come back in input order.
+    :func:`~repro.sim.batch.simulate_layout_batch` — plus each batch's
+    ``group_key`` (the cross-site grouping context; ``None`` everywhere
+    on single-site streams).  Each group runs as one ``(S, hosts)``
+    engine pass; batches from *different clusters* with matching
+    structure therefore share a pass in the fused facility engine.
+    Per-row bit-identity to the serial ``simulate_mix`` call makes
+    grouping invisible in the results: only wall clock changes.
+    Executions come back in input order.
     """
     from repro.sim.batch import simulate_layout_batch
 
@@ -690,6 +909,7 @@ def execute_planned_batches(
     for i, batch in enumerate(planned):
         layout = batch.mix.layout()
         key = (
+            batch.group_key,
             layout.job_boundaries.tobytes(),
             batch.mix.common_iterations(),
         )
@@ -708,7 +928,10 @@ def execute_planned_batches(
                 SimulationOptions(noise_std=noise_std),
                 seeds=[b.batch_seed for b in rows],
                 policy_names=[b.policy.name for b in rows],
-                budgets_w=[b.budget_w for b in rows],
+                budgets_w=[
+                    b.budget_w if b.sim_budget_w is None else b.sim_budget_w
+                    for b in rows
+                ],
             )
             # Group-wide derived scalars: each row of these reductions
             # sums/maxes exactly the elements the per-row property chain
@@ -807,7 +1030,73 @@ def _run_shift(
     reaction_s: float,
     injecting: bool,
 ) -> SiteSimulationResult:
-    """The shift loop proper (see :func:`run_site_simulation`)."""
+    """The shift loop proper (see :func:`run_site_simulation`).
+
+    Drives :func:`shift_rounds` in its non-staged mode: the generator
+    never yields, so the first resume raises ``StopIteration`` carrying
+    the result — the identical statements of the historical inline loop
+    execute, in order.
+    """
+    rounds = shift_rounds(
+        arrivals, cluster, policy, budget_w, admission, manager,
+        noise_std, max_batches, run_seed, fault_schedule, degradation,
+        reaction_s, injecting,
+    )
+    try:
+        next(rounds)
+    except StopIteration as stop:
+        return stop.value
+    raise RuntimeError("non-staged shift_rounds must not yield")
+
+
+def shift_rounds(
+    arrivals: Sequence[Arrival],
+    cluster: Cluster,
+    policy: Policy,
+    budget_w: float,
+    admission: Optional[PowerAwareAdmission],
+    manager: Optional[PowerManager],
+    noise_std: float,
+    max_batches: int,
+    run_seed: Optional[int],
+    fault_schedule,
+    degradation,
+    reaction_s: float,
+    injecting: bool,
+    planner: Optional[BatchPlanner] = None,
+    staged: bool = False,
+    uniform_hosts: bool = False,
+    group_key: object = None,
+):
+    """The shift loop as a resumable round generator.
+
+    In the default (non-staged) mode this *is* the scalar shift loop:
+    every admission round executes its batch inline via
+    :func:`execute_admitted_batch` and the generator yields nothing —
+    :func:`run_site_simulation` results are untouched.
+
+    ``staged=True`` (requires a ``planner``) turns each executable round
+    into a cooperative step instead: the round's batch is planned via
+    :func:`plan_shift_batch`, **yielded** to the driver, and the
+    driver ``send()``s back the :class:`BatchExecution` produced by a
+    (possibly cross-cluster) :func:`execute_planned_batches` pass.  The
+    fused facility engine drives one such generator per cluster in
+    lockstep, fusing the yielded batches into shared stacked passes.
+    Control flow, RNG draws, seeds, and accumulation order are the
+    scalar loop's own — the statements are literally shared — so staged
+    results are bit-identical.  Rounds that cannot stage (an active
+    schedule with anything beyond ``BUDGET_CHANGE`` events — see
+    :func:`budget_only_schedule`) fall back to the scalar execute inline,
+    per batch, without breaking the generator protocol.
+
+    The generator's return value (via ``StopIteration.value``) is the
+    :class:`SiteSimulationResult`.
+    """
+    if staged and planner is None:
+        raise ValueError("staged shift_rounds requires a planner")
+    stageable = staged and (
+        not injecting or budget_only_schedule(fault_schedule)
+    )
     if injecting:
         # Clock points at which fault state can change: re-check the
         # world there when an admission round comes up empty.
@@ -891,24 +1180,48 @@ def _run_shift(
             failed.append(stuck.name)
             continue
 
-        execution = execute_admitted_batch(
-            clock=clock,
-            batch_index=len(batches),
-            admitted=[queue.get(name) for name in decision.admitted],
-            decision=decision,
-            batch_cluster=batch_cluster,
-            policy=policy,
-            budget_w=budget_w,
-            batch_budget_w=batch_budget_w,
-            quarantined=quarantined,
-            manager=manager,
-            noise_std=noise_std,
-            run_seed=run_seed,
-            fault_schedule=fault_schedule,
-            degradation=degradation,
-            reaction_s=reaction_s,
-            injecting=injecting,
-        )
+        admitted = [queue.get(name) for name in decision.admitted]
+        if stageable:
+            planned = plan_shift_batch(
+                clock=clock,
+                batch_index=len(batches),
+                admitted=admitted,
+                decision=decision,
+                cluster=batch_cluster,
+                policy=policy,
+                budget_w=budget_w,
+                batch_budget_w=batch_budget_w,
+                quarantined=quarantined,
+                manager=manager,
+                run_seed=run_seed,
+                planner=planner,
+                uniform_hosts=uniform_hosts,
+                injecting=injecting,
+                fault_schedule=fault_schedule,
+                degradation=degradation,
+                reaction_s=reaction_s,
+                group_key=group_key,
+            )
+            execution = yield planned
+        else:
+            execution = execute_admitted_batch(
+                clock=clock,
+                batch_index=len(batches),
+                admitted=admitted,
+                decision=decision,
+                batch_cluster=batch_cluster,
+                policy=policy,
+                budget_w=budget_w,
+                batch_budget_w=batch_budget_w,
+                quarantined=quarantined,
+                manager=manager,
+                noise_std=noise_std,
+                run_seed=run_seed,
+                fault_schedule=fault_schedule,
+                degradation=degradation,
+                reaction_s=reaction_s,
+                injecting=injecting,
+            )
         batches.append(execution.record)
         for name, completion in zip(execution.job_names,
                                     execution.completion_s):

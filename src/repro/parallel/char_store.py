@@ -1,0 +1,95 @@
+"""Shape-keyed shared characterization store: one physics pass per class.
+
+The content-addressed :class:`~repro.parallel.cache.CharacterizationCache`
+keys characterizations on the *full mix* — job names included — so two
+clusters streaming the same synthetic job class (identical kernel
+config, node count, and iterations, different job names) never share an
+entry, and a sharded facility run re-characterizes the same class once
+per worker per name.  This store closes that gap with a **name-free**
+key: the per-job ``(kernel config, node count, iterations)`` shapes, the
+host-efficiency vector, the execution model, and the harvest fraction —
+exactly the inputs :func:`~repro.characterization.characterize_mix`'s
+numerics depend on (``mix_name`` is a label; it appears in no array).
+
+Hits are bit-identical to fresh computes: payloads are the JSON dicts of
+:func:`~repro.io.serialize.characterization_to_dict`, and IEEE-754
+doubles round-trip exactly through ``repr``-based JSON — the same
+guarantee the content-addressed cache relies on (pinned by the
+round-trip tests).  Storage therefore reuses
+:class:`~repro.parallel.cache.CharacterizationCache` outright (memory
+LRU + optional shared disk directory), and activation mirrors the same
+process-global pattern: :func:`activate_char_store` installs one,
+:func:`~repro.characterization.characterize_mix` consults
+:func:`active_char_store` after the name-keyed cache, and pool workers
+activate their own instance against the same directory (wired through
+:class:`~repro.parallel.runner.ParallelRunner`), so a sharded facility
+characterizes each job class once *facility-wide* instead of once per
+cluster per worker.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.parallel.cache import CharacterizationCache
+
+__all__ = [
+    "SharedCharStore",
+    "activate_char_store",
+    "active_char_store",
+    "deactivate_char_store",
+]
+
+
+class SharedCharStore(CharacterizationCache):
+    """A :class:`CharacterizationCache` with name-free characterization keys.
+
+    Same two-tier storage and hit/miss statistics; only the key schema
+    differs (``charshape-`` namespace over job *shapes* rather than the
+    full named mix).  Keeping the store a separate instance from the
+    content-addressed cache keeps the two key universes — and their
+    statistics — cleanly apart.
+    """
+
+    def key_for(self, mix, efficiencies, model,
+                harvest_fraction: float) -> str:
+        """The store key for one ``characterize_mix`` call's inputs."""
+        return self.key(
+            "charshape",
+            [(job.config, job.node_count, job.iterations)
+             for job in mix.jobs],
+            np.asarray(efficiencies, dtype=float),
+            model,
+            float(harvest_fraction),
+        )
+
+
+# ----------------------------------------------------------------------
+# process-global activation (mirrors repro.parallel.cache)
+# ----------------------------------------------------------------------
+_active: Optional[SharedCharStore] = None
+
+
+def activate_char_store(store: Optional[SharedCharStore] = None,
+                        **kwargs) -> SharedCharStore:
+    """Install a process-global store; returns it.
+
+    Pass an existing instance, or keyword arguments
+    (``max_entries``/``cache_dir``) to construct one.
+    """
+    global _active
+    _active = store if store is not None else SharedCharStore(**kwargs)
+    return _active
+
+
+def active_char_store() -> Optional[SharedCharStore]:
+    """The installed store, or ``None`` when shape sharing is off."""
+    return _active
+
+
+def deactivate_char_store() -> None:
+    """Remove the process-global store (entries are dropped)."""
+    global _active
+    _active = None

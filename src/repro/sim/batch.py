@@ -50,6 +50,7 @@ from repro.workload.job import HostLayout, Job, WorkloadMix
 
 __all__ = [
     "LayoutBatch",
+    "stack_cache_info",
     "stack_layouts",
     "stack_job_layouts",
     "simulate_cap_batch",
@@ -157,6 +158,23 @@ def stack_layouts(layouts: Sequence[HostLayout]) -> LayoutBatch:
 #: for the lifetime of the entry.
 _STACK_CACHE: dict = {}
 _STACK_CACHE_LIMIT = 128
+_STACK_CACHE_HITS = 0
+_STACK_CACHE_MISSES = 0
+
+
+def stack_cache_info() -> dict:
+    """Statistics for the stacked-layout memo (for tests and tuning).
+
+    ``entries`` is bounded by ``limit`` — the memo clears wholesale when
+    full, so long-running fused facility campaigns cannot grow it without
+    bound.  ``hits``/``misses`` count lookups since process start.
+    """
+    return {
+        "entries": len(_STACK_CACHE),
+        "limit": _STACK_CACHE_LIMIT,
+        "hits": _STACK_CACHE_HITS,
+        "misses": _STACK_CACHE_MISSES,
+    }
 
 
 def _stack_layouts_cached(layouts: Sequence[HostLayout]) -> LayoutBatch:
@@ -170,7 +188,14 @@ def _stack_layouts_cached(layouts: Sequence[HostLayout]) -> LayoutBatch:
     marks the arrays read-only), which is what makes the stacked result
     shareable; callers that mutate layouts must use :func:`stack_layouts`
     directly.
+
+    The fused facility engine drives group sizes that vary round to
+    round (clusters drop out as their streams drain), so the all-same
+    path additionally memoises the *one-row* stack under
+    ``(id(first), 1)``: a new scenario count pays only the ``np.repeat``
+    fan-out, never a re-gather of the physics arrays.
     """
+    global _STACK_CACHE_HITS, _STACK_CACHE_MISSES
     first = layouts[0]
     scenarios = len(layouts)
     if all(layout is first for layout in layouts):
@@ -180,8 +205,20 @@ def _stack_layouts_cached(layouts: Sequence[HostLayout]) -> LayoutBatch:
         key = (id(first), scenarios)
         entry = _STACK_CACHE.get(key)
         if entry is not None and entry[0][0] is first:
+            _STACK_CACHE_HITS += 1
             return entry[1]
-        single = stack_layouts([first])
+        _STACK_CACHE_MISSES += 1
+        single_key = (id(first), 1)
+        single_entry = _STACK_CACHE.get(single_key)
+        if single_entry is not None and single_entry[0][0] is first:
+            single = single_entry[1]
+        else:
+            single = stack_layouts([first])
+            if len(_STACK_CACHE) >= _STACK_CACHE_LIMIT:
+                _STACK_CACHE.clear()
+            _STACK_CACHE[single_key] = ((first,), single)
+        if scenarios == 1:
+            return single
         batch = LayoutBatch(
             job_index=single.job_index,
             job_boundaries=single.job_boundaries,
@@ -202,7 +239,9 @@ def _stack_layouts_cached(layouts: Sequence[HostLayout]) -> LayoutBatch:
         if entry is not None:
             held, batch = entry
             if all(a is b for a, b in zip(held, layouts)):
+                _STACK_CACHE_HITS += 1
                 return batch
+        _STACK_CACHE_MISSES += 1
         batch = stack_layouts(layouts)
         held = tuple(layouts)
     if len(_STACK_CACHE) >= _STACK_CACHE_LIMIT:

@@ -57,6 +57,11 @@ from repro.telemetry.provenance import (
     validate_ledger,
     write_ledger,
 )
+from repro.telemetry.profiling import (
+    profile_command,
+    span_self_times,
+    write_profile,
+)
 from repro.telemetry.summary import TelemetrySummary
 from repro.telemetry.timers import ScopedTimer, timed
 from repro.telemetry.tracing import (
@@ -91,6 +96,9 @@ __all__ = [
     "emit",
     "reset",
     "isolate",
+    "profile_command",
+    "span_self_times",
+    "write_profile",
     "Span",
     "Tracer",
     "span",
